@@ -1,0 +1,35 @@
+"""Benchmark-suite plumbing.
+
+Every benchmark regenerates one of the paper's tables/figures, prints it,
+and persists it under ``benchmarks/reports/`` so the regenerated artifacts
+survive pytest's output capture.  ``benchmark.pedantic(..., rounds=1)`` is
+used throughout: experiments train models, so one measured round is the
+meaningful unit.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> str:
+    os.makedirs(REPORT_DIR, exist_ok=True)
+    return REPORT_DIR
+
+
+@pytest.fixture
+def report(report_dir):
+    """Persist + print a regenerated table/figure."""
+
+    def _write(name: str, text: str) -> None:
+        path = os.path.join(report_dir, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"\n{text}\n[report saved to {path}]")
+
+    return _write

@@ -1,0 +1,37 @@
+"""Ablation — IBS parameters: top-k and PPR tolerance vs subgraph size.
+
+Section IV-B: "The large k and bs lead to a large subgraph size that
+requires larger training memory and time."
+"""
+
+import numpy as np
+
+from repro.bench.harness import render_table
+from repro.core.ibs import InfluenceBasedSampler
+from repro.datasets import mag
+
+
+def _sweep(scale="tiny", seed=7):
+    bundle = mag(scale, seed)
+    task = bundle.task("PV")
+    outcomes = []
+    for top_k in (2, 8, 24):
+        sampler = InfluenceBasedSampler(bundle.kg, top_k=top_k, eps=2e-3, workers=2)
+        sampled = sampler.sample(task, np.random.default_rng(seed))
+        outcomes.append((top_k, sampled))
+    return outcomes
+
+
+def test_ibs_topk_sweep(benchmark, report):
+    outcomes = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows = [
+        [str(top_k), str(s.subgraph.num_nodes), str(s.subgraph.num_edges)]
+        for top_k, s in outcomes
+    ]
+    report(
+        "ablation_ibs_params",
+        render_table(["top-k", "|V'|", "|T'|"], rows, title="Ablation: IBS top-k"),
+    )
+    sizes = [s.subgraph.num_nodes for _k, s in outcomes]
+    assert sizes == sorted(sizes), "larger top-k must grow the partition"
+    assert sizes[-1] > sizes[0]

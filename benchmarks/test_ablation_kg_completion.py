@@ -1,0 +1,66 @@
+"""Ablation — KG completion vs per-predicate TOSG training (Section V-B2).
+
+The paper: "performing KG completion using MorsE on DBLP-15M consumed
+330 GB memory and 124 training hours compared with 11 GB and 9.8 hours
+using the KG′ of KG-TOSA for the affiliatedWith edge type only ... we can
+efficiently train LP tasks on a set of individual predicates in parallel."
+
+Shape to reproduce: training one predicate on its TOSG costs a small
+fraction of full-graph training, and even summing over several predicates
+of interest the TOSG route wins on memory per task.
+"""
+
+import numpy as np
+
+from repro.bench.harness import render_table, run_lp_method
+from repro.core import extract_tosg
+from repro.core.tasks import lp_task_from_predicate
+from repro.datasets import dblp
+from repro.models import ModelConfig
+from repro.training import TrainConfig
+
+CONFIG = ModelConfig(hidden_dim=24, num_layers=1, lr=0.03, batch_size=256, margin=2.0)
+TRAIN = TrainConfig(epochs=15, eval_every=5, num_eval_negatives=30, max_eval_examples=40)
+
+
+def _completion_sweep(scale="small", seed=13, num_predicates=3):
+    bundle = dblp(scale, seed)
+    kg = bundle.kg
+    # The most frequent predicates stand in for "predicates of interest".
+    frequencies = np.bincount(kg.triples.p, minlength=kg.num_edge_types)
+    top = np.argsort(frequencies)[::-1][:num_predicates]
+    rows = []
+    for predicate in top:
+        task = lp_task_from_predicate(kg, int(predicate), rng=np.random.default_rng(seed))
+        full = run_lp_method("MorsE", kg, task, CONFIG, TRAIN, graph_label="FG")
+        tosa = extract_tosg(kg, task, method="sparql", direction=2, hops=1)
+        oriented = run_lp_method(
+            "MorsE", tosa.subgraph, tosa.task, CONFIG, TRAIN,
+            graph_label="KG-TOSAd2h1", preprocess_seconds=tosa.extraction_seconds,
+        )
+        rows.append((kg.relation_vocab.term(int(predicate)), full, oriented))
+    return rows
+
+
+def test_kg_completion_ablation(benchmark, report):
+    rows = benchmark.pedantic(_completion_sweep, rounds=1, iterations=1)
+    table_rows = []
+    for predicate, full, oriented in rows:
+        table_rows.append([predicate, "FG", f"{full.total_seconds:.1f}s",
+                           f"{full.memory_mb:.1f}", f"{full.metric:.2f}"])
+        table_rows.append([predicate, "KG'", f"{oriented.total_seconds:.1f}s",
+                           f"{oriented.memory_mb:.1f}", f"{oriented.metric:.2f}"])
+    report(
+        "ablation_kg_completion",
+        render_table(["predicate", "graph", "time", "mem(MB)", "hits@10"], table_rows,
+                     title="Ablation: per-predicate TOSG vs full-graph completion (MorsE)"),
+    )
+
+    # Memory: the per-predicate TOSG strictly shrinks every task's
+    # working set — the 330 GB → 11 GB component of the paper's claim.
+    for predicate, full, oriented in rows:
+        assert oriented.memory_mb < full.memory_mb, predicate
+        # Time: at synthetic scale the FG epoch is already sub-second, so
+        # extraction overhead cannot amortise; assert no blow-up here (the
+        # wall-clock win is a large-scale effect, see EXPERIMENTS.md).
+        assert oriented.total_seconds < full.total_seconds * 3.0, predicate

@@ -1,0 +1,44 @@
+"""Ablation — Algorithm 3's pagination: page size vs requests vs result.
+
+The extraction result must be invariant to (batch size × workers), while
+the number of endpoint requests scales inversely with the page size —
+the trade-off the paper's compression/pagination optimisations manage.
+"""
+
+from repro.bench.harness import render_table
+from repro.core.pattern import GraphPattern
+from repro.core.sparql_method import SparqlTOSGExtractor
+from repro.datasets import mag
+from repro.sparql.endpoint import SparqlEndpoint
+
+
+def _sweep(scale="small", seed=7):
+    bundle = mag(scale, seed)
+    task = bundle.task("PV")
+    outcomes = []
+    for batch_size, workers in [(100, 1), (100, 4), (1000, 1), (1000, 4), (100000, 1)]:
+        endpoint = SparqlEndpoint(bundle.kg)
+        extractor = SparqlTOSGExtractor(endpoint, batch_size=batch_size, workers=workers)
+        subgraph, _mapping, stats = extractor.extract(task, GraphPattern(1, 1))
+        outcomes.append((batch_size, workers, endpoint.stats.requests, stats, subgraph))
+    return outcomes
+
+
+def test_pagination_sweep(benchmark, report):
+    outcomes = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows = [
+        [str(bs), str(w), str(requests), str(stats.pages), f"{stats.fetch_seconds:.3f}",
+         str(sub.num_edges)]
+        for bs, w, requests, stats, sub in outcomes
+    ]
+    report(
+        "ablation_pagination",
+        render_table(["batch", "workers", "requests", "pages", "fetch(s)", "|T'|"], rows,
+                     title="Ablation: Alg.3 pagination"),
+    )
+
+    edges = {sub.num_edges for _bs, _w, _req, _stats, sub in outcomes}
+    assert len(edges) == 1, "extraction must be invariant to pagination"
+    small_pages = outcomes[0][3].pages
+    large_pages = outcomes[-1][3].pages
+    assert small_pages > large_pages

@@ -1,0 +1,56 @@
+"""Ablation — sensitivity of the TOSG to the (d, h) pattern parameters.
+
+DESIGN.md calls this out: larger d/h extract supersets, so subgraph size
+must grow monotonically along d1h1 → d2h1 → d2h2 and d1h1 → d1h2 → d2h2,
+and every variant keeps all target vertices.
+"""
+
+import numpy as np
+
+from repro.bench.harness import render_table
+from repro.core import extract_tosg
+from repro.datasets import mag
+
+VARIANTS = [(1, 1), (2, 1), (1, 2), (2, 2)]
+
+
+def _sweep(scale="small", seed=7):
+    bundle = mag(scale, seed)
+    task = bundle.task("PV")
+    results = {}
+    for direction, hops in VARIANTS:
+        results[(direction, hops)] = extract_tosg(
+            bundle.kg, task, method="sparql", direction=direction, hops=hops
+        )
+    return bundle, task, results
+
+
+def test_pattern_parameter_sweep(benchmark, report):
+    bundle, task, results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows = [
+        [
+            f"d{d}h{h}",
+            str(r.subgraph.num_nodes),
+            str(r.subgraph.num_edges),
+            str(r.subgraph.num_node_types),
+            str(r.subgraph.num_edge_types),
+            f"{r.extraction_seconds:.3f}",
+        ]
+        for (d, h), r in results.items()
+    ]
+    report(
+        "ablation_pattern_params",
+        render_table(["pattern", "|V'|", "|T'|", "|C'|", "|R'|", "extract(s)"], rows,
+                     title="Ablation: (d, h) sweep on PV/MAG"),
+    )
+
+    d1h1, d2h1 = results[(1, 1)], results[(2, 1)]
+    d1h2, d2h2 = results[(1, 2)], results[(2, 2)]
+    # Supersets along both axes.
+    assert d1h1.subgraph.num_edges <= d2h1.subgraph.num_edges <= d2h2.subgraph.num_edges
+    assert d1h1.subgraph.num_edges <= d1h2.subgraph.num_edges <= d2h2.subgraph.num_edges
+    # All variants keep every target vertex.
+    for result in results.values():
+        assert result.task.num_targets == task.num_targets
+    # Even the largest variant stays a strict subgraph of FG.
+    assert d2h2.subgraph.num_edges < bundle.kg.num_edges

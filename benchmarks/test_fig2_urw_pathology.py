@@ -1,0 +1,29 @@
+"""Figure 2 — uniform random-walk sample pathology.
+
+Paper shape: URW samples (h=2, 20 roots) contain a low ratio of target
+vertices and include vertices disconnected from every target.
+"""
+
+from repro.bench import experiments
+from repro.bench.harness import render_table
+
+QUALITY_HEADERS = [
+    "sampler", "task", "|V'|", "VT%", "|C'|", "|R'|", "discon%", "avg.dist", "entropy",
+]
+
+
+def test_fig2_urw_pathology(benchmark, report):
+    result = benchmark.pedantic(
+        experiments.fig2_urw_pathology, kwargs={"scale": "small"}, rounds=1, iterations=1
+    )
+    rows = [r.as_row() for reports in result.quality.values() for r in reports]
+    report("fig2_urw_pathology", render_table(QUALITY_HEADERS, rows, title="Fig.2 URW samples"))
+
+    for label, reports in result.quality.items():
+        urw = reports[0]
+        # Type-blind roots leave targets underrepresented...
+        assert urw.target_ratio_pct < 60.0
+    # ...and the noise-dominated YAGO sample is the most pathological.
+    yago = result.quality["CG/YAGO"][0]
+    assert yago.target_ratio_pct < 30.0
+    assert yago.disconnected_pct > 0.0

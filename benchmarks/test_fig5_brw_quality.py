@@ -1,0 +1,24 @@
+"""Figure 5 — biased random-walk sample quality.
+
+Paper shape vs Figure 2: BRW lifts the target-vertex ratio and guarantees
+every non-target vertex reaches a target (no disconnection).
+"""
+
+from repro.bench import experiments
+from repro.bench.harness import render_table
+from benchmarks.test_fig2_urw_pathology import QUALITY_HEADERS
+
+
+def test_fig5_brw_quality(benchmark, report):
+    result = benchmark.pedantic(
+        experiments.fig5_brw_quality, kwargs={"scale": "small"}, rounds=1, iterations=1
+    )
+    rows = [r.as_row() for reports in result.quality.values() for r in reports]
+    report("fig5_brw_quality", render_table(QUALITY_HEADERS, rows, title="Fig.5 BRW vs URW"))
+
+    for label, reports in result.quality.items():
+        brw, urw = reports
+        assert brw.sampler == "BRW" and urw.sampler == "URW"
+        # BRW fixes both Figure 2 pathologies.
+        assert brw.target_ratio_pct > urw.target_ratio_pct
+        assert brw.disconnected_pct == 0.0

@@ -1,0 +1,38 @@
+"""Figure 6 — NC tasks × four methods × {FG, KG-TOSA d1h1}.
+
+Paper shape: with KG′ every method reduces training memory and the
+sampling-based methods reduce training time, at comparable-or-better
+accuracy (the paper reports improvements up to 11 %; we accept a small
+tolerance band since the substrate differs).
+"""
+
+from repro.bench import experiments
+from repro.bench.harness import RUN_HEADERS, render_table
+
+# Two test-set examples at tiny scale (~0.077 each) plus margin: accuracy
+# differences below this are quantisation noise, not signal.
+ACCURACY_TOLERANCE = 0.2
+
+
+def test_fig6_nc_tasks(benchmark, report):
+    result = benchmark.pedantic(
+        experiments.fig6_nc_tasks, kwargs={"scale": "tiny"}, rounds=1, iterations=1
+    )
+    lines = [
+        render_table(RUN_HEADERS, [r.cells() for r in runs], title=f"Fig.6 {label}")
+        for label, runs in result.sections.items()
+    ]
+    report("fig6_nc_tasks", "\n\n".join(lines))
+
+    for label, runs in result.sections.items():
+        by_key = {(run.method, run.graph_label): run for run in runs}
+        for method in ("RGCN", "GraphSAINT", "ShaDowSAINT", "SeHGNN"):
+            fg = by_key[(method, "FG")]
+            tosa = by_key[(method, "KG-TOSAd1h1")]
+            assert tosa.memory_mb < fg.memory_mb, f"{label}/{method} memory"
+            assert tosa.num_parameters < fg.num_parameters, f"{label}/{method} params"
+            assert tosa.metric >= fg.metric - ACCURACY_TOLERANCE, f"{label}/{method} accuracy"
+            if method != "RGCN":
+                # Sampling methods gain the most; RGCN "benefits the least
+                # from KG-TOSA in terms of training time" (Section V-B1).
+                assert tosa.total_seconds < fg.train_seconds, f"{label}/{method} time"

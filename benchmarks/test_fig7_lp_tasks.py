@@ -1,0 +1,48 @@
+"""Figure 7 — LP tasks × {RGCN, MorsE, LHGNN} × {FG, KG-TOSA d2h1}.
+
+Paper shape:
+* on the DBLP task, full-batch RGCN exceeds the memory budget on FG (the
+  3 TB OOM) but trains comfortably on KG′;
+* LHGNN, the heaviest method, does not finish on the two larger KGs' FG;
+* methods that run reduce time and memory on KG′ with comparable or
+  better Hits@10.
+"""
+
+from repro.bench import experiments
+from repro.bench.harness import RUN_HEADERS, render_table
+
+
+def test_fig7_lp_tasks(benchmark, report):
+    result = benchmark.pedantic(
+        experiments.fig7_lp_tasks, kwargs={"scale": "small"}, rounds=1, iterations=1
+    )
+    lines = [
+        render_table(RUN_HEADERS, [r.cells() for r in runs], title=f"Fig.7 {label}")
+        for label, runs in result.sections.items()
+    ]
+    report("fig7_lp_tasks", "\n\n".join(lines))
+
+    by_key = {
+        (label, run.method, run.graph_label): run
+        for label, runs in result.sections.items()
+        for run in runs
+    }
+
+    # The paper's RGCN-OOM event on DBLP FG — and its rescue by KG′.
+    assert by_key[("AA/DBLP", "RGCN", "FG")].oom
+    assert not by_key[("AA/DBLP", "RGCN", "KG-TOSAd2h1")].oom
+
+    # LHGNN does not finish on the larger KGs' full graphs.
+    assert by_key[("PO/wikikg2", "LHGNN", "FG")].oom
+    assert by_key[("AA/DBLP", "LHGNN", "FG")].oom
+    # ...but completes the small CA task on both graphs.
+    assert not by_key[("CA/YAGO3-10", "LHGNN", "FG")].oom
+
+    # MorsE survives everywhere and KG′ cuts its footprint.
+    for label in ("CA/YAGO3-10", "PO/wikikg2", "AA/DBLP"):
+        fg = by_key[(label, "MorsE", "FG")]
+        tosa = by_key[(label, "MorsE", "KG-TOSAd2h1")]
+        assert not fg.oom and not tosa.oom
+        assert tosa.memory_mb < fg.memory_mb
+        assert tosa.train_seconds < fg.train_seconds
+        assert tosa.metric >= fg.metric - 0.2

@@ -1,0 +1,22 @@
+"""Table I — benchmark KG statistics.
+
+Paper shape: five KGs; the general-purpose KGs carry far more node/edge
+types than the academic ones (wikikg2 > YAGO > MAG > DBLP > YAGO3-10).
+"""
+
+from repro.bench import experiments
+from repro.bench.harness import render_table
+
+
+def test_table1_benchmark_stats(benchmark, report):
+    result = benchmark.pedantic(
+        experiments.table1_benchmark_stats, kwargs={"scale": "small"}, rounds=1, iterations=1
+    )
+    rows = result.tables["table1"]
+    report(
+        "table1_benchmark_stats",
+        render_table(["KG", "#nodes", "#edges", "#n-type", "#e-type"], rows, title="Table I"),
+    )
+    assert len(rows) == 5
+    types = {row[0].split("-")[0]: int(row[3]) for row in rows}
+    assert types["wikikg2"] > types["YAGO"] > types["MAG"] > types["DBLP"]

@@ -1,0 +1,21 @@
+"""Table II — GNN task summary: six NC tasks, three LP tasks."""
+
+from repro.bench import experiments
+from repro.bench.harness import render_table
+
+
+def test_table2_task_summary(benchmark, report):
+    result = benchmark.pedantic(
+        experiments.table2_task_summary, kwargs={"scale": "small"}, rounds=1, iterations=1
+    )
+    rows = result.tables["table2"]
+    report(
+        "table2_task_summary",
+        render_table(["TT", "Name", "KG", "Split", "Ratio", "Metric"], rows, title="Table II"),
+    )
+    assert len(rows) == 9
+    assert sum(1 for row in rows if row[0] == "NC") == 6
+    assert sum(1 for row in rows if row[0] == "LP") == 3
+    for row in rows:
+        assert row[5] == ("accuracy" if row[0] == "NC" else "hits@10")
+        assert row[3] in ("time", "random")

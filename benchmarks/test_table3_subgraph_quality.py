@@ -1,0 +1,39 @@
+"""Table III — subgraph quality: URW vs BRW vs IBS vs KG-TOSA d1h1.
+
+Paper shape: the three task-oriented methods (BRW/IBS/d1h1) raise the
+target-vertex ratio, eliminate target-disconnected vertices, shorten the
+average distance to targets, and beat URW-trained accuracy; URW keeps
+irrelevant types.
+"""
+
+from repro.bench import experiments
+from repro.bench.harness import RUN_HEADERS, render_table
+from benchmarks.test_fig2_urw_pathology import QUALITY_HEADERS
+
+
+def test_table3_subgraph_quality(benchmark, report):
+    result = benchmark.pedantic(
+        experiments.table3_subgraph_quality, kwargs={"scale": "small"}, rounds=1, iterations=1
+    )
+    lines = []
+    for label in result.quality:
+        quality_rows = [r.as_row() for r in result.quality[label]]
+        run_rows = [r.cells() for r in result.sections[label]]
+        lines.append(render_table(QUALITY_HEADERS, quality_rows, title=f"Table III {label} (quality)"))
+        lines.append(render_table(RUN_HEADERS, run_rows, title=f"Table III {label} (GraphSAINT)"))
+    report("table3_subgraph_quality", "\n\n".join(lines))
+
+    for label, reports in result.quality.items():
+        by_sampler = {r.sampler: r for r in reports}
+        urw = by_sampler["URW"]
+        for name in ("BRW", "IBS", "KG-TOSAd1h1"):
+            oriented = by_sampler[name]
+            assert oriented.disconnected_pct == 0.0, f"{label}/{name}"
+            assert oriented.target_ratio_pct > urw.target_ratio_pct, f"{label}/{name}"
+        # Task-oriented subgraphs keep fewer (or equal) node types.
+        assert by_sampler["KG-TOSAd1h1"].num_node_types <= urw.num_node_types
+
+    # Accuracy: task-oriented subgraphs dominate URW on the noisy YAGO CG
+    # task (the paper's 15% -> 37% case).
+    runs = {r.graph_label: r for r in result.sections["CG/YAGO"]}
+    assert max(runs["BRW"].metric, runs["IBS"].metric, runs["KG-TOSAd1h1"].metric) >= runs["URW"].metric

@@ -1,0 +1,55 @@
+"""Link prediction under a memory budget (the paper's Figure 7 story).
+
+Predicts author affiliations (the AA task) on a DBLP-style KG with RGCN
+and MorsE, under a modeled-memory budget that full-batch RGCN exceeds on
+the full graph — reproducing the paper's "RGCN exceeded 3 TB on DBLP-15M,
+but finished in 35 GB on KG'" result.
+
+Run:  python examples/affiliation_link_prediction.py
+"""
+
+from repro.bench.harness import RUN_HEADERS, render_table, run_lp_method
+from repro.core import extract_tosg
+from repro.datasets import dblp
+from repro.models import ModelConfig
+from repro.training import TrainConfig
+
+BUDGET_MB = 12.0  # plays the role of the paper's 3 TB VM limit
+
+
+def main() -> None:
+    bundle = dblp(scale="small", seed=13)
+    task = bundle.task("AA")
+    print(f"KG: {bundle.kg}")
+    print(f"task: {task.describe()}")
+
+    tosa = extract_tosg(bundle.kg, task, method="sparql", direction=2, hops=1)
+    print(f"KG': {tosa.subgraph} (extracted in {tosa.extraction_seconds:.2f}s)\n")
+
+    config = ModelConfig(hidden_dim=32, num_layers=1, lr=0.03, batch_size=512, margin=2.0)
+    train_config = TrainConfig(epochs=40, eval_every=10, num_eval_negatives=40)
+    budget = int(BUDGET_MB * 1e6)
+
+    runs = []
+    for method in ("RGCN", "MorsE"):
+        for label, graph, graph_task, preprocess in (
+            ("FG", bundle.kg, task, 0.0),
+            ("KG-TOSAd2h1", tosa.subgraph, tosa.task, tosa.extraction_seconds),
+        ):
+            run = run_lp_method(
+                method, graph, graph_task, config, train_config,
+                graph_label=label, preprocess_seconds=preprocess, budget_bytes=budget,
+            )
+            runs.append(run)
+            status = "OOM" if run.oom else f"hits@10={run.metric:.3f}"
+            print(f"finished {method} on {label}: {status}")
+
+    print()
+    print(render_table(RUN_HEADERS, [r.cells() for r in runs],
+                       title=f"AA/DBLP under a {BUDGET_MB:.0f} MB modeled-memory budget"))
+    print("\nExpected shape: RGCN exceeds the budget on FG but trains on KG'; "
+          "MorsE fits everywhere and improves with KG'.")
+
+
+if __name__ == "__main__":
+    main()

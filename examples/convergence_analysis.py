@@ -1,0 +1,65 @@
+"""Convergence analysis (the Figure 9 story).
+
+Trains GraphSAINT on the genre-classification task of a noisy YAGO-style
+KG twice — on the full graph and on the KG-TOSA d1h1 subgraph — and prints
+the accuracy-vs-wall-clock trace of both runs as an ASCII chart.
+
+Run:  python examples/convergence_analysis.py
+"""
+
+from repro.core import extract_tosg
+from repro.datasets import yago4
+from repro.models import GraphSAINTClassifier, ModelConfig
+from repro.training import ResourceMeter, TrainConfig, train_node_classifier
+
+
+def ascii_chart(traces, width=64, height=12):
+    """Render {label: [(seconds, metric), ...]} as a crude scatter chart."""
+    points = [(x, y, label) for label, series in traces.items() for x, y in series]
+    if not points:
+        return "(no data)"
+    max_x = max(x for x, _y, _l in points) or 1.0
+    grid = [[" "] * (width + 1) for _ in range(height + 1)]
+    markers = {}
+    for index, label in enumerate(traces):
+        markers[label] = chr(ord("A") + index)
+    for x, y, label in points:
+        col = int(x / max_x * width)
+        row = height - int(max(min(y, 1.0), 0.0) * height)
+        grid[row][col] = markers[label]
+    lines = ["accuracy"]
+    for row_index, row in enumerate(grid):
+        axis = f"{1.0 - row_index / height:4.1f} |"
+        lines.append(axis + "".join(row))
+    lines.append("     +" + "-" * (width + 1) + f"> time ({max_x:.1f}s)")
+    for label, marker in markers.items():
+        lines.append(f"     {marker} = {label}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    bundle = yago4(scale="small", seed=17)
+    task = bundle.task("CG")
+    tosa = extract_tosg(bundle.kg, task, method="sparql", direction=1, hops=1)
+    print(f"FG:  {bundle.kg}")
+    print(f"KG': {tosa.subgraph}\n")
+
+    config = ModelConfig(hidden_dim=24, num_layers=2, dropout=0.1, lr=0.02)
+    train_config = TrainConfig(epochs=12, eval_every=1)
+    traces = {}
+    for label, graph, graph_task in (("FG", bundle.kg, task), ("KG'", tosa.subgraph, tosa.task)):
+        meter = ResourceMeter()
+        model = GraphSAINTClassifier(graph, graph_task, config, meter=meter)
+        result = train_node_classifier(model, graph_task, train_config, meter)
+        traces[label] = [(p.seconds, p.valid_metric) for p in result.trace]
+        print(f"{label:4s} final accuracy={result.test_metric:.3f} "
+              f"total time={result.train_seconds:.1f}s")
+
+    print()
+    print(ascii_chart(traces))
+    print("\nExpected shape: the KG' curve (B) climbs much earlier — the "
+          "model converges in a fraction of the FG wall-clock.")
+
+
+if __name__ == "__main__":
+    main()

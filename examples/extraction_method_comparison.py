@@ -1,0 +1,63 @@
+"""Compare the three TOSG extraction mechanisms (the Figure 8 story).
+
+Extracts a TOSG for the place-country task on a YAGO-style KG with BRW
+(Algorithm 1), IBS (Algorithm 2), and the SPARQL-based method in its four
+(d, h) variations (Algorithm 3), then reports subgraph quality (Table III
+indicators) and extraction cost for each.
+
+Run:  python examples/extraction_method_comparison.py
+"""
+
+import numpy as np
+
+from repro.bench.harness import render_table
+from repro.core import evaluate_quality, extract_tosg
+from repro.datasets import yago4
+
+
+def main() -> None:
+    bundle = yago4(scale="small", seed=17)
+    task = bundle.task("PC")
+    print(f"KG: {bundle.kg}")
+    print(f"task: {task.describe()}\n")
+
+    variants = [
+        ("brw", {"walk_length": 3, "batch_size": 20000}),
+        ("ibs", {"top_k": 16, "eps": 2e-3}),
+        ("sparql", {"direction": 1, "hops": 1}),
+        ("sparql", {"direction": 2, "hops": 1}),
+        ("sparql", {"direction": 1, "hops": 2}),
+        ("sparql", {"direction": 2, "hops": 2}),
+    ]
+    rows = []
+    for method, kwargs in variants:
+        result = extract_tosg(
+            bundle.kg, task, method=method, rng=np.random.default_rng(17), **kwargs
+        )
+        quality = evaluate_quality(result.subgraph, result.task, sampler=result.method)
+        rows.append([
+            result.method,
+            str(result.subgraph.num_nodes),
+            str(result.subgraph.num_edges),
+            str(result.subgraph.num_node_types),
+            str(result.subgraph.num_edge_types),
+            f"{quality.target_ratio_pct:.1f}",
+            f"{quality.disconnected_pct:.1f}",
+            f"{quality.avg_distance_to_target:.2f}",
+            f"{quality.entropy:.2f}",
+            f"{result.extraction_seconds:.3f}",
+        ])
+        print(f"extracted with {result.method}: "
+              f"{result.subgraph.num_nodes} nodes in {result.extraction_seconds:.3f}s")
+
+    print()
+    print(render_table(
+        ["method", "|V'|", "|T'|", "|C'|", "|R'|", "VT%", "discon%", "dist", "entropy", "time(s)"],
+        rows, title="Extraction methods on PC/YAGO",
+    ))
+    print("\nExpected shape: all methods eliminate disconnected vertices; the "
+          "SPARQL variants extract in a fraction of IBS's time.")
+
+
+if __name__ == "__main__":
+    main()

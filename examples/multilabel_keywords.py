@@ -1,0 +1,60 @@
+"""Multi-label keyword prediction (the Definition 2.2 extension).
+
+The paper's Definition 2.2 includes multi-label node classification
+("predicting keywords of a paper") but the evaluation covers only the
+single-label case.  This example exercises the extension: predict each
+paper's keyword set on the MAG-style KG, on the full graph and on the
+KG-TOSA d1h1 subgraph, scored with micro-F1.
+
+Run:  python examples/multilabel_keywords.py
+"""
+
+import numpy as np
+
+from repro.core import extract_tosg, micro_f1
+from repro.core.multilabel import remap_multilabel_task
+from repro.datasets import mag
+from repro.models import ModelConfig, RGCNMultiLabelClassifier
+from repro.training import ResourceMeter
+
+
+def train(kg, task, epochs=30, seed=0):
+    meter = ResourceMeter()
+    model = RGCNMultiLabelClassifier(
+        kg, task, ModelConfig(hidden_dim=24, num_layers=2, lr=0.03, seed=seed), meter=meter
+    )
+    rng = np.random.default_rng(seed)
+    import time
+
+    start = time.perf_counter()
+    for _ in range(epochs):
+        model.train_epoch(rng)
+    elapsed = time.perf_counter() - start
+    predictions = model.predict_labels()
+    test = task.split.test
+    score = micro_f1(predictions[test], task.labels[test])
+    return score, elapsed, meter.peak_bytes / 1e6, model.num_parameters()
+
+
+def main() -> None:
+    bundle = mag(scale="small", seed=7)
+    pk = bundle.task("PK")
+    print(f"KG: {bundle.kg}")
+    print(f"task: PK — {pk.num_targets} papers × {pk.num_labels} keywords (micro-F1)\n")
+
+    # The PV extraction pattern doubles for PK: same target class.
+    tosa = extract_tosg(bundle.kg, bundle.task("PV"), method="sparql", direction=1, hops=1)
+    pk_on_tosg = remap_multilabel_task(pk, tosa.subgraph, tosa.mapping)
+
+    for label, (kg, task) in (("FG ", (bundle.kg, pk)), ("KG'", (tosa.subgraph, pk_on_tosg))):
+        score, elapsed, memory_mb, params = train(kg, task)
+        print(f"{label} micro-F1={score:.3f} time={elapsed:5.1f}s "
+              f"memory={memory_mb:6.1f}MB params={params}")
+
+    print("\nExpected shape: the TOSG preserves keyword signal (venue-affine "
+          "wiring) at a fraction of the cost — the multi-label case behaves "
+          "like the paper's single-label tasks.")
+
+
+if __name__ == "__main__":
+    main()

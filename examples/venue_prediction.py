@@ -1,0 +1,49 @@
+"""Venue prediction (the paper's motivating workload) across all methods.
+
+Reproduces the Figure 1 / Figure 6 story on one workload: train four HGNN
+methods — full-batch RGCN, GraphSAINT, ShaDowSAINT, SeHGNN — on the full
+MAG-style graph, on a handcrafted OGBN-MAG-style subset, and on the
+automatically extracted KG-TOSA d1h1 subgraph.
+
+Run:  python examples/venue_prediction.py
+"""
+
+from repro.bench.harness import NC_MODELS, RUN_HEADERS, render_table, run_nc_method
+from repro.core import extract_tosg
+from repro.datasets import mag, ogbn_mag_subset
+from repro.models import ModelConfig
+from repro.training import TrainConfig
+
+
+def main() -> None:
+    bundle = mag(scale="tiny", seed=7)
+    task = bundle.task("PV")
+    handcrafted = ogbn_mag_subset(bundle)
+    tosa = extract_tosg(bundle.kg, task, method="sparql", direction=1, hops=1)
+
+    graphs = [
+        ("FG", bundle.kg, task, 0.0),
+        ("OGBN-MAG", handcrafted.kg, handcrafted.task("PV"), 0.0),
+        ("KG-TOSAd1h1", tosa.subgraph, tosa.task, tosa.extraction_seconds),
+    ]
+    config = ModelConfig(hidden_dim=24, num_layers=2, dropout=0.1, lr=0.02)
+    train_config = TrainConfig(epochs=8, eval_every=2)
+
+    runs = []
+    for method in NC_MODELS:
+        for label, graph, graph_task, preprocess in graphs:
+            run = run_nc_method(
+                method, graph, graph_task, config, train_config,
+                graph_label=label, preprocess_seconds=preprocess,
+            )
+            runs.append(run)
+            print(f"finished {method} on {label}: acc={run.metric:.3f}")
+    print()
+    print(render_table(RUN_HEADERS, [r.cells() for r in runs],
+                       title="Paper-venue prediction: FG vs handcrafted vs KG-TOSA"))
+    print("\nExpected shape: both subsets cut time & memory; the handcrafted "
+          "subset trades accuracy, KG-TOSA keeps or improves it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""KG-TOSA reproduction.
+
+A from-scratch Python implementation of *Task-Oriented GNNs Training on
+Large Knowledge Graphs for Accurate and Efficient Modeling* (ICDE 2024),
+including every substrate the paper depends on: an RDF-style triple store
+with hexastore indices, a SPARQL-subset engine, task-oriented samplers
+(BRW / IBS / SPARQL-based), a numpy autograd + sparse message-passing NN
+stack, six HGNN methods, synthetic benchmark KGs, and the full experiment
+harness for the paper's tables and figures.
+
+Quickstart
+----------
+>>> from repro.datasets import catalog
+>>> from repro.core import extract_tosg
+>>> kg = catalog.mag(scale="tiny", seed=7)
+>>> task = catalog.task_pv_mag(kg)
+>>> tosg = extract_tosg(kg, task, method="sparql", direction=1, hops=1)
+>>> tosg.subgraph.num_nodes < kg.num_nodes
+True
+"""
+
+__version__ = "1.0.0"

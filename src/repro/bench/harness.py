@@ -1,0 +1,222 @@
+"""Measurement plumbing shared by all benchmark experiments.
+
+``run_nc_method`` / ``run_lp_method`` wrap (model construction + training +
+evaluation) into a :class:`MethodRun` record carrying every quantity the
+paper reports, converting modeled-memory budget violations into the
+``oom``/``dnf`` outcomes of Figure 7.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.kg.graph import KnowledgeGraph
+from repro.core.tasks import GNNTask, LinkPredictionTask, NodeClassificationTask
+from repro.models import (
+    GraphSAINTClassifier,
+    LHGNNPredictor,
+    ModelConfig,
+    MorsEPredictor,
+    RGCNLinkPredictor,
+    RGCNNodeClassifier,
+    SeHGNNClassifier,
+    ShaDowSAINTClassifier,
+)
+from repro.training import (
+    OutOfModeledMemory,
+    ResourceMeter,
+    TrainConfig,
+    train_link_predictor,
+    train_node_classifier,
+)
+from repro.training.trainer import TracePoint
+
+NC_MODELS: Dict[str, Type] = {
+    "RGCN": RGCNNodeClassifier,
+    "GraphSAINT": GraphSAINTClassifier,
+    "ShaDowSAINT": ShaDowSAINTClassifier,
+    "SeHGNN": SeHGNNClassifier,
+}
+
+LP_MODELS: Dict[str, Type] = {
+    "RGCN": RGCNLinkPredictor,
+    "MorsE": MorsEPredictor,
+    "LHGNN": LHGNNPredictor,
+}
+
+
+@dataclass
+class MethodRun:
+    """One (method × graph) measurement — a bar in the paper's figures."""
+
+    method: str
+    graph_label: str
+    task_name: str
+    metric: float = 0.0
+    metric_name: str = "accuracy"
+    train_seconds: float = 0.0
+    preprocess_seconds: float = 0.0
+    inference_seconds: float = 0.0
+    memory_mb: float = 0.0
+    num_parameters: int = 0
+    epochs: int = 0
+    oom: bool = False
+    trace: List[TracePoint] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        """Extraction/transformation + training (Figure 8's time bars)."""
+        return self.preprocess_seconds + self.train_seconds
+
+    def cells(self) -> List[str]:
+        if self.oom:
+            return [
+                self.method,
+                self.graph_label,
+                "OOM",
+                "-",
+                f"{self.memory_mb:.1f}*",
+                "-",
+                "-",
+            ]
+        return [
+            self.method,
+            self.graph_label,
+            f"{self.metric:.3f}",
+            f"{self.total_seconds:.1f}s",
+            f"{self.memory_mb:.1f}",
+            f"{self.num_parameters}",
+            f"{self.inference_seconds * 1e3:.0f}ms",
+        ]
+
+
+RUN_HEADERS = ["method", "graph", "metric", "time", "mem(MB)", "#params", "infer"]
+
+
+def run_nc_method(
+    method: str,
+    kg: KnowledgeGraph,
+    task: NodeClassificationTask,
+    model_config: ModelConfig,
+    train_config: TrainConfig,
+    graph_label: str,
+    preprocess_seconds: float = 0.0,
+    budget_bytes: Optional[int] = None,
+    **model_kwargs,
+) -> MethodRun:
+    """Construct, train and measure one NC method on one graph."""
+    meter = ResourceMeter(budget_bytes=budget_bytes)
+    model_cls = NC_MODELS[method]
+    try:
+        model = model_cls(kg, task, model_config, meter=meter, **model_kwargs)
+        result = train_node_classifier(model, task, train_config, meter)
+    except OutOfModeledMemory as oom:
+        return MethodRun(
+            method=method,
+            graph_label=graph_label,
+            task_name=task.name,
+            preprocess_seconds=preprocess_seconds,
+            memory_mb=oom.requested / 1e6,
+            oom=True,
+        )
+    return MethodRun(
+        method=method,
+        graph_label=graph_label,
+        task_name=task.name,
+        metric=result.test_metric,
+        metric_name=result.metric_name,
+        train_seconds=result.train_seconds,
+        preprocess_seconds=preprocess_seconds,
+        inference_seconds=result.inference_seconds,
+        memory_mb=meter.peak_bytes / 1e6,
+        num_parameters=result.num_parameters,
+        epochs=result.epochs_run,
+        trace=result.trace,
+    )
+
+
+def run_lp_method(
+    method: str,
+    kg: KnowledgeGraph,
+    task: LinkPredictionTask,
+    model_config: ModelConfig,
+    train_config: TrainConfig,
+    graph_label: str,
+    preprocess_seconds: float = 0.0,
+    budget_bytes: Optional[int] = None,
+    **model_kwargs,
+) -> MethodRun:
+    """Construct, train and measure one LP method on one graph."""
+    meter = ResourceMeter(budget_bytes=budget_bytes)
+    model_cls = LP_MODELS[method]
+    try:
+        model = model_cls(kg, task, model_config, meter=meter, **model_kwargs)
+        result = train_link_predictor(model, task, train_config, meter)
+    except OutOfModeledMemory as oom:
+        return MethodRun(
+            method=method,
+            graph_label=graph_label,
+            task_name=task.name,
+            preprocess_seconds=preprocess_seconds,
+            memory_mb=oom.requested / 1e6,
+            metric_name=f"hits@{train_config.hits_k}",
+            oom=True,
+        )
+    return MethodRun(
+        method=method,
+        graph_label=graph_label,
+        task_name=task.name,
+        metric=result.test_metric,
+        metric_name=result.metric_name,
+        train_seconds=result.train_seconds,
+        preprocess_seconds=preprocess_seconds,
+        inference_seconds=result.inference_seconds,
+        memory_mb=meter.peak_bytes / 1e6,
+        num_parameters=result.num_parameters,
+        epochs=result.epochs_run,
+        trace=result.trace,
+    )
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]], title: str = "") -> str:
+    """Plain ASCII table (the harness's figure/table output format)."""
+    headers = [str(h) for h in headers]
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    border = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    lines.append(border)
+    lines.append("| " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)) + " |")
+    lines.append(border)
+    for row in str_rows:
+        lines.append("| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |")
+    lines.append(border)
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Dict[str, List[Tuple[float, float]]],
+    title: str = "",
+    x_label: str = "seconds",
+    y_label: str = "metric",
+) -> str:
+    """Numeric rendering of convergence curves (Figure 9 style)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for name, points in series.items():
+        rendered = " ".join(f"({x:.1f}{x_label[0]}, {y:.3f})" for x, y in points)
+        lines.append(f"  {name}: {rendered}")
+    return "\n".join(lines)

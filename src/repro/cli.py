@@ -1,0 +1,201 @@
+"""Command-line interface.
+
+Four subcommands cover the library's day-to-day uses::
+
+    python -m repro stats    --dataset mag --scale small
+    python -m repro extract  --dataset mag --task PV --method sparql -d 1 -H 1 --out kgprime/
+    python -m repro train    --dataset mag --task PV --model GraphSAINT --tosa --epochs 10
+    python -m repro bench    --experiment table1 --scale tiny
+
+``stats`` prints the Table-I row of a benchmark KG; ``extract`` runs TOSG
+extraction and optionally saves KG′ as a TSV bundle; ``train`` runs one
+method on FG or KG′ and reports the paper's metrics; ``bench`` regenerates
+one paper artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+_DATASETS = ("mag", "dblp", "yago4", "yago3_10", "wikikg2")
+_NC_MODELS = ("RGCN", "GraphSAINT", "ShaDowSAINT", "SeHGNN")
+_LP_MODELS = ("RGCN", "MorsE", "LHGNN")
+_EXPERIMENTS = (
+    "fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9",
+    "table1", "table2", "table3", "table4",
+)
+
+
+def _load_bundle(dataset: str, scale: str, seed: int):
+    from repro.datasets import catalog
+
+    if dataset not in _DATASETS:
+        raise SystemExit(f"unknown dataset {dataset!r}; choose from {_DATASETS}")
+    return getattr(catalog, dataset)(scale, seed)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.bench.harness import render_table
+    from repro.kg.stats import compute_statistics
+
+    bundle = _load_bundle(args.dataset, args.scale, args.seed)
+    stats = compute_statistics(bundle.kg)
+    print(render_table(
+        ["KG", "#nodes", "#edges", "#n-type", "#e-type"], [stats.as_row()],
+        title=f"{bundle.kg.name} (tasks: {', '.join(sorted(bundle.tasks))})",
+    ))
+    print(f"avg out-degree {stats.avg_out_degree:.2f}, max degree {stats.max_degree}, "
+          f"density {stats.density:.2e}")
+    return 0
+
+
+def _cmd_extract(args: argparse.Namespace) -> int:
+    from repro.core import evaluate_quality, extract_tosg
+    from repro.kg.io import save_kg
+
+    bundle = _load_bundle(args.dataset, args.scale, args.seed)
+    task = bundle.task(args.task)
+    result = extract_tosg(
+        bundle.kg, task, method=args.method, direction=args.direction,
+        hops=args.hops, rng=np.random.default_rng(args.seed),
+        walk_length=args.walk_length, top_k=args.top_k,
+    )
+    quality = evaluate_quality(result.subgraph, result.task, sampler=result.method)
+    print(f"extracted {result.subgraph} with {result.method} "
+          f"in {result.extraction_seconds:.2f}s")
+    print(f"  targets kept: {result.task.num_targets}/{task.num_targets}  "
+          f"target ratio {quality.target_ratio_pct:.1f}%  "
+          f"disconnected {quality.disconnected_pct:.1f}%  "
+          f"entropy {quality.entropy:.2f}")
+    if args.out:
+        save_kg(result.subgraph, args.out)
+        print(f"  saved TSV bundle to {args.out}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.bench.harness import RUN_HEADERS, render_table, run_lp_method, run_nc_method
+    from repro.core import extract_tosg
+    from repro.models import ModelConfig
+    from repro.training import TrainConfig
+
+    bundle = _load_bundle(args.dataset, args.scale, args.seed)
+    task = bundle.task(args.task)
+    is_lp = task.task_type == "LP"
+    if is_lp and args.model not in _LP_MODELS:
+        raise SystemExit(f"{args.task} is a link-prediction task; choose from {_LP_MODELS}")
+    if not is_lp and args.model not in _NC_MODELS:
+        raise SystemExit(f"{args.task} is a node-classification task; choose from {_NC_MODELS}")
+
+    if args.tosa:
+        direction = args.direction if args.direction else (2 if is_lp else 1)
+        tosa = extract_tosg(bundle.kg, task, method="sparql", direction=direction, hops=args.hops)
+        graph, graph_task = tosa.subgraph, tosa.task
+        label, preprocess = f"KG-TOSA{tosa.params['pattern']}", tosa.extraction_seconds
+    else:
+        graph, graph_task, label, preprocess = bundle.kg, task, "FG", 0.0
+
+    model_config = ModelConfig(
+        hidden_dim=args.hidden_dim, num_layers=args.layers, lr=args.lr, seed=args.seed
+    )
+    train_config = TrainConfig(epochs=args.epochs, eval_every=max(args.epochs // 5, 1))
+    runner = run_lp_method if is_lp else run_nc_method
+    run = runner(
+        args.model, graph, graph_task, model_config, train_config,
+        graph_label=label, preprocess_seconds=preprocess,
+    )
+    print(render_table(RUN_HEADERS, [run.cells()], title=f"{args.task}/{bundle.kg.name}"))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import experiments
+    from repro.bench.harness import RUN_HEADERS, render_table
+
+    functions = {
+        "fig1": experiments.fig1_motivation,
+        "fig2": experiments.fig2_urw_pathology,
+        "fig5": experiments.fig5_brw_quality,
+        "fig6": experiments.fig6_nc_tasks,
+        "fig7": experiments.fig7_lp_tasks,
+        "fig8": experiments.fig8_extraction_methods,
+        "fig9": experiments.fig9_convergence,
+        "table1": experiments.table1_benchmark_stats,
+        "table2": experiments.table2_task_summary,
+        "table3": experiments.table3_subgraph_quality,
+        "table4": experiments.table4_cost_breakdown,
+    }
+    if args.experiment not in functions:
+        raise SystemExit(f"unknown experiment; choose from {sorted(functions)}")
+    result = functions[args.experiment](scale=args.scale, seed=args.seed)
+    for name, rows in result.tables.items():
+        print(render_table([""] * len(rows[0]) if rows else [], rows, title=name))
+    for label, runs in result.sections.items():
+        print(render_table(RUN_HEADERS, [r.cells() for r in runs], title=label))
+    for label, reports in result.quality.items():
+        rows = [r.as_row() for r in reports]
+        headers = ["sampler", "task", "|V'|", "VT%", "|C'|", "|R'|", "discon%", "dist", "H"]
+        print(render_table(headers, rows, title=label))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="KG-TOSA reproduction command-line interface"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("--dataset", default="mag", help=f"one of {_DATASETS}")
+        p.add_argument("--scale", default="small", help="tiny | small | medium | float")
+        p.add_argument("--seed", type=int, default=7)
+
+    stats = sub.add_parser("stats", help="print Table-I statistics of a benchmark KG")
+    add_common(stats)
+    stats.set_defaults(func=_cmd_stats)
+
+    extract = sub.add_parser("extract", help="extract a task-oriented subgraph")
+    add_common(extract)
+    extract.add_argument("--task", default="PV")
+    extract.add_argument("--method", default="sparql", choices=("sparql", "brw", "ibs"))
+    extract.add_argument("-d", "--direction", type=int, default=1, choices=(1, 2))
+    extract.add_argument("-H", "--hops", type=int, default=1)
+    extract.add_argument("--walk-length", type=int, default=3)
+    extract.add_argument("--top-k", type=int, default=16)
+    extract.add_argument("--out", default=None, help="directory for the KG' TSV bundle")
+    extract.set_defaults(func=_cmd_extract)
+
+    train = sub.add_parser("train", help="train one HGNN method on FG or KG'")
+    add_common(train)
+    train.add_argument("--task", default="PV")
+    train.add_argument("--model", default="GraphSAINT")
+    train.add_argument("--tosa", action="store_true", help="train on the extracted TOSG")
+    train.add_argument("-d", "--direction", type=int, default=None, choices=(1, 2))
+    train.add_argument("-H", "--hops", type=int, default=1)
+    train.add_argument("--epochs", type=int, default=10)
+    train.add_argument("--hidden-dim", type=int, default=24)
+    train.add_argument("--layers", type=int, default=2)
+    train.add_argument("--lr", type=float, default=0.02)
+    train.set_defaults(func=_cmd_train)
+
+    bench = sub.add_parser("bench", help="regenerate one paper table/figure")
+    bench.add_argument("--experiment", default="table1", help=f"one of {_EXPERIMENTS}")
+    bench.add_argument("--scale", default="tiny")
+    bench.add_argument("--seed", type=int, default=7)
+    bench.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point (``python -m repro ...``)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

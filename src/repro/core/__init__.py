@@ -1,0 +1,60 @@
+"""KG-TOSA: the paper's primary contribution.
+
+Everything in Sections III and IV lives here:
+
+* :mod:`repro.core.tasks` — node-classification / link-prediction task
+  definitions (Definitions 2.2 and 2.3) with train/valid/test splits;
+* :mod:`repro.core.pattern` — the generic graph pattern of Figure 3,
+  parameterised by predicate direction ``d`` and hop count ``h``, compiled
+  into SPARQL subqueries;
+* :mod:`repro.core.brw` — Algorithm 1, biased random-walk sampling;
+* :mod:`repro.core.ibs` — Algorithm 2, influence-based (PPR) sampling;
+* :mod:`repro.core.sparql_method` — Algorithm 3, SPARQL-based extraction;
+* :mod:`repro.core.quality` — the data-sufficiency and graph-topology
+  indicators of Table III;
+* :mod:`repro.core.api` — the ``extract_tosg`` façade tying it together.
+"""
+
+from repro.core.tasks import (
+    Split,
+    NodeClassificationTask,
+    LinkPredictionTask,
+    GNNTask,
+    remap_nc_task,
+    remap_lp_task,
+    lp_task_from_predicate,
+)
+from repro.core.multilabel import (
+    MultiLabelNodeClassificationTask,
+    remap_multilabel_task,
+    micro_f1,
+)
+from repro.core.pattern import GraphPattern, build_subqueries
+from repro.core.brw import BiasedRandomWalkSampler
+from repro.core.ibs import InfluenceBasedSampler
+from repro.core.sparql_method import SparqlTOSGExtractor
+from repro.core.quality import QualityReport, evaluate_quality, neighbor_type_entropy
+from repro.core.api import TOSGResult, extract_tosg
+
+__all__ = [
+    "Split",
+    "NodeClassificationTask",
+    "LinkPredictionTask",
+    "GNNTask",
+    "remap_nc_task",
+    "remap_lp_task",
+    "lp_task_from_predicate",
+    "MultiLabelNodeClassificationTask",
+    "remap_multilabel_task",
+    "micro_f1",
+    "GraphPattern",
+    "build_subqueries",
+    "BiasedRandomWalkSampler",
+    "InfluenceBasedSampler",
+    "SparqlTOSGExtractor",
+    "QualityReport",
+    "evaluate_quality",
+    "neighbor_type_entropy",
+    "TOSGResult",
+    "extract_tosg",
+]

@@ -1,0 +1,144 @@
+"""The TOSG generic graph pattern (Figure 3) compiled to SPARQL subqueries.
+
+The pattern has two parameters (Section IV-C): predicate **direction**
+``d`` (1 = outgoing only, 2 = outgoing and incoming) and hop count ``h``.
+Around every target vertex ``?v`` of the task's class, the pattern collects
+all triples reachable within ``h`` hops following allowed directions.
+
+A (d, h) pattern expands into ``sum_{k=1..h} d^k`` subqueries — one per
+direction sequence per hop level — because each hop level contributes its
+own triples to KG′ and Algorithm 3 paginates "each subquery independently"
+to exploit per-subquery index locality.  For ``d2h1`` this yields exactly
+the two UNION arms of the paper's ``Q_d2h1``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.kg.graph import KnowledgeGraph
+from repro.core.tasks import GNNTask, LinkPredictionTask
+from repro.sparql.ast import BGP, IRI, Projection, RDF_TYPE, SelectQuery, TriplePattern, Var
+
+
+@dataclass(frozen=True)
+class GraphPattern:
+    """The (d, h) parameterisation of the generic graph pattern."""
+
+    direction: int = 1
+    hops: int = 1
+
+    def __post_init__(self) -> None:
+        if self.direction not in (1, 2):
+            raise ValueError(f"direction must be 1 or 2, got {self.direction}")
+        if self.hops < 1:
+            raise ValueError(f"hops must be >= 1, got {self.hops}")
+
+    @property
+    def label(self) -> str:
+        """The paper's naming: d1h1, d2h1, d1h2, d2h2, ..."""
+        return f"d{self.direction}h{self.hops}"
+
+    def direction_sequences(self, hop_level: int) -> List[tuple[str, ...]]:
+        """All direction sequences of length ``hop_level``.
+
+        ``d=1`` allows only outgoing steps; ``d=2`` allows both at every hop.
+        """
+        choices = ("out",) if self.direction == 1 else ("out", "in")
+        return list(itertools.product(choices, repeat=hop_level))
+
+
+@dataclass(frozen=True)
+class TOSGSubquery:
+    """One pageable unit of Algorithm 3's query batch ``QB``.
+
+    ``kind='spo'`` queries project full ``?s ?p ?o`` triples.
+    ``kind='bridge'`` queries project ``?s ?o`` pairs of the LP task's
+    predicate ``p_T`` (attached in code), implementing the paper's extra
+    triple pattern ``⟨?v_Ti, p_T, ?v_Tj⟩`` between the two target subgraphs.
+    """
+
+    query: SelectQuery
+    kind: str
+    description: str
+    bridge_predicate: Optional[int] = None
+
+
+def _hop_query(class_iri: str, sequence: tuple[str, ...]) -> SelectQuery:
+    """Build the subquery for one direction sequence.
+
+    The BGP anchors at ``?v a <class>`` and chains one triple pattern per
+    hop; only the **last** hop's triple is projected as (s, p, o) — earlier
+    hops are covered by the shorter sequences' subqueries.
+    """
+    patterns: List[TriplePattern] = [
+        TriplePattern(Var("v"), IRI(RDF_TYPE), IRI(class_iri))
+    ]
+    frontier = Var("v")
+    last_pattern: Optional[TriplePattern] = None
+    for hop_index, step in enumerate(sequence, start=1):
+        predicate = Var(f"p{hop_index}")
+        other = Var(f"o{hop_index}")
+        if step == "out":
+            last_pattern = TriplePattern(frontier, predicate, other)
+        else:
+            last_pattern = TriplePattern(other, predicate, frontier)
+        patterns.append(last_pattern)
+        frontier = other
+    assert last_pattern is not None
+    projections = (
+        Projection(last_pattern.s, Var("s")),
+        Projection(last_pattern.p, Var("p")),
+        Projection(last_pattern.o, Var("o")),
+    )
+    return SelectQuery(projections, BGP(tuple(patterns)))
+
+
+def _bridge_query(head_iri: str, tail_iri: str, predicate_iri: str) -> SelectQuery:
+    """``?s a <head>. ?o a <tail>. ?s <p_T> ?o`` projected as (s, o)."""
+    patterns = (
+        TriplePattern(Var("s"), IRI(RDF_TYPE), IRI(head_iri)),
+        TriplePattern(Var("o"), IRI(RDF_TYPE), IRI(tail_iri)),
+        TriplePattern(Var("s"), IRI(predicate_iri), Var("o")),
+    )
+    projections = (Projection(Var("s")), Projection(Var("o")))
+    return SelectQuery(projections, BGP(patterns))
+
+
+def build_subqueries(
+    kg: KnowledgeGraph, task: GNNTask, pattern: GraphPattern
+) -> List[TOSGSubquery]:
+    """Compile the generic graph pattern for ``task`` into subqueries.
+
+    One ``spo`` subquery per (target class × hop level × direction
+    sequence); for LP tasks an additional ``bridge`` subquery ties the head
+    and tail target subgraphs together via ``p_T``.
+    """
+    subqueries: List[TOSGSubquery] = []
+    for class_id in task.target_classes():
+        class_iri = kg.class_vocab.term(class_id)
+        for hop_level in range(1, pattern.hops + 1):
+            for sequence in pattern.direction_sequences(hop_level):
+                query = _hop_query(class_iri, sequence)
+                subqueries.append(
+                    TOSGSubquery(
+                        query=query,
+                        kind="spo",
+                        description=f"{class_iri} {'→'.join(sequence)}",
+                    )
+                )
+    if isinstance(task, LinkPredictionTask):
+        predicate_iri = kg.relation_vocab.term(int(task.predicate))
+        head_iri = kg.class_vocab.term(int(task.head_class))
+        tail_iri = kg.class_vocab.term(int(task.tail_class))
+        subqueries.append(
+            TOSGSubquery(
+                query=_bridge_query(head_iri, tail_iri, predicate_iri),
+                kind="bridge",
+                description=f"bridge {head_iri} -{predicate_iri}-> {tail_iri}",
+                bridge_predicate=int(task.predicate),
+            )
+        )
+    return subqueries

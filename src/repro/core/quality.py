@@ -1,0 +1,154 @@
+"""Subgraph quality indicators (Section III-A / Table III).
+
+Two families of indicators drive the paper's analysis of what makes HGNN
+training data good:
+
+* **data sufficiency** — enough target vertices (``V_T %``) and compact
+  type sets (|C′|, |R′|);
+* **graph topology** — no vertices disconnected from targets
+  (``Target-Discon.%``), short average distance to the nearest target
+  (``Avg.Dist.Target``), and diverse neighbour node types measured by the
+  Shannon entropy of per-node neighbour-type counts (Equation 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.kg.graph import KnowledgeGraph
+from repro.core.tasks import GNNTask
+from repro.transform.adjacency import build_csr
+
+
+def multi_source_bfs_distances(adjacency: sp.csr_matrix, sources: np.ndarray) -> np.ndarray:
+    """Hop distance from the nearest source to every node (``inf`` if none).
+
+    Frontier-expansion BFS using sparse matrix-vector products; the
+    adjacency should already reflect the traversal semantics (symmetrise
+    for undirected reachability).
+    """
+    n = adjacency.shape[0]
+    distances = np.full(n, np.inf)
+    sources = np.asarray(sources, dtype=np.int64)
+    if len(sources) == 0 or n == 0:
+        return distances
+    frontier = np.zeros(n, dtype=bool)
+    frontier[sources] = True
+    distances[sources] = 0.0
+    level = 0
+    transposed = adjacency.T.tocsr()
+    while frontier.any():
+        level += 1
+        reached = transposed @ frontier.astype(np.float64)
+        next_frontier = (reached > 0) & np.isinf(distances)
+        if not next_frontier.any():
+            break
+        distances[next_frontier] = level
+        frontier = next_frontier
+    return distances
+
+
+def neighbor_type_entropy(kg: KnowledgeGraph) -> float:
+    """Equation 2: Shannon entropy of per-node neighbour-type counts.
+
+    For each node, count how many *distinct* classes occur among its
+    (undirected) neighbours; the entropy is taken over the empirical
+    distribution of those counts.  Higher means more structural diversity.
+    """
+    if kg.num_nodes == 0:
+        return 0.0
+    s, o = kg.triples.s, kg.triples.o
+    if len(s) == 0:
+        return 0.0
+    # Each (node, neighbour-class) incidence, both directions, deduplicated.
+    node = np.concatenate([s, o])
+    neighbor_class = np.concatenate([kg.node_types[o], kg.node_types[s]])
+    pairs = np.unique(np.stack([node, neighbor_class], axis=1), axis=0)
+    counts_per_node = np.bincount(pairs[:, 0], minlength=kg.num_nodes)
+    # Distribution over the observed count values (nodes with 0 included).
+    values, frequencies = np.unique(counts_per_node, return_counts=True)
+    probabilities = frequencies / frequencies.sum()
+    entropy = -(probabilities * np.log2(probabilities)).sum()
+    return float(entropy + 0.0)  # normalise IEEE -0.0 to +0.0
+
+
+@dataclass
+class QualityReport:
+    """One Table III row for a (sampler, task) pair."""
+
+    sampler: str
+    task_name: str
+    num_nodes: int
+    num_edges: int
+    num_targets: int
+    target_ratio_pct: float
+    num_node_types: int
+    num_edge_types: int
+    disconnected_pct: float
+    avg_distance_to_target: float
+    entropy: float
+
+    def as_row(self) -> List[str]:
+        return [
+            self.sampler,
+            self.task_name,
+            str(self.num_nodes),
+            f"{self.target_ratio_pct:.1f}",
+            str(self.num_node_types),
+            str(self.num_edge_types),
+            f"{self.disconnected_pct:.1f}",
+            f"{self.avg_distance_to_target:.2f}",
+            f"{self.entropy:.2f}",
+        ]
+
+
+def evaluate_quality(
+    subgraph: KnowledgeGraph,
+    task_in_subgraph: GNNTask,
+    sampler: str,
+    max_bfs_hops: Optional[int] = None,
+) -> QualityReport:
+    """Compute the Table III indicators for ``subgraph``.
+
+    ``task_in_subgraph`` must already be remapped into the subgraph's id
+    space (see :func:`repro.core.tasks.remap_task`).
+    """
+    targets = task_in_subgraph.target_nodes
+    n = subgraph.num_nodes
+    target_ratio = (len(targets) / n * 100.0) if n else 0.0
+
+    if n and len(targets):
+        adjacency = build_csr(subgraph, direction="both")
+        distances = multi_source_bfs_distances(adjacency, targets)
+        non_target = np.ones(n, dtype=bool)
+        non_target[targets] = False
+        non_target_distances = distances[non_target]
+        unreachable = np.isinf(non_target_distances)
+        disconnected_pct = (
+            float(unreachable.sum()) / max(int(non_target.sum()), 1) * 100.0
+            if non_target.any()
+            else 0.0
+        )
+        reachable = non_target_distances[~unreachable]
+        avg_distance = float(reachable.mean()) if len(reachable) else 0.0
+    else:
+        disconnected_pct = 100.0 if n else 0.0
+        avg_distance = float("inf") if n else 0.0
+
+    return QualityReport(
+        sampler=sampler,
+        task_name=task_in_subgraph.name,
+        num_nodes=n,
+        num_edges=subgraph.num_edges,
+        num_targets=len(targets),
+        target_ratio_pct=target_ratio,
+        num_node_types=subgraph.num_node_types,
+        num_edge_types=subgraph.num_edge_types,
+        disconnected_pct=disconnected_pct,
+        avg_distance_to_target=avg_distance,
+        entropy=neighbor_type_entropy(subgraph),
+    )

@@ -1,0 +1,32 @@
+"""Knowledge-graph substrate.
+
+This package implements the storage layer that the paper assumes an RDF
+engine provides: interned vocabularies, a columnar triple store, a
+hexastore-style six-permutation index (Weiss et al., VLDB 2008), the
+:class:`KnowledgeGraph` container used throughout the reproduction, schema
+summaries, serialization, and statistics (Table I of the paper).
+"""
+
+from repro.kg.vocabulary import Vocabulary
+from repro.kg.triples import TripleStore
+from repro.kg.hexastore import Hexastore
+from repro.kg.graph import KnowledgeGraph, SubgraphMapping
+from repro.kg.schema import SchemaSummary, summarize_schema
+from repro.kg.stats import KGStatistics, compute_statistics
+from repro.kg.io import save_kg, load_kg, write_ntriples, read_ntriples
+
+__all__ = [
+    "Vocabulary",
+    "TripleStore",
+    "Hexastore",
+    "KnowledgeGraph",
+    "SubgraphMapping",
+    "SchemaSummary",
+    "summarize_schema",
+    "KGStatistics",
+    "compute_statistics",
+    "save_kg",
+    "load_kg",
+    "write_ntriples",
+    "read_ntriples",
+]

@@ -1,0 +1,153 @@
+"""KG serialization.
+
+Two formats are supported:
+
+* a columnar TSV bundle (``nodes.tsv`` + ``triples.tsv``) that round-trips a
+  :class:`~repro.kg.graph.KnowledgeGraph` exactly, and
+* a minimal N-Triples-style writer/reader (``<iri> <iri> <iri> .``) for
+  interoperability with RDF tooling, mirroring how the paper's benchmark
+  KGs are shipped.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Tuple
+
+import numpy as np
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.triples import TripleStore
+from repro.kg.vocabulary import Vocabulary
+
+_NODES_FILE = "nodes.tsv"
+_TRIPLES_FILE = "triples.tsv"
+
+
+def save_kg(kg: KnowledgeGraph, directory: str) -> None:
+    """Write ``kg`` as a TSV bundle under ``directory``.
+
+    ``nodes.tsv`` holds ``node_iri \\t class_iri`` (one line per node, in id
+    order); ``triples.tsv`` holds ``s_iri \\t p_iri \\t o_iri``.
+    """
+    os.makedirs(directory, exist_ok=True)
+    with open(os.path.join(directory, _NODES_FILE), "w", encoding="utf-8") as handle:
+        for node_id in range(kg.num_nodes):
+            node_iri = kg.node_vocab.term(node_id)
+            class_iri = kg.class_vocab.term(int(kg.node_types[node_id]))
+            handle.write(f"{node_iri}\t{class_iri}\n")
+    with open(os.path.join(directory, _TRIPLES_FILE), "w", encoding="utf-8") as handle:
+        for s, p, o in kg.triples:
+            handle.write(
+                f"{kg.node_vocab.term(s)}\t{kg.relation_vocab.term(p)}\t{kg.node_vocab.term(o)}\n"
+            )
+
+
+def load_kg(directory: str, name: str = "kg") -> KnowledgeGraph:
+    """Load a TSV bundle previously written by :func:`save_kg`."""
+    nodes_path = os.path.join(directory, _NODES_FILE)
+    triples_path = os.path.join(directory, _TRIPLES_FILE)
+    node_rows: list[Tuple[str, str]] = []
+    with open(nodes_path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            node_iri, class_iri = line.split("\t")
+            node_rows.append((node_iri, class_iri))
+    triple_rows: list[Tuple[str, str, str]] = []
+    with open(triples_path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            s_iri, p_iri, o_iri = line.split("\t")
+            triple_rows.append((s_iri, p_iri, o_iri))
+    kg = KnowledgeGraph.build(node_rows, triple_rows, name=name)
+    return kg
+
+
+_RDF_TYPE = "rdf:type"
+
+
+def write_ntriples(kg: KnowledgeGraph, path: str) -> None:
+    """Write ``kg`` in a minimal N-Triples dialect.
+
+    Node-type assertions are emitted as ``<s> <rdf:type> <class> .`` lines so
+    the file is self-contained, matching how RDF KG dumps encode classes.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        for node_id in range(kg.num_nodes):
+            node_iri = kg.node_vocab.term(node_id)
+            class_iri = kg.class_vocab.term(int(kg.node_types[node_id]))
+            handle.write(f"<{node_iri}> <{_RDF_TYPE}> <{class_iri}> .\n")
+        for s, p, o in kg.triples:
+            handle.write(
+                f"<{kg.node_vocab.term(s)}> <{kg.relation_vocab.term(p)}> "
+                f"<{kg.node_vocab.term(o)}> .\n"
+            )
+
+
+def _parse_nt_line(line: str) -> Tuple[str, str, str] | None:
+    line = line.strip()
+    if not line or line.startswith("#"):
+        return None
+    if not line.endswith("."):
+        raise ValueError(f"malformed N-Triples line (missing '.'): {line!r}")
+    body = line[:-1].strip()
+    parts = body.split(None, 2)
+    if len(parts) != 3:
+        raise ValueError(f"malformed N-Triples line: {line!r}")
+    terms = []
+    for part in parts:
+        part = part.strip()
+        if part.startswith("<") and part.endswith(">"):
+            terms.append(part[1:-1])
+        else:
+            terms.append(part)
+    return terms[0], terms[1], terms[2]
+
+
+def read_ntriples(path: str, name: str = "kg") -> KnowledgeGraph:
+    """Read the dialect written by :func:`write_ntriples`.
+
+    ``rdf:type`` triples define node classes; any node never typed falls
+    back to the class ``"owl:Thing"``.
+    """
+    node_vocab = Vocabulary(name="nodes")
+    class_vocab = Vocabulary(name="classes")
+    relation_vocab = Vocabulary(name="relations")
+    type_of: dict[int, int] = {}
+    subjects: list[int] = []
+    predicates: list[int] = []
+    objects: list[int] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            parsed = _parse_nt_line(line)
+            if parsed is None:
+                continue
+            s_iri, p_iri, o_iri = parsed
+            if p_iri == _RDF_TYPE:
+                node_id = node_vocab.add(s_iri)
+                type_of[node_id] = class_vocab.add(o_iri)
+            else:
+                subjects.append(node_vocab.add(s_iri))
+                predicates.append(relation_vocab.add(p_iri))
+                objects.append(node_vocab.add(o_iri))
+    default_class = None
+    node_types = np.zeros(len(node_vocab), dtype=np.int64)
+    for node_id in range(len(node_vocab)):
+        if node_id in type_of:
+            node_types[node_id] = type_of[node_id]
+        else:
+            if default_class is None:
+                default_class = class_vocab.add("owl:Thing")
+            node_types[node_id] = default_class
+    return KnowledgeGraph(
+        node_vocab=node_vocab,
+        class_vocab=class_vocab,
+        relation_vocab=relation_vocab,
+        node_types=node_types,
+        triples=TripleStore(subjects, predicates, objects),
+        name=name,
+    )

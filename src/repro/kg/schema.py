@@ -1,0 +1,93 @@
+"""KG schema summaries.
+
+The paper's graph pattern reasons about which (subject class, predicate,
+object class) combinations exist — metapaths are composed from these schema
+triples.  :func:`summarize_schema` derives them from the instance data.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.kg.graph import KnowledgeGraph
+
+
+@dataclass
+class SchemaSummary:
+    """Aggregate view of a KG's type-level structure.
+
+    Attributes
+    ----------
+    class_counts:
+        class id -> number of instance nodes.
+    relation_counts:
+        relation id -> number of instance edges.
+    schema_triples:
+        (subject class, relation, object class) -> instance-edge count.
+    """
+
+    class_counts: Dict[int, int] = field(default_factory=dict)
+    relation_counts: Dict[int, int] = field(default_factory=dict)
+    schema_triples: Dict[Tuple[int, int, int], int] = field(default_factory=dict)
+
+    def relations_between(self, subject_class: int, object_class: int) -> List[int]:
+        """Relation ids observed from ``subject_class`` to ``object_class``."""
+        return sorted(
+            {
+                r
+                for (sc, r, oc) in self.schema_triples
+                if sc == subject_class and oc == object_class
+            }
+        )
+
+    def out_relations(self, subject_class: int) -> List[int]:
+        """Relation ids whose subjects are of ``subject_class``."""
+        return sorted({r for (sc, r, _oc) in self.schema_triples if sc == subject_class})
+
+    def in_relations(self, object_class: int) -> List[int]:
+        """Relation ids whose objects are of ``object_class``."""
+        return sorted({r for (_sc, r, oc) in self.schema_triples if oc == object_class})
+
+    def metapaths(self, start_class: int, hops: int) -> List[Tuple[int, ...]]:
+        """Enumerate metapaths of ``hops`` edges starting at ``start_class``.
+
+        A metapath is returned as an alternating tuple
+        ``(c0, r1, c1, r2, c2, ...)`` following the paper's
+        ``c1 -r1-> c2 -r2-> ...`` notation (forward direction only).
+        """
+        paths: List[Tuple[int, ...]] = [(start_class,)]
+        for _ in range(hops):
+            extended: List[Tuple[int, ...]] = []
+            for path in paths:
+                tail_class = path[-1]
+                for (sc, r, oc) in self.schema_triples:
+                    if sc == tail_class:
+                        extended.append(path + (r, oc))
+            paths = extended
+        return paths
+
+
+def summarize_schema(kg: KnowledgeGraph) -> SchemaSummary:
+    """Derive the :class:`SchemaSummary` of ``kg`` from its instance triples."""
+    class_counts = Counter(kg.node_types.tolist())
+    relation_counts = Counter(kg.triples.p.tolist())
+    if len(kg.triples):
+        subject_classes = kg.node_types[kg.triples.s]
+        object_classes = kg.node_types[kg.triples.o]
+        stacked = np.stack([subject_classes, kg.triples.p, object_classes], axis=1)
+        unique, counts = np.unique(stacked, axis=0, return_counts=True)
+        schema_triples = {
+            (int(sc), int(r), int(oc)): int(n)
+            for (sc, r, oc), n in zip(unique.tolist(), counts.tolist())
+        }
+    else:
+        schema_triples = {}
+    return SchemaSummary(
+        class_counts=dict(class_counts),
+        relation_counts=dict(relation_counts),
+        schema_triples=schema_triples,
+    )

@@ -1,0 +1,41 @@
+"""HGNN methods evaluated in the paper (Section V-A3).
+
+Re-implementations of the six state-of-the-art methods' *mechanisms* on the
+:mod:`repro.nn` substrate:
+
+* :class:`~repro.models.rgcn.RGCNNodeClassifier` /
+  :class:`~repro.models.rgcn.RGCNLinkPredictor` — full-batch RGCN (Eq. 1);
+* :class:`~repro.models.graphsaint.GraphSAINTClassifier` — subgraph-sampled
+  minibatch training (URW by default; BRW pluggable, as in Figure 8);
+* :class:`~repro.models.shadowsaint.ShaDowSAINTClassifier` — decoupled
+  depth/scope ego-subgraphs with root readout;
+* :class:`~repro.models.sehgnn.SeHGNNClassifier` — one-shot pre-aggregated
+  metapath features + semantic attention + MLP;
+* :class:`~repro.models.morse.MorsEPredictor` — entity-independent meta
+  initialisation with TransE scoring;
+* :class:`~repro.models.lhgnn.LHGNNPredictor` — latent-channel
+  heterogeneous GNN with DistMult scoring.
+"""
+
+from repro.models.base import ModelConfig, RGCNLayer, RGCNStack
+from repro.models.rgcn import RGCNNodeClassifier, RGCNLinkPredictor
+from repro.models.rgcn_multilabel import RGCNMultiLabelClassifier
+from repro.models.graphsaint import GraphSAINTClassifier
+from repro.models.shadowsaint import ShaDowSAINTClassifier
+from repro.models.sehgnn import SeHGNNClassifier
+from repro.models.morse import MorsEPredictor
+from repro.models.lhgnn import LHGNNPredictor
+
+__all__ = [
+    "ModelConfig",
+    "RGCNLayer",
+    "RGCNStack",
+    "RGCNNodeClassifier",
+    "RGCNLinkPredictor",
+    "RGCNMultiLabelClassifier",
+    "GraphSAINTClassifier",
+    "ShaDowSAINTClassifier",
+    "SeHGNNClassifier",
+    "MorsEPredictor",
+    "LHGNNPredictor",
+]

@@ -1,0 +1,69 @@
+"""Loss functions and evaluation helpers.
+
+Cross-entropy for single-label node classification (Definition 2.2),
+margin-ranking and binary-cross-entropy losses for the link-prediction
+scorers (TransE / DistMult style), and plain accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def nll_loss(log_probs: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean negative log likelihood of ``labels`` under ``log_probs``."""
+    labels = np.asarray(labels, dtype=np.int64)
+    n = log_probs.shape[0]
+    if n == 0:
+        return Tensor(0.0)
+    picked = log_probs[np.arange(n), labels]
+    return -picked.mean()
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Softmax cross-entropy (numerically stable via log-softmax)."""
+    return nll_loss(logits.log_softmax(axis=-1), labels)
+
+
+def bce_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Binary cross-entropy over raw scores.
+
+    Uses the stable formulation ``max(x, 0) - x*y + log(1 + exp(-|x|))``
+    composed from autograd primitives.
+    """
+    targets_t = Tensor(np.asarray(targets, dtype=np.float64))
+    zeros = Tensor(np.zeros_like(logits.data))
+    # max(x, 0) == relu(x); log(1+exp(-|x|)) via softplus of -|x|.
+    positive_part = logits.relu()
+    softplus = ((-logits.abs()).exp() + 1.0).log()
+    loss = positive_part - logits * targets_t + softplus
+    return loss.mean()
+
+
+def margin_ranking_loss(
+    positive_scores: Tensor, negative_scores: Tensor, margin: float = 1.0
+) -> Tensor:
+    """Mean ``max(0, margin - positive + negative)``.
+
+    Scores follow the "higher is better" convention; distance-based models
+    (TransE) should pass negated distances.
+    """
+    gap = negative_scores - positive_scores + margin
+    return gap.relu().mean()
+
+
+def accuracy(logits_or_labels: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of correct predictions.
+
+    Accepts either a 2-D logit matrix (argmax is taken) or a 1-D array of
+    predicted labels.
+    """
+    predictions = np.asarray(logits_or_labels)
+    labels = np.asarray(labels)
+    if predictions.ndim == 2:
+        predictions = predictions.argmax(axis=1)
+    if len(labels) == 0:
+        return 0.0
+    return float((predictions == labels).mean())

@@ -1,0 +1,110 @@
+"""Approximate Personalized PageRank by local push.
+
+Implements the Andersen–Chung–Lang (FOCS 2006) push algorithm the paper
+cites for its influence-based sampling (Section IV-B): residual mass is
+pushed from a queue of high-residual nodes until every residual drops below
+``eps * degree``.  Complexity is ``O(1 / (eps * alpha))`` pushes —
+independent of graph size — which is exactly the "local scope" property the
+paper's influence score relies on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def approximate_ppr(
+    adjacency: sp.csr_matrix,
+    seeds: Iterable[int],
+    alpha: float = 0.25,
+    eps: float = 2e-4,
+) -> Dict[int, float]:
+    """Push-style approximate PPR from a seed set.
+
+    Parameters
+    ----------
+    adjacency:
+        CSR adjacency (treated as unweighted; symmetrise beforehand for the
+        undirected influence semantics the paper uses).
+    seeds:
+        Nodes whose personalised distribution is computed; seed mass is
+        split uniformly.
+    alpha:
+        Teleport probability (paper uses 0.25 for IBS training).
+    eps:
+        Residual tolerance (paper uses 2e-4).
+
+    Returns
+    -------
+    Sparse score map ``node -> ppr`` containing only touched nodes.
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    if eps <= 0.0:
+        raise ValueError(f"eps must be positive, got {eps}")
+    seeds = list(seeds)
+    if not seeds:
+        return {}
+    indptr, indices = adjacency.indptr, adjacency.indices
+    degrees = np.diff(indptr)
+
+    scores: Dict[int, float] = {}
+    residual: Dict[int, float] = {}
+    seed_mass = 1.0 / len(seeds)
+    queue: deque[int] = deque()
+    queued: set[int] = set()
+
+    def maybe_enqueue(node: int) -> None:
+        threshold = eps * max(int(degrees[node]), 1)
+        if residual.get(node, 0.0) >= threshold and node not in queued:
+            queue.append(node)
+            queued.add(node)
+
+    for seed in seeds:
+        residual[seed] = residual.get(seed, 0.0) + seed_mass
+    for seed in set(seeds):
+        maybe_enqueue(seed)
+
+    while queue:
+        node = queue.popleft()
+        queued.discard(node)
+        mass = residual.get(node, 0.0)
+        degree = int(degrees[node])
+        threshold = eps * max(degree, 1)
+        if mass < threshold:
+            continue
+        scores[node] = scores.get(node, 0.0) + alpha * mass
+        residual[node] = 0.0
+        if degree == 0:
+            # Dangling node: teleport the rest of the mass back to itself.
+            scores[node] += (1.0 - alpha) * mass
+            continue
+        push = (1.0 - alpha) * mass / degree
+        for neighbor in indices[indptr[node] : indptr[node + 1]]:
+            neighbor = int(neighbor)
+            residual[neighbor] = residual.get(neighbor, 0.0) + push
+            maybe_enqueue(neighbor)
+    return scores
+
+
+def ppr_top_k(
+    adjacency: sp.csr_matrix,
+    target: int,
+    k: int,
+    alpha: float = 0.25,
+    eps: float = 2e-4,
+) -> List[Tuple[int, float]]:
+    """Top-``k`` most influential neighbours of one target node.
+
+    Runs :func:`approximate_ppr` seeded at ``target`` and returns the ``k``
+    highest-scoring *other* nodes as ``(node, score)`` pairs, ties broken by
+    node id for determinism.
+    """
+    scores = approximate_ppr(adjacency, [target], alpha=alpha, eps=eps)
+    scores.pop(int(target), None)
+    ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+    return [(int(node), float(score)) for node, score in ranked[:k]]

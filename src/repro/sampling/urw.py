@@ -1,0 +1,79 @@
+"""Uniform random-walk (URW) subgraph sampling — GraphSAINT's default.
+
+Section II-B: "GraphSAINT subgraph sampler uses a uniform random-walk
+sampler (URW) by default to randomly select a set of initial root nodes and
+performs a random walk of length h from each root node to its neighbours".
+Roots are drawn uniformly over **all** nodes without regard to node/edge
+types — exactly the behaviour whose pathologies Figure 2 illustrates
+(few target vertices, disconnected noise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.kg.graph import KnowledgeGraph, SubgraphMapping
+from repro.sampling.walks import RandomWalkEngine
+
+
+@dataclass
+class SampledSubgraph:
+    """A sampler's output: the subgraph, its id mapping, and provenance."""
+
+    subgraph: KnowledgeGraph
+    mapping: SubgraphMapping
+    root_nodes: np.ndarray
+    sampler: str
+
+    @property
+    def num_nodes(self) -> int:
+        return self.subgraph.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self.subgraph.num_edges
+
+
+class UniformRandomWalkSampler:
+    """GraphSAINT's URW sampler on the undirected projection of a KG.
+
+    Parameters
+    ----------
+    kg:
+        Graph to sample from.
+    walk_length:
+        Number of hops ``h`` per walk.
+    num_roots:
+        Size of the uniformly-drawn initial root set.
+    """
+
+    name = "URW"
+
+    def __init__(self, kg: KnowledgeGraph, walk_length: int = 2, num_roots: int = 20):
+        if walk_length < 1:
+            raise ValueError("walk_length must be >= 1")
+        if num_roots < 1:
+            raise ValueError("num_roots must be >= 1")
+        self.kg = kg
+        self.walk_length = walk_length
+        self.num_roots = num_roots
+        self._engine: Optional[RandomWalkEngine] = None
+
+    @property
+    def engine(self) -> RandomWalkEngine:
+        if self._engine is None:
+            self._engine = RandomWalkEngine(self.kg, direction="both")
+        return self._engine
+
+    def sample(self, rng: np.random.Generator) -> SampledSubgraph:
+        """Draw one subgraph: uniform roots → walks → induced subgraph."""
+        num_roots = min(self.num_roots, self.kg.num_nodes)
+        roots = rng.choice(self.kg.num_nodes, size=num_roots, replace=False)
+        visited = self.engine.walk(roots, self.walk_length, rng)
+        subgraph, mapping = self.kg.induced_subgraph(visited, name=f"{self.kg.name}-urw")
+        return SampledSubgraph(
+            subgraph=subgraph, mapping=mapping, root_nodes=np.asarray(roots), sampler=self.name
+        )

@@ -1,0 +1,33 @@
+"""A miniature in-process RDF/SPARQL engine.
+
+The paper's most practical contribution — the SPARQL-based TOSG extraction
+(Algorithm 3) — assumes a SPARQL endpoint backed by an RDF engine with
+built-in sextuple indices (the paper used Virtuoso).  This package provides
+an equivalent substrate: an AST (:mod:`repro.sparql.ast`), a parser for the
+SPARQL subset the paper's queries use (:mod:`repro.sparql.parser`), an
+index-backed BGP executor (:mod:`repro.sparql.executor`) and an endpoint
+façade with pagination, compression accounting and multi-worker fetching
+(:mod:`repro.sparql.endpoint`).
+"""
+
+from repro.sparql.ast import IRI, Var, TriplePattern, BGP, SelectQuery, Union, Projection, RDF_TYPE
+from repro.sparql.parser import parse_query, SparqlSyntaxError
+from repro.sparql.executor import ResultSet, QueryExecutor
+from repro.sparql.endpoint import SparqlEndpoint, EndpointStats
+
+__all__ = [
+    "IRI",
+    "Var",
+    "TriplePattern",
+    "BGP",
+    "SelectQuery",
+    "Union",
+    "Projection",
+    "RDF_TYPE",
+    "parse_query",
+    "SparqlSyntaxError",
+    "ResultSet",
+    "QueryExecutor",
+    "SparqlEndpoint",
+    "EndpointStats",
+]

@@ -1,0 +1,151 @@
+"""Abstract syntax tree for the SPARQL subset used by KG-TOSA.
+
+The paper's extraction queries (Section IV-C) only need: SELECT with
+projection and ``?x as ?y`` aliases, basic graph patterns (BGPs) of triple
+patterns, the ``a`` shorthand for ``rdf:type``, UNION between select blocks,
+and LIMIT/OFFSET pagination.  The AST below covers exactly that surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union as TypingUnion
+
+#: The reserved predicate IRI that the ``a`` keyword expands to.
+RDF_TYPE = "rdf:type"
+
+
+@dataclass(frozen=True)
+class Var:
+    """A SPARQL variable, e.g. ``?v`` (stored without the ``?``)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+@dataclass(frozen=True)
+class IRI:
+    """An IRI term, e.g. ``<http://example.org/Paper>``."""
+
+    value: str
+
+    def __str__(self) -> str:
+        return f"<{self.value}>"
+
+
+Term = TypingUnion[Var, IRI]
+
+
+@dataclass(frozen=True)
+class TriplePattern:
+    """One ``s p o`` pattern inside a BGP."""
+
+    s: Term
+    p: Term
+    o: Term
+
+    def variables(self) -> List[Var]:
+        """Variables appearing in this pattern, in s/p/o order."""
+        return [t for t in (self.s, self.p, self.o) if isinstance(t, Var)]
+
+    def bound_count(self) -> int:
+        """Number of constant (IRI) components — a selectivity proxy."""
+        return sum(1 for t in (self.s, self.p, self.o) if isinstance(t, IRI))
+
+    def is_type_pattern(self) -> bool:
+        """True for ``?v a <Class>`` patterns (virtual rdf:type edges)."""
+        return isinstance(self.p, IRI) and self.p.value == RDF_TYPE
+
+    def __str__(self) -> str:
+        return f"{self.s} {self.p} {self.o} ."
+
+
+@dataclass(frozen=True)
+class BGP:
+    """A basic graph pattern: a conjunction of triple patterns."""
+
+    patterns: Tuple[TriplePattern, ...]
+
+    def variables(self) -> List[Var]:
+        """All distinct variables, in first-appearance order."""
+        seen: List[Var] = []
+        for pattern in self.patterns:
+            for var in pattern.variables():
+                if var not in seen:
+                    seen.append(var)
+        return seen
+
+    def __str__(self) -> str:
+        return " ".join(str(p) for p in self.patterns)
+
+
+@dataclass(frozen=True)
+class Projection:
+    """One projected column: an inner variable optionally renamed.
+
+    ``?v as ?s`` projects inner variable ``v`` under the output name ``s``.
+    """
+
+    source: Var
+    alias: Optional[Var] = None
+
+    @property
+    def output(self) -> Var:
+        """The column name visible to the consumer."""
+        return self.alias if self.alias is not None else self.source
+
+    def __str__(self) -> str:
+        if self.alias is not None:
+            return f"{self.source} as {self.alias}"
+        return str(self.source)
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """``SELECT <projections> WHERE { <body> } LIMIT .. OFFSET ..``.
+
+    ``projections`` empty means ``SELECT *``.  ``body`` is either a
+    :class:`BGP` or a :class:`Union` of nested select queries.
+    """
+
+    projections: Tuple[Projection, ...]
+    body: TypingUnion["BGP", "Union"]
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+
+    def output_variables(self) -> List[Var]:
+        """The result columns this query produces, in order."""
+        if self.projections:
+            return [p.output for p in self.projections]
+        if isinstance(self.body, BGP):
+            return self.body.variables()
+        return self.body.output_variables()
+
+    def with_page(self, limit: int, offset: int) -> "SelectQuery":
+        """Return a copy of this query with pagination applied."""
+        return SelectQuery(self.projections, self.body, limit=limit, offset=offset)
+
+    def __str__(self) -> str:
+        proj = " ".join(str(p) for p in self.projections) if self.projections else "*"
+        text = f"SELECT {proj} WHERE {{ {self.body} }}"
+        if self.limit is not None:
+            text += f" LIMIT {self.limit}"
+        if self.offset is not None:
+            text += f" OFFSET {self.offset}"
+        return text
+
+
+@dataclass(frozen=True)
+class Union:
+    """A UNION of select arms (the paper's Q_d2h1 shape)."""
+
+    arms: Tuple[SelectQuery, ...] = field(default_factory=tuple)
+
+    def output_variables(self) -> List[Var]:
+        """Columns of the union = columns of the first arm."""
+        return self.arms[0].output_variables()
+
+    def __str__(self) -> str:
+        return " UNION ".join(f"{{ {arm} }}" for arm in self.arms)

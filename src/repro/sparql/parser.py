@@ -1,0 +1,220 @@
+"""Recursive-descent parser for the KG-TOSA SPARQL subset.
+
+Grammar (case-insensitive keywords)::
+
+    query       := select
+    select      := 'SELECT' projection body modifiers
+    projection  := '*' | proj_item+
+    proj_item   := VAR | VAR 'as' VAR | '(' VAR 'as' VAR ')'
+    body        := 'WHERE'? '{' group '}'
+    group       := select ('UNION' select)*          -- nested select arms
+                 | patterns
+    patterns    := triple ('.' triple)* '.'?
+    triple      := term term term
+    term        := VAR | IRIREF | 'a' | PNAME
+    modifiers   := ('LIMIT' INT)? ('OFFSET' INT)?
+
+This covers the queries in Section IV-C of the paper, e.g. ``Q_d2h1``::
+
+    select ?s ?p ?o {
+      select ?v as ?s ?p ?o where { ?v a <Type>. ?v ?p ?o. }
+      union
+      select ?s ?p ?v as ?o where { ?v a <Type>. ?s ?p ?v. }
+    }
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.sparql.ast import BGP, IRI, Projection, RDF_TYPE, SelectQuery, TriplePattern, Union, Var
+
+
+class SparqlSyntaxError(ValueError):
+    """Raised when the query text does not match the supported subset."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<IRIREF><[^<>\s]*>)
+  | (?P<VAR>\?[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<LBRACE>\{)
+  | (?P<RBRACE>\})
+  | (?P<LPAREN>\()
+  | (?P<RPAREN>\))
+  | (?P<DOT>\.)
+  | (?P<STAR>\*)
+  | (?P<INT>\d+)
+  | (?P<WORD>[A-Za-z_][A-Za-z0-9_:\-]*)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise SparqlSyntaxError(f"unexpected character {text[pos]!r} at offset {pos}")
+        kind = match.lastgroup
+        value = match.group()
+        pos = match.end()
+        if kind != "WS":
+            tokens.append((kind, value))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str]]):
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token helpers --
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def advance(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise SparqlSyntaxError("unexpected end of query")
+        self.index += 1
+        return token
+
+    def accept_word(self, word: str) -> bool:
+        token = self.peek()
+        if token is not None and token[0] == "WORD" and token[1].lower() == word:
+            self.index += 1
+            return True
+        return False
+
+    def accept_kind(self, kind: str) -> bool:
+        token = self.peek()
+        if token is not None and token[0] == kind:
+            self.index += 1
+            return True
+        return False
+
+    def expect_kind(self, kind: str) -> str:
+        token = self.advance()
+        if token[0] != kind:
+            raise SparqlSyntaxError(f"expected {kind}, got {token[1]!r}")
+        return token[1]
+
+    # -- grammar --
+
+    def parse_query(self) -> SelectQuery:
+        query = self.parse_select()
+        if self.peek() is not None:
+            raise SparqlSyntaxError(f"trailing tokens starting at {self.peek()[1]!r}")
+        return query
+
+    def parse_select(self) -> SelectQuery:
+        if not self.accept_word("select"):
+            raise SparqlSyntaxError("query must start with SELECT")
+        projections = self.parse_projection()
+        self.accept_word("where")
+        self.expect_kind("LBRACE")
+        body = self.parse_group()
+        self.expect_kind("RBRACE")
+        limit = offset = None
+        if self.accept_word("limit"):
+            limit = int(self.expect_kind("INT"))
+        if self.accept_word("offset"):
+            offset = int(self.expect_kind("INT"))
+        return SelectQuery(tuple(projections), body, limit=limit, offset=offset)
+
+    def parse_projection(self) -> List[Projection]:
+        if self.accept_kind("STAR"):
+            return []
+        projections: List[Projection] = []
+        while True:
+            token = self.peek()
+            if token is None:
+                raise SparqlSyntaxError("unexpected end of query in projection")
+            if token[0] == "LPAREN":
+                self.advance()
+                source = Var(self.expect_kind("VAR")[1:])
+                if not self.accept_word("as"):
+                    raise SparqlSyntaxError("expected 'as' inside (...) projection")
+                alias = Var(self.expect_kind("VAR")[1:])
+                self.expect_kind("RPAREN")
+                projections.append(Projection(source, alias))
+            elif token[0] == "VAR":
+                self.advance()
+                source = Var(token[1][1:])
+                if self.accept_word("as"):
+                    alias = Var(self.expect_kind("VAR")[1:])
+                    projections.append(Projection(source, alias))
+                else:
+                    projections.append(Projection(source))
+            else:
+                break
+        if not projections:
+            raise SparqlSyntaxError("empty projection")
+        return projections
+
+    def parse_group(self):
+        token = self.peek()
+        if token is not None and token[0] == "WORD" and token[1].lower() == "select":
+            arms = [self.parse_select()]
+            while self.accept_word("union"):
+                # Arms may also be wrapped in braces: { select ... }
+                if self.accept_kind("LBRACE"):
+                    arms.append(self.parse_select())
+                    self.expect_kind("RBRACE")
+                else:
+                    arms.append(self.parse_select())
+            return Union(tuple(arms))
+        if token is not None and token[0] == "LBRACE":
+            # { select ... } union { select ... }
+            self.advance()
+            arms = [self.parse_select()]
+            self.expect_kind("RBRACE")
+            while self.accept_word("union"):
+                self.expect_kind("LBRACE")
+                arms.append(self.parse_select())
+                self.expect_kind("RBRACE")
+            if len(arms) == 1:
+                return arms[0].body if not arms[0].projections else Union(tuple(arms))
+            return Union(tuple(arms))
+        return self.parse_patterns()
+
+    def parse_patterns(self) -> BGP:
+        patterns: List[TriplePattern] = []
+        while True:
+            token = self.peek()
+            if token is None or token[0] == "RBRACE":
+                break
+            s = self.parse_term()
+            p = self.parse_term()
+            o = self.parse_term()
+            patterns.append(TriplePattern(s, p, o))
+            self.accept_kind("DOT")
+        if not patterns:
+            raise SparqlSyntaxError("empty graph pattern")
+        return BGP(tuple(patterns))
+
+    def parse_term(self):
+        token = self.advance()
+        kind, value = token
+        if kind == "VAR":
+            return Var(value[1:])
+        if kind == "IRIREF":
+            return IRI(value[1:-1])
+        if kind == "WORD":
+            if value == "a":
+                return IRI(RDF_TYPE)
+            return IRI(value)  # prefixed name treated as opaque IRI
+        raise SparqlSyntaxError(f"unexpected token {value!r} in triple pattern")
+
+
+def parse_query(text: str) -> SelectQuery:
+    """Parse ``text`` into a :class:`~repro.sparql.ast.SelectQuery`."""
+    return _Parser(_tokenize(text)).parse_query()

@@ -1,0 +1,38 @@
+"""Training substrate: resource accounting, metrics, splits, trainers.
+
+The paper's evaluation reports, per method × graph: accuracy / Hits@10,
+training time, training memory (with OOM events at the 3 TB budget),
+convergence traces (Figure 9), model size and inference time (Table IV).
+This package produces all of those measurements.
+"""
+
+from repro.training.resources import (
+    OutOfModeledMemory,
+    ResourceMeter,
+    activation_bytes,
+)
+from repro.training.metrics import hits_at_k, mean_reciprocal_rank, rank_of_true
+from repro.training.splits import time_split, stratified_random_split
+from repro.training.trainer import (
+    TrainConfig,
+    TrainResult,
+    TracePoint,
+    train_node_classifier,
+    train_link_predictor,
+)
+
+__all__ = [
+    "OutOfModeledMemory",
+    "ResourceMeter",
+    "activation_bytes",
+    "hits_at_k",
+    "mean_reciprocal_rank",
+    "rank_of_true",
+    "time_split",
+    "stratified_random_split",
+    "TrainConfig",
+    "TrainResult",
+    "TracePoint",
+    "train_node_classifier",
+    "train_link_predictor",
+]

@@ -1,0 +1,35 @@
+"""Ranking metrics for link prediction.
+
+The paper evaluates LP tasks with Hits@10 "following SOTA methods".  Ranks
+are computed against sampled negative candidates (the standard protocol
+when full-entity ranking is infeasible); ties are resolved pessimistically
+(true entity ranked after equal-scoring negatives) so reported numbers
+never benefit from degenerate constant scorers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rank_of_true(true_score: float, negative_scores: np.ndarray) -> int:
+    """1-based pessimistic rank of the true candidate among negatives."""
+    negative_scores = np.asarray(negative_scores, dtype=np.float64)
+    better = int((negative_scores >= true_score).sum())
+    return better + 1
+
+
+def hits_at_k(ranks: np.ndarray, k: int = 10) -> float:
+    """Fraction of ranks ≤ k."""
+    ranks = np.asarray(ranks)
+    if len(ranks) == 0:
+        return 0.0
+    return float((ranks <= k).mean())
+
+
+def mean_reciprocal_rank(ranks: np.ndarray) -> float:
+    """Mean of 1/rank."""
+    ranks = np.asarray(ranks, dtype=np.float64)
+    if len(ranks) == 0:
+        return 0.0
+    return float((1.0 / ranks).mean())

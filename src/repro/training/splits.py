@@ -1,0 +1,75 @@
+"""Train/valid/test split construction (Table II).
+
+Two schemas appear in the paper's benchmark: **time** splits (a logical
+predicate — e.g. publication year — orders examples and the most recent
+fall into valid/test) and **stratified random** splits (per-label
+proportional sampling, the 80/10/10 default).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.tasks import Split
+
+
+def _normalise_ratios(ratios: Tuple[float, float, float]) -> Tuple[float, float, float]:
+    total = sum(ratios)
+    if total <= 0:
+        raise ValueError("split ratios must sum to a positive value")
+    return tuple(r / total for r in ratios)  # type: ignore[return-value]
+
+
+def time_split(
+    timestamps: np.ndarray,
+    ratios: Tuple[float, float, float] = (0.8, 0.1, 0.1),
+) -> Split:
+    """Order examples by ``timestamps``; oldest → train, newest → test.
+
+    Ties are broken by example position so the split is deterministic.
+    """
+    timestamps = np.asarray(timestamps)
+    train_ratio, valid_ratio, _ = _normalise_ratios(ratios)
+    order = np.argsort(timestamps, kind="stable")
+    n = len(order)
+    train_end = int(round(n * train_ratio))
+    valid_end = train_end + int(round(n * valid_ratio))
+    return Split(
+        train=np.sort(order[:train_end]),
+        valid=np.sort(order[train_end:valid_end]),
+        test=np.sort(order[valid_end:]),
+        schema="time",
+    )
+
+
+def stratified_random_split(
+    labels: np.ndarray,
+    ratios: Tuple[float, float, float] = (0.8, 0.1, 0.1),
+    rng: Optional[np.random.Generator] = None,
+) -> Split:
+    """Per-label proportional random split (the paper's 80/10/10 schema)."""
+    labels = np.asarray(labels)
+    rng = rng if rng is not None else np.random.default_rng(0)
+    train_ratio, valid_ratio, _ = _normalise_ratios(ratios)
+    train_parts, valid_parts, test_parts = [], [], []
+    for label in np.unique(labels):
+        members = np.flatnonzero(labels == label)
+        members = rng.permutation(members)
+        n = len(members)
+        train_end = int(round(n * train_ratio))
+        valid_end = train_end + int(round(n * valid_ratio))
+        # Guarantee at least one training example per label when possible.
+        if train_end == 0 and n > 0:
+            train_end = 1
+            valid_end = max(valid_end, train_end)
+        train_parts.append(members[:train_end])
+        valid_parts.append(members[train_end:valid_end])
+        test_parts.append(members[valid_end:])
+    return Split(
+        train=np.sort(np.concatenate(train_parts)) if train_parts else np.empty(0, dtype=np.int64),
+        valid=np.sort(np.concatenate(valid_parts)) if valid_parts else np.empty(0, dtype=np.int64),
+        test=np.sort(np.concatenate(test_parts)) if test_parts else np.empty(0, dtype=np.int64),
+        schema="random",
+    )

@@ -1,0 +1,206 @@
+"""Training loops with convergence tracing.
+
+Models plug in through two small duck-typed protocols:
+
+* **NC models** implement ``train_epoch(rng) -> float`` and
+  ``predict_logits() -> np.ndarray`` (logits for every task target
+  position);
+* **LP models** implement ``train_epoch(rng) -> float``,
+  ``score_pairs(heads, tails) -> np.ndarray`` (higher = better) and
+  ``candidate_pool() -> np.ndarray`` (tail-candidate node ids).
+
+The trainer produces the quantities the paper reports: the metric, wall
+training time, a per-epoch (time, metric) convergence trace (Figure 9),
+inference time and model size (Table IV), and the peak modeled memory of
+the attached :class:`~repro.training.resources.ResourceMeter`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.tasks import LinkPredictionTask, NodeClassificationTask
+from repro.nn.functional import accuracy
+from repro.nn.tensor import no_grad
+from repro.training.metrics import hits_at_k, rank_of_true
+from repro.training.resources import ResourceMeter
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters shared by all trainer runs."""
+
+    epochs: int = 30
+    eval_every: int = 1
+    patience: Optional[int] = None  # epochs without valid improvement
+    seed: int = 0
+    hits_k: int = 10
+    num_eval_negatives: int = 50
+    max_eval_examples: Optional[int] = None  # subsample heavy LP evals
+
+
+@dataclass
+class TracePoint:
+    """One convergence-trace sample (Figure 9 plots metric vs. seconds)."""
+
+    epoch: int
+    seconds: float
+    train_loss: float
+    valid_metric: float
+
+
+@dataclass
+class TrainResult:
+    """Everything measured about one training run."""
+
+    test_metric: float
+    valid_metric: float
+    train_seconds: float
+    inference_seconds: float
+    epochs_run: int
+    num_parameters: int
+    peak_memory_bytes: int
+    trace: List[TracePoint] = field(default_factory=list)
+    metric_name: str = "accuracy"
+
+    def summary(self) -> str:
+        return (
+            f"{self.metric_name}={self.test_metric:.3f} "
+            f"time={self.train_seconds:.1f}s mem={self.peak_memory_bytes / 1e6:.1f}MB "
+            f"params={self.num_parameters} epochs={self.epochs_run}"
+        )
+
+
+def _evaluate_nc(model, task: NodeClassificationTask, positions: np.ndarray) -> float:
+    if len(positions) == 0:
+        return 0.0
+    with no_grad():
+        logits = model.predict_logits()
+    return accuracy(logits[positions], task.labels[positions])
+
+
+def train_node_classifier(
+    model,
+    task: NodeClassificationTask,
+    config: TrainConfig,
+    meter: Optional[ResourceMeter] = None,
+) -> TrainResult:
+    """Train an NC model and measure the paper's reported quantities."""
+    rng = np.random.default_rng(config.seed)
+    trace: List[TracePoint] = []
+    best_valid = -np.inf
+    stale = 0
+    start = time.perf_counter()
+    epochs_run = 0
+    for epoch in range(1, config.epochs + 1):
+        loss = model.train_epoch(rng)
+        epochs_run = epoch
+        if epoch % config.eval_every == 0:
+            valid = _evaluate_nc(model, task, task.split.valid)
+            trace.append(
+                TracePoint(epoch, time.perf_counter() - start, float(loss), valid)
+            )
+            if valid > best_valid + 1e-9:
+                best_valid = valid
+                stale = 0
+            else:
+                stale += 1
+            if config.patience is not None and stale > config.patience:
+                break
+    train_seconds = time.perf_counter() - start
+
+    infer_start = time.perf_counter()
+    test_metric = _evaluate_nc(model, task, task.split.test)
+    inference_seconds = time.perf_counter() - infer_start
+
+    return TrainResult(
+        test_metric=test_metric,
+        valid_metric=max(best_valid, 0.0),
+        train_seconds=train_seconds,
+        inference_seconds=inference_seconds,
+        epochs_run=epochs_run,
+        num_parameters=model.num_parameters(),
+        peak_memory_bytes=meter.peak_bytes if meter is not None else 0,
+        trace=trace,
+        metric_name="accuracy",
+    )
+
+
+def _evaluate_lp(
+    model,
+    task: LinkPredictionTask,
+    positions: np.ndarray,
+    config: TrainConfig,
+    rng: np.random.Generator,
+) -> float:
+    """Hits@k of the true tail among sampled negative tails."""
+    if len(positions) == 0:
+        return 0.0
+    if config.max_eval_examples is not None and len(positions) > config.max_eval_examples:
+        positions = rng.choice(positions, size=config.max_eval_examples, replace=False)
+    pool = model.candidate_pool()
+    if len(pool) <= 1:
+        return 0.0
+    edges = task.edges[positions]
+    ranks = np.empty(len(edges), dtype=np.int64)
+    with no_grad():
+        for i, (head, true_tail) in enumerate(edges):
+            negatives = rng.choice(pool, size=min(config.num_eval_negatives, len(pool)))
+            negatives = negatives[negatives != true_tail]
+            heads = np.full(len(negatives) + 1, head, dtype=np.int64)
+            tails = np.concatenate([[true_tail], negatives]).astype(np.int64)
+            scores = model.score_pairs(heads, tails)
+            ranks[i] = rank_of_true(float(scores[0]), scores[1:])
+    return hits_at_k(ranks, config.hits_k)
+
+
+def train_link_predictor(
+    model,
+    task: LinkPredictionTask,
+    config: TrainConfig,
+    meter: Optional[ResourceMeter] = None,
+) -> TrainResult:
+    """Train an LP model; metric is Hits@k against sampled negatives."""
+    rng = np.random.default_rng(config.seed)
+    eval_rng = np.random.default_rng(config.seed + 1)
+    trace: List[TracePoint] = []
+    best_valid = -np.inf
+    stale = 0
+    start = time.perf_counter()
+    epochs_run = 0
+    for epoch in range(1, config.epochs + 1):
+        loss = model.train_epoch(rng)
+        epochs_run = epoch
+        if epoch % config.eval_every == 0:
+            valid = _evaluate_lp(model, task, task.split.valid, config, eval_rng)
+            trace.append(
+                TracePoint(epoch, time.perf_counter() - start, float(loss), valid)
+            )
+            if valid > best_valid + 1e-9:
+                best_valid = valid
+                stale = 0
+            else:
+                stale += 1
+            if config.patience is not None and stale > config.patience:
+                break
+    train_seconds = time.perf_counter() - start
+
+    infer_start = time.perf_counter()
+    test_metric = _evaluate_lp(model, task, task.split.test, config, eval_rng)
+    inference_seconds = time.perf_counter() - infer_start
+
+    return TrainResult(
+        test_metric=test_metric,
+        valid_metric=max(best_valid, 0.0),
+        train_seconds=train_seconds,
+        inference_seconds=inference_seconds,
+        epochs_run=epochs_run,
+        num_parameters=model.num_parameters(),
+        peak_memory_bytes=meter.peak_bytes if meter is not None else 0,
+        trace=trace,
+        metric_name=f"hits@{config.hits_k}",
+    )

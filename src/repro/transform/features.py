@@ -1,0 +1,27 @@
+"""Initial node features.
+
+The paper initialises node embeddings "randomly using Xavier weight"
+(Section V-A3); :func:`xavier_features` reproduces that.  A structural
+alternative (:func:`one_hot_type_features`) is provided for ablations where
+features should carry type information only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kg.graph import KnowledgeGraph
+
+
+def xavier_features(num_nodes: int, dim: int, rng: np.random.Generator) -> np.ndarray:
+    """Xavier/Glorot-uniform random features of shape ``(num_nodes, dim)``."""
+    # Glorot bound for an embedding table uses the embedding dim as fan.
+    bound = np.sqrt(6.0 / dim) if dim > 0 else 0.0
+    return rng.uniform(-bound, bound, size=(num_nodes, dim)).astype(np.float64)
+
+
+def one_hot_type_features(kg: KnowledgeGraph) -> np.ndarray:
+    """One-hot encoding of each node's class — shape ``(|V|, |C|)``."""
+    features = np.zeros((kg.num_nodes, kg.num_node_types), dtype=np.float64)
+    features[np.arange(kg.num_nodes), kg.node_types] = 1.0
+    return features

@@ -1,0 +1,86 @@
+"""Bench harness: runners, OOM conversion, rendering."""
+
+import numpy as np
+
+from repro.bench.harness import (
+    RUN_HEADERS,
+    MethodRun,
+    render_series,
+    render_table,
+    run_lp_method,
+    run_nc_method,
+)
+from repro.models import ModelConfig
+from repro.training import TrainConfig
+
+CONFIG = ModelConfig(hidden_dim=8, num_layers=1, dropout=0.0, lr=0.05, batch_size=8)
+TRAIN = TrainConfig(epochs=2, eval_every=1)
+
+
+def test_run_nc_method_happy_path(toy_kg, toy_task):
+    run = run_nc_method("RGCN", toy_kg, toy_task, CONFIG, TRAIN, graph_label="FG")
+    assert run.method == "RGCN"
+    assert not run.oom
+    assert run.memory_mb > 0
+    assert run.train_seconds > 0
+    assert 0.0 <= run.metric <= 1.0
+    assert run.total_seconds >= run.train_seconds
+
+
+def test_run_nc_method_oom(toy_kg, toy_task):
+    run = run_nc_method(
+        "RGCN", toy_kg, toy_task, CONFIG, TRAIN, graph_label="FG", budget_bytes=10
+    )
+    assert run.oom
+    assert run.metric == 0.0
+    cells = run.cells()
+    assert cells[2] == "OOM"
+
+
+def test_run_lp_method(toy_kg):
+    import numpy as np
+
+    from repro.core.tasks import LinkPredictionTask, Split
+
+    papers = [toy_kg.node_vocab.id(f"p{i}") for i in range(4)]
+    authors = [toy_kg.node_vocab.id(f"a{i}") for i in range(2)]
+    task = LinkPredictionTask(
+        name="HA", predicate=toy_kg.relation_vocab.id("hasAuthor"),
+        head_class=toy_kg.class_vocab.id("Paper"),
+        tail_class=toy_kg.class_vocab.id("Author"),
+        edges=np.asarray([[papers[0], authors[0]], [papers[1], authors[0]],
+                          [papers[2], authors[1]], [papers[3], authors[1]]]),
+        split=Split(np.asarray([0, 1]), np.asarray([2]), np.asarray([3])),
+    )
+    run = run_lp_method("MorsE", toy_kg, task, CONFIG, TRAIN, graph_label="FG")
+    assert run.metric_name.startswith("hits@")
+    assert not run.oom
+
+
+def test_render_table_alignment():
+    table = render_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+    lines = table.splitlines()
+    assert lines[0] == "T"
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) == 1  # all rows equal width
+
+
+def test_render_table_headers():
+    table = render_table(RUN_HEADERS, [])
+    assert "method" in table and "mem(MB)" in table
+
+
+def test_render_series():
+    text = render_series({"FG": [(1.0, 0.5), (2.0, 0.7)]}, title="convergence")
+    assert "FG" in text and "(1.0s, 0.500)" in text
+
+
+def test_method_run_cells_regular():
+    run = MethodRun(
+        method="RGCN", graph_label="FG", task_name="PV", metric=0.9,
+        train_seconds=1.0, preprocess_seconds=0.5, inference_seconds=0.01,
+        memory_mb=12.0, num_parameters=100,
+    )
+    cells = run.cells()
+    assert cells[0] == "RGCN"
+    assert cells[3] == "1.5s"

@@ -1,0 +1,85 @@
+"""Shared fixtures: small hand-built KGs and generated bundles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.tasks import NodeClassificationTask, Split
+from repro.kg.graph import KnowledgeGraph
+
+
+@pytest.fixture
+def toy_kg() -> KnowledgeGraph:
+    """A 15-node academic toy graph with a disconnected noise domain."""
+    nodes = (
+        [(f"p{i}", "Paper") for i in range(6)]
+        + [(f"a{i}", "Author") for i in range(3)]
+        + [("v0", "Venue"), ("v1", "Venue")]
+        + [(f"m{i}", "Movie") for i in range(4)]
+    )
+    triples = [
+        ("p0", "hasAuthor", "a0"), ("p1", "hasAuthor", "a0"),
+        ("p2", "hasAuthor", "a1"), ("p3", "hasAuthor", "a1"),
+        ("p4", "hasAuthor", "a2"), ("p5", "hasAuthor", "a2"),
+        ("p0", "publishedIn", "v0"), ("p1", "publishedIn", "v0"),
+        ("p2", "publishedIn", "v1"),
+        ("p0", "cites", "p2"), ("p3", "cites", "p1"),
+        # Disconnected noise domain.
+        ("m0", "sequelOf", "m1"), ("m2", "sequelOf", "m3"),
+    ]
+    return KnowledgeGraph.build(nodes, triples, name="toy")
+
+
+@pytest.fixture
+def toy_task(toy_kg: KnowledgeGraph) -> NodeClassificationTask:
+    """PV-style NC task over the toy graph's papers."""
+    papers = np.asarray([toy_kg.node_vocab.id(f"p{i}") for i in range(6)])
+    labels = np.asarray([0, 0, 1, 1, 0, 1])
+    return NodeClassificationTask(
+        name="PV",
+        target_class=toy_kg.class_vocab.id("Paper"),
+        target_nodes=papers,
+        labels=labels,
+        num_labels=2,
+        split=Split(
+            train=np.asarray([0, 1, 2, 3]),
+            valid=np.asarray([4]),
+            test=np.asarray([5]),
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def mag_tiny():
+    from repro.datasets import mag
+
+    return mag("tiny", seed=7)
+
+
+@pytest.fixture(scope="session")
+def dblp_tiny():
+    from repro.datasets import dblp
+
+    return dblp("tiny", seed=13)
+
+
+@pytest.fixture(scope="session")
+def yago_tiny():
+    from repro.datasets import yago4
+
+    return yago4("tiny", seed=17)
+
+
+@pytest.fixture(scope="session")
+def yago3_tiny():
+    from repro.datasets import yago3_10
+
+    return yago3_10("tiny", seed=19)
+
+
+@pytest.fixture(scope="session")
+def wikikg_tiny():
+    from repro.datasets import wikikg2
+
+    return wikikg2("tiny", seed=23)

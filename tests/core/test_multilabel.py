@@ -1,0 +1,108 @@
+"""Multi-label NC: task type, micro-F1, remapping, and the RGCN head."""
+
+import numpy as np
+import pytest
+
+from repro.core.multilabel import (
+    MultiLabelNodeClassificationTask,
+    micro_f1,
+    remap_multilabel_task,
+)
+from repro.core.tasks import Split
+from repro.models import ModelConfig, RGCNMultiLabelClassifier
+
+
+@pytest.fixture
+def ml_task(toy_kg):
+    papers = np.asarray([toy_kg.node_vocab.id(f"p{i}") for i in range(6)])
+    labels = np.asarray(
+        [[1, 0, 1], [1, 0, 0], [0, 1, 1], [0, 1, 0], [1, 0, 1], [0, 1, 1]]
+    )
+    return MultiLabelNodeClassificationTask(
+        name="PK", target_class=toy_kg.class_vocab.id("Paper"),
+        target_nodes=papers, labels=labels,
+        split=Split(np.arange(4), np.asarray([4]), np.asarray([5])),
+    )
+
+
+def test_task_shape_validation(toy_kg):
+    with pytest.raises(ValueError):
+        MultiLabelNodeClassificationTask(
+            name="bad", target_class=0, target_nodes=np.asarray([0]),
+            labels=np.asarray([1, 0]),  # 1-D
+            split=Split(np.asarray([0]), np.asarray([]), np.asarray([])),
+        )
+    with pytest.raises(ValueError):
+        MultiLabelNodeClassificationTask(
+            name="bad", target_class=0, target_nodes=np.asarray([0]),
+            labels=np.asarray([[2, 0]]),  # non-binary
+            split=Split(np.asarray([0]), np.asarray([]), np.asarray([])),
+        )
+
+
+def test_task_properties(ml_task):
+    assert ml_task.num_targets == 6
+    assert ml_task.num_labels == 3
+    assert ml_task.task_type == "NC-ML"
+    assert ml_task.metric == "micro-f1"
+
+
+def test_micro_f1_perfect_and_empty():
+    labels = np.asarray([[1, 0], [0, 1]])
+    assert micro_f1(labels, labels) == 1.0
+    assert micro_f1(np.zeros_like(labels), np.zeros_like(labels)) == 0.0
+
+
+def test_micro_f1_partial():
+    labels = np.asarray([[1, 1, 0, 0]])
+    predictions = np.asarray([[1, 0, 1, 0]])
+    # tp=1, fp=1, fn=1 -> f1 = 2/(2+1+1) = 0.5
+    assert micro_f1(predictions, labels) == pytest.approx(0.5)
+
+
+def test_micro_f1_shape_mismatch():
+    with pytest.raises(ValueError):
+        micro_f1(np.zeros((2, 2)), np.zeros((3, 2)))
+
+
+def test_remap_multilabel(toy_kg, ml_task):
+    keep = np.asarray([toy_kg.node_vocab.id(n) for n in ("p0", "p1", "a0")])
+    sub, mapping = toy_kg.induced_subgraph(keep)
+    remapped = remap_multilabel_task(ml_task, sub, mapping)
+    assert remapped.num_targets == 2
+    assert remapped.labels.shape == (2, 3)
+    assert (remapped.labels == ml_task.labels[:2]).all()
+
+
+def test_rgcn_multilabel_learns(toy_kg, ml_task):
+    config = ModelConfig(hidden_dim=16, num_layers=2, dropout=0.0, lr=0.05)
+    model = RGCNMultiLabelClassifier(toy_kg, ml_task, config)
+    rng = np.random.default_rng(0)
+    first = model.train_epoch(rng)
+    for _ in range(60):
+        last = model.train_epoch(rng)
+    assert last < first
+    predictions = model.predict_labels()
+    train = ml_task.split.train
+    assert micro_f1(predictions[train], ml_task.labels[train]) > 0.7
+
+
+def test_pk_task_in_catalog(mag_tiny):
+    task = mag_tiny.task("PK")
+    assert task.task_type == "NC-ML"
+    assert task.labels.shape == (task.num_targets, 10)
+    # Every paper has at least one keyword.
+    assert (task.labels.sum(axis=1) >= 1).all()
+
+
+def test_pk_task_trains_on_tosg(mag_tiny):
+    from repro.core import extract_tosg
+    from repro.core.multilabel import remap_multilabel_task
+
+    pv = mag_tiny.task("PV")
+    tosa = extract_tosg(mag_tiny.kg, pv, method="sparql", direction=1, hops=1)
+    pk = remap_multilabel_task(mag_tiny.task("PK"), tosa.subgraph, tosa.mapping)
+    assert pk.num_targets == mag_tiny.task("PK").num_targets
+    config = ModelConfig(hidden_dim=8, num_layers=1, lr=0.05)
+    model = RGCNMultiLabelClassifier(tosa.subgraph, pk, config)
+    assert np.isfinite(model.train_epoch(np.random.default_rng(0)))

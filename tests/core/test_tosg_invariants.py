@@ -1,0 +1,112 @@
+"""Property-based TOSG invariants (Definition 3.1).
+
+For random KGs and any target class, the extracted TOSG must satisfy:
+every non-target vertex is reachable from a target within the pattern's
+hop bound, all extracted triples exist in the source KG, and all target
+vertices survive.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.api import extract_tosg
+from repro.core.quality import multi_source_bfs_distances
+from repro.core.tasks import NodeClassificationTask, Split
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.triples import TripleStore
+from repro.kg.vocabulary import Vocabulary
+from repro.transform.adjacency import build_csr
+
+_NUM_NODES = 12
+_NUM_CLASSES = 4
+_NUM_RELATIONS = 3
+
+node_types_st = st.lists(
+    st.integers(0, _NUM_CLASSES - 1), min_size=_NUM_NODES, max_size=_NUM_NODES
+)
+triples_st = st.lists(
+    st.tuples(
+        st.integers(0, _NUM_NODES - 1),
+        st.integers(0, _NUM_RELATIONS - 1),
+        st.integers(0, _NUM_NODES - 1),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _make_setup(node_types, triples, target_class):
+    kg = KnowledgeGraph(
+        node_vocab=Vocabulary([f"n{i}" for i in range(_NUM_NODES)]),
+        class_vocab=Vocabulary([f"C{i}" for i in range(_NUM_CLASSES)]),
+        relation_vocab=Vocabulary([f"r{i}" for i in range(_NUM_RELATIONS)]),
+        node_types=np.asarray(node_types, dtype=np.int64),
+        triples=TripleStore.from_triples(triples).deduplicated(),
+    )
+    targets = kg.nodes_of_type(target_class)
+    if len(targets) == 0:
+        return None
+    n = len(targets)
+    task = NodeClassificationTask(
+        name="T", target_class=target_class, target_nodes=targets,
+        labels=np.zeros(n, dtype=np.int64), num_labels=2,
+        split=Split(np.arange(n), np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)),
+    )
+    return kg, task
+
+
+@settings(max_examples=60, deadline=None)
+@given(node_types_st, triples_st, st.integers(0, _NUM_CLASSES - 1), st.integers(1, 2), st.integers(1, 2))
+def test_sparql_tosg_invariants(node_types, triples, target_class, direction, hops):
+    setup = _make_setup(node_types, triples, target_class)
+    if setup is None:
+        return
+    kg, task = setup
+    result = extract_tosg(kg, task, method="sparql", direction=direction, hops=hops)
+    subgraph = result.subgraph
+
+    # 1. All targets survive (isolated ones included via extra_nodes).
+    assert result.task.num_targets == task.num_targets
+
+    # 2. Every extracted triple exists in the source KG (term-level check).
+    source_triples = {
+        (kg.node_vocab.term(s), kg.relation_vocab.term(p), kg.node_vocab.term(o))
+        for s, p, o in kg.triples
+    }
+    for s, p, o in subgraph.triples:
+        term = (
+            subgraph.node_vocab.term(s),
+            subgraph.relation_vocab.term(p),
+            subgraph.node_vocab.term(o),
+        )
+        assert term in source_triples
+
+    # 3. Reachability: every non-target vertex lies within `hops` hops of a
+    # target (undirected view of the extracted subgraph — Definition 3.1's
+    # "every non-target vertex is reachable to a vertex in V_T").
+    if subgraph.num_edges == 0:
+        return
+    adjacency = build_csr(subgraph, direction="both")
+    distances = multi_source_bfs_distances(adjacency, result.task.target_nodes)
+    non_target = np.ones(subgraph.num_nodes, dtype=bool)
+    non_target[result.task.target_nodes] = False
+    assert (distances[non_target] <= hops).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(node_types_st, triples_st, st.integers(0, _NUM_CLASSES - 1), st.integers(0, 10))
+def test_brw_tosg_reachability(node_types, triples, target_class, seed):
+    setup = _make_setup(node_types, triples, target_class)
+    if setup is None:
+        return
+    kg, task = setup
+    result = extract_tosg(
+        kg, task, method="brw", rng=np.random.default_rng(seed), walk_length=2
+    )
+    # BRW visits only nodes on walks from targets: everything in the
+    # subgraph is within walk_length undirected hops of some target.
+    if result.subgraph.num_edges == 0:
+        return
+    adjacency = build_csr(result.subgraph, direction="both")
+    distances = multi_source_bfs_distances(adjacency, result.task.target_nodes)
+    assert np.isfinite(distances).all()

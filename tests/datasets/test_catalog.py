@@ -1,0 +1,128 @@
+"""The benchmark catalog: structural validity of every KG/task."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import catalog
+
+
+def _check_nc_task(kg, task):
+    assert task.num_targets > 0
+    # All targets carry the declared class.
+    assert (kg.node_types[task.target_nodes] == task.target_class).all()
+    assert task.labels.min() >= 0
+    assert task.labels.max() < task.num_labels
+    train, valid, test = task.split.ratios()
+    assert train > 0.5 and valid > 0 and test > 0
+    combined = np.concatenate([task.split.train, task.split.valid, task.split.test])
+    assert len(np.unique(combined)) == task.num_targets
+
+
+def _check_lp_task(kg, task):
+    assert task.num_edges > 0
+    assert (kg.node_types[task.edges[:, 0]] == task.head_class).all()
+    assert (kg.node_types[task.edges[:, 1]] == task.tail_class).all()
+    assert len(task.split.test) >= 8  # usable eval set even at tiny scale
+
+
+def test_mag_bundle(mag_tiny):
+    _check_nc_task(mag_tiny.kg, mag_tiny.task("PV"))
+    _check_nc_task(mag_tiny.kg, mag_tiny.task("PD"))
+    assert "Paper" in mag_tiny.kg.class_vocab
+
+
+def test_dblp_bundle(dblp_tiny):
+    _check_nc_task(dblp_tiny.kg, dblp_tiny.task("PV"))
+    _check_nc_task(dblp_tiny.kg, dblp_tiny.task("AC"))
+    _check_lp_task(dblp_tiny.kg, dblp_tiny.task("AA"))
+
+
+def test_yago_bundle(yago_tiny):
+    _check_nc_task(yago_tiny.kg, yago_tiny.task("PC"))
+    _check_nc_task(yago_tiny.kg, yago_tiny.task("CG"))
+
+
+def test_yago3_bundle(yago3_tiny):
+    _check_lp_task(yago3_tiny.kg, yago3_tiny.task("CA"))
+
+
+def test_wikikg_bundle(wikikg_tiny):
+    _check_lp_task(wikikg_tiny.kg, wikikg_tiny.task("PO"))
+
+
+def test_lp_heldout_edges_not_in_graph(dblp_tiny):
+    """Valid/test LP edges must be invisible to the model (no leakage)."""
+    kg = dblp_tiny.kg
+    task = dblp_tiny.task("AA")
+    present = set()
+    for s, p, o in kg.triples:
+        if p == task.predicate:
+            present.add((s, o))
+    for position in np.concatenate([task.split.valid, task.split.test]):
+        head, tail = task.edges[position]
+        assert (int(head), int(tail)) not in present
+
+
+def test_lp_train_edges_are_in_graph(dblp_tiny):
+    kg = dblp_tiny.kg
+    task = dblp_tiny.task("AA")
+    present = set()
+    for s, p, o in kg.triples:
+        if p == task.predicate:
+            present.add((s, o))
+    for position in task.split.train:
+        head, tail = task.edges[position]
+        assert (int(head), int(tail)) in present
+
+
+def test_type_richness_ordering():
+    """Table I shape: wikikg2 > YAGO > MAG > DBLP > YAGO3-10 in type count."""
+    kgs = catalog.benchmark_kgs("tiny", seed=7)
+    counts = {name: bundle.kg.num_node_types for name, bundle in kgs.items()}
+    assert counts["wikikg2"] > counts["YAGO"] > counts["MAG"] > counts["DBLP"] > counts["YAGO3-10"]
+
+
+def test_scales_change_size():
+    tiny = catalog.mag("tiny", seed=1).kg
+    small = catalog.mag("small", seed=1).kg
+    assert small.num_nodes > tiny.num_nodes
+
+
+def test_numeric_scale_accepted():
+    kg = catalog.mag(0.4, seed=1).kg
+    assert kg.num_nodes > 0
+
+
+def test_unknown_scale_rejected():
+    with pytest.raises(KeyError):
+        catalog.mag("galactic")
+
+
+def test_unknown_task_rejected(mag_tiny):
+    with pytest.raises(KeyError):
+        mag_tiny.task("XX")
+
+
+def test_generation_is_deterministic():
+    a = catalog.mag("tiny", seed=3)
+    b = catalog.mag("tiny", seed=3)
+    assert a.kg.num_nodes == b.kg.num_nodes
+    assert a.kg.triples == b.kg.triples
+    assert (a.task("PV").labels == b.task("PV").labels).all()
+
+
+def test_ogbn_mag_subset_shape(mag_tiny):
+    subset = catalog.ogbn_mag_subset(mag_tiny)
+    assert subset.kg.num_node_types == 4
+    assert subset.kg.num_nodes < mag_tiny.kg.num_nodes
+    assert subset.kg.num_edges < mag_tiny.kg.num_edges
+    task = subset.task("PV")
+    assert task.num_targets > 0
+    assert (subset.kg.node_types[task.target_nodes] == task.target_class).all()
+
+
+def test_yago_targets_are_minority(yago_tiny):
+    """The YAGO stand-in is noise-dominated (Figure 2a precondition)."""
+    kg = yago_tiny.kg
+    cg = yago_tiny.task("CG")
+    assert cg.num_targets / kg.num_nodes < 0.2

@@ -1,0 +1,88 @@
+"""KGBuilder and wiring helpers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import KGBuilder, add_noise_domains, wire_affine
+
+
+def test_builder_assigns_dense_ids():
+    builder = KGBuilder("test")
+    ids = builder.add_nodes("n", "T", 5)
+    assert ids.tolist() == [0, 1, 2, 3, 4]
+    assert builder.num_nodes == 5
+
+
+def test_builder_triples_and_build():
+    builder = KGBuilder("test")
+    a = builder.add_node("a", "T")
+    b = builder.add_node("b", "T")
+    builder.add_triples([a, a], "r", [b, b])  # duplicate collapses
+    kg = builder.build()
+    assert kg.num_edges == 1
+    assert kg.name == "test"
+
+
+def test_builder_length_mismatch():
+    builder = KGBuilder("test")
+    builder.add_nodes("n", "T", 3)
+    with pytest.raises(ValueError):
+        builder.add_triples([0, 1], "r", [2])
+
+
+def test_wire_affine_prefers_same_community():
+    rng = np.random.default_rng(0)
+    builder = KGBuilder("test")
+    src = builder.add_nodes("s", "S", 200)
+    dst = builder.add_nodes("d", "D", 100)
+    src_comm = np.arange(200) % 4
+    dst_comm = np.arange(100) % 4
+    wire_affine(builder, rng, src, dst, src_comm, dst_comm, "r", p_same=0.9, out_degree=2.0)
+    kg = builder.build()
+    same = 0
+    for s, _p, o in kg.triples:
+        if src_comm[s] == dst_comm[o - 200]:
+            same += 1
+    # ~0.9 + 0.1/4 ≈ 92.5% same-community edges expected.
+    assert same / kg.num_edges > 0.75
+
+
+def test_wire_affine_empty_inputs_noop():
+    builder = KGBuilder("test")
+    wire_affine(builder, np.random.default_rng(0), np.asarray([]), np.asarray([]),
+                np.asarray([]), np.asarray([]), "r")
+    assert builder.build().num_edges == 0
+
+
+def test_noise_domains_disconnected_by_default():
+    rng = np.random.default_rng(0)
+    builder = KGBuilder("test")
+    core = builder.add_nodes("core", "Core", 10)
+    builder.add_triples(core[:-1], "link", core[1:])
+    domains = add_noise_domains(builder, rng, num_domains=3, nodes_per_domain=5)
+    kg = builder.build()
+    core_set = set(core.tolist())
+    for domain in domains:
+        for s, _p, o in kg.triples:
+            if s in domain.tolist():
+                assert o not in core_set
+
+
+def test_noise_domains_attached_when_requested():
+    rng = np.random.default_rng(0)
+    builder = KGBuilder("test")
+    core = builder.add_nodes("core", "Core", 10)
+    add_noise_domains(builder, rng, num_domains=2, nodes_per_domain=30,
+                      attach_ids=core, attach_probability=0.5)
+    kg = builder.build()
+    core_set = set(core.tolist())
+    attached = any(o in core_set for _s, _p, o in kg.triples)
+    assert attached
+
+
+def test_noise_domains_have_distinct_types():
+    rng = np.random.default_rng(0)
+    builder = KGBuilder("test")
+    add_noise_domains(builder, rng, num_domains=4, nodes_per_domain=3, prefix="X")
+    kg = builder.build()
+    assert kg.num_node_types == 4

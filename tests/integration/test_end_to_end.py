@@ -1,0 +1,123 @@
+"""End-to-end pipeline: extract → transform → train → evaluate.
+
+These are the paper's headline claims at miniature scale: the TOSG is much
+smaller than the full graph, training on it is faster and lighter, and the
+model stays useful.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import extract_tosg
+from repro.core.quality import evaluate_quality
+from repro.core.tasks import remap_task
+from repro.models import GraphSAINTClassifier, ModelConfig, RGCNNodeClassifier
+from repro.sampling.urw import UniformRandomWalkSampler
+from repro.training import ResourceMeter, TrainConfig, train_node_classifier
+
+CONFIG = ModelConfig(hidden_dim=16, num_layers=2, dropout=0.1, lr=0.03, batch_size=128)
+TRAIN = TrainConfig(epochs=8, eval_every=2)
+
+
+@pytest.fixture(scope="module")
+def mag_setup():
+    from repro.datasets import mag
+
+    bundle = mag("tiny", seed=7)
+    task = bundle.task("PV")
+    tosa = extract_tosg(bundle.kg, task, method="sparql", direction=1, hops=1)
+    return bundle, task, tosa
+
+
+def test_tosg_is_much_smaller(mag_setup):
+    bundle, _task, tosa = mag_setup
+    assert tosa.subgraph.num_nodes < bundle.kg.num_nodes
+    assert tosa.subgraph.num_edges < bundle.kg.num_edges
+    assert tosa.subgraph.num_node_types < bundle.kg.num_node_types
+    assert tosa.subgraph.num_edge_types < bundle.kg.num_edge_types
+
+
+def test_tosg_keeps_all_targets(mag_setup):
+    _bundle, task, tosa = mag_setup
+    assert tosa.task.num_targets == task.num_targets
+
+
+def test_training_on_tosg_reduces_memory_and_model(mag_setup):
+    bundle, task, tosa = mag_setup
+    fg_meter, tosg_meter = ResourceMeter(), ResourceMeter()
+    fg_model = RGCNNodeClassifier(bundle.kg, task, CONFIG, meter=fg_meter)
+    tosg_model = RGCNNodeClassifier(tosa.subgraph, tosa.task, CONFIG, meter=tosg_meter)
+    assert tosg_meter.peak_bytes < fg_meter.peak_bytes
+    assert tosg_model.num_parameters() < fg_model.num_parameters()
+
+
+def test_model_beats_majority_baseline_on_tosg(mag_setup):
+    _bundle, _task, tosa = mag_setup
+    meter = ResourceMeter()
+    model = GraphSAINTClassifier(tosa.subgraph, tosa.task, CONFIG, meter=meter)
+    result = train_node_classifier(model, tosa.task, TRAIN, meter)
+    labels = tosa.task.labels[tosa.task.split.test]
+    majority = np.bincount(tosa.task.labels[tosa.task.split.train]).max() / max(
+        len(tosa.task.split.train), 1
+    )
+    assert result.test_metric > max(majority, 1.0 / tosa.task.num_labels)
+
+
+def test_brw_sample_quality_beats_urw():
+    """Figure 2 vs Figure 5: BRW lifts target ratio and kills disconnection."""
+    from repro.datasets import yago4
+
+    bundle = yago4("tiny", seed=17)
+    task = bundle.task("CG")
+    urw = UniformRandomWalkSampler(bundle.kg, walk_length=2, num_roots=20)
+    sampled = urw.sample(np.random.default_rng(0))
+    urw_report = evaluate_quality(
+        sampled.subgraph, remap_task(task, sampled.subgraph, sampled.mapping), "URW"
+    )
+    brw = extract_tosg(
+        bundle.kg, task, method="brw", rng=np.random.default_rng(0),
+        walk_length=2, batch_size=20,
+    )
+    brw_report = evaluate_quality(brw.subgraph, brw.task, "BRW")
+    assert brw_report.target_ratio_pct > urw_report.target_ratio_pct
+    assert brw_report.disconnected_pct == 0.0
+
+
+def test_sparql_extraction_faster_than_ibs():
+    """The paper's core efficiency claim about Algorithm 3."""
+    from repro.datasets import mag
+
+    bundle = mag("tiny", seed=7)
+    task = bundle.task("PV")
+    sparql = extract_tosg(bundle.kg, task, method="sparql", direction=1, hops=1)
+    ibs = extract_tosg(
+        bundle.kg, task, method="ibs", rng=np.random.default_rng(0), top_k=8, eps=2e-3
+    )
+    assert sparql.extraction_seconds < ibs.extraction_seconds
+
+
+def test_lp_end_to_end():
+    from repro.datasets import yago3_10
+    from repro.models import MorsEPredictor
+    from repro.training import train_link_predictor
+
+    bundle = yago3_10("tiny", seed=19)
+    task = bundle.task("CA")
+    tosa = extract_tosg(bundle.kg, task, method="sparql", direction=2, hops=1)
+    config = ModelConfig(hidden_dim=16, num_layers=1, lr=0.05, batch_size=128, margin=2.0)
+    meter = ResourceMeter()
+    model = MorsEPredictor(tosa.subgraph, tosa.task, config, meter=meter)
+    result = train_link_predictor(
+        model, tosa.task, TrainConfig(epochs=20, eval_every=5, num_eval_negatives=30), meter
+    )
+    # Better than random ranking among ~30 negatives (≈ 10/31).
+    assert result.test_metric > 10 / 31
+
+
+def test_experiment_tables_smoke():
+    from repro.bench import experiments
+
+    t1 = experiments.table1_benchmark_stats("tiny")
+    assert len(t1.tables["table1"]) == 5
+    t2 = experiments.table2_task_summary("tiny")
+    assert len(t2.tables["table2"]) == 9  # six NC + three LP tasks

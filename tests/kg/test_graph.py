@@ -1,0 +1,122 @@
+"""KnowledgeGraph: construction, access, subgraph invariants."""
+
+import numpy as np
+import pytest
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.triples import TripleStore
+from repro.kg.vocabulary import Vocabulary
+
+
+def test_build_from_terms(toy_kg):
+    assert toy_kg.num_nodes == 15
+    assert toy_kg.num_edges == 13
+    assert toy_kg.num_node_types == 4  # Paper, Author, Venue, Movie
+    assert toy_kg.num_edge_types == 4  # hasAuthor, publishedIn, cites, sequelOf
+
+
+def test_node_types_length_validated():
+    with pytest.raises(ValueError):
+        KnowledgeGraph(
+            node_vocab=Vocabulary(["a", "b"]),
+            class_vocab=Vocabulary(["C"]),
+            relation_vocab=Vocabulary(),
+            node_types=np.asarray([0]),  # wrong length
+            triples=TripleStore(),
+        )
+
+
+def test_triple_node_bounds_validated():
+    with pytest.raises(ValueError):
+        KnowledgeGraph(
+            node_vocab=Vocabulary(["a"]),
+            class_vocab=Vocabulary(["C"]),
+            relation_vocab=Vocabulary(["r"]),
+            node_types=np.asarray([0]),
+            triples=TripleStore.from_triples([(0, 0, 5)]),
+        )
+
+
+def test_nodes_of_type(toy_kg):
+    papers = toy_kg.nodes_of_type(toy_kg.class_vocab.id("Paper"))
+    assert len(papers) == 6
+    assert all(toy_kg.node_vocab.term(p).startswith("p") for p in papers)
+    venues = toy_kg.nodes_of_type(toy_kg.class_vocab.id("Venue"))
+    assert len(venues) == 2
+    assert len(toy_kg.nodes_of_type(999)) == 0
+
+
+def test_degrees(toy_kg):
+    p0 = toy_kg.node_vocab.id("p0")
+    # p0: hasAuthor, publishedIn, cites out; no in-edges.
+    assert toy_kg.out_degree()[p0] == 3
+    assert toy_kg.in_degree()[p0] == 0
+    a0 = toy_kg.node_vocab.id("a0")
+    assert toy_kg.in_degree()[a0] == 2
+    assert toy_kg.degree()[a0] == 2
+
+
+def test_neighbors(toy_kg):
+    p0 = toy_kg.node_vocab.id("p0")
+    out = {toy_kg.node_vocab.term(n) for n in toy_kg.out_neighbors(p0)}
+    assert out == {"a0", "v0", "p2"}
+    a0 = toy_kg.node_vocab.id("a0")
+    ins = {toy_kg.node_vocab.term(n) for n in toy_kg.in_neighbors(a0)}
+    assert ins == {"p0", "p1"}
+
+
+def test_induced_subgraph_keeps_internal_edges(toy_kg):
+    keep = np.asarray(
+        [toy_kg.node_vocab.id(n) for n in ("p0", "p2", "a0", "v0")]
+    )
+    sub, mapping = toy_kg.induced_subgraph(keep)
+    assert sub.num_nodes == 4
+    terms = {
+        (sub.node_vocab.term(s), sub.relation_vocab.term(p), sub.node_vocab.term(o))
+        for s, p, o in sub.triples
+    }
+    assert terms == {("p0", "hasAuthor", "a0"), ("p0", "publishedIn", "v0"), ("p0", "cites", "p2")}
+
+
+def test_induced_subgraph_compacts_types(toy_kg):
+    keep = np.asarray([toy_kg.node_vocab.id("m0"), toy_kg.node_vocab.id("m1")])
+    sub, mapping = toy_kg.induced_subgraph(keep)
+    assert sub.num_node_types == 1
+    assert list(sub.class_vocab) == ["Movie"]
+    assert sub.num_edge_types == 1
+    assert list(sub.relation_vocab) == ["sequelOf"]
+
+
+def test_subgraph_mapping_roundtrip(toy_kg):
+    keep = np.asarray([toy_kg.node_vocab.id("p0"), toy_kg.node_vocab.id("a0")])
+    sub, mapping = toy_kg.induced_subgraph(keep)
+    for new_id in range(sub.num_nodes):
+        old_id = int(mapping.node_old_ids[new_id])
+        assert mapping.node_old_to_new[old_id] == new_id
+        assert sub.node_vocab.term(new_id) == toy_kg.node_vocab.term(old_id)
+    assert mapping.to_new_nodes(mapping.to_old_nodes([0])) == [0]
+
+
+def test_subgraph_from_triples_with_extra_nodes(toy_kg):
+    triples = toy_kg.hexastore.triples(subject=toy_kg.node_vocab.id("p0"))
+    isolated = toy_kg.node_vocab.id("p5")
+    sub, mapping = toy_kg.subgraph_from_triples(triples, extra_nodes=np.asarray([isolated]))
+    assert "p5" in sub.node_vocab
+    new_p5 = mapping.node_old_to_new[isolated]
+    assert sub.degree()[new_p5] == 0  # isolated but present
+
+
+def test_subgraph_node_types_preserved(toy_kg):
+    keep = np.arange(toy_kg.num_nodes)
+    sub, mapping = toy_kg.induced_subgraph(keep)
+    assert sub.num_nodes == toy_kg.num_nodes
+    assert sub.num_edges == toy_kg.num_edges
+    for new_id in range(sub.num_nodes):
+        old_id = int(mapping.node_old_ids[new_id])
+        old_class = toy_kg.class_vocab.term(int(toy_kg.node_types[old_id]))
+        new_class = sub.class_vocab.term(int(sub.node_types[new_id]))
+        assert old_class == new_class
+
+
+def test_nbytes(toy_kg):
+    assert toy_kg.nbytes() > 0

@@ -1,0 +1,96 @@
+"""Hexastore: every pattern must agree with brute-force filtering."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.kg.hexastore import Hexastore
+from repro.kg.triples import TripleStore
+
+triple_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=8),
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=8),
+    ),
+    max_size=50,
+)
+
+
+def _brute(triples, s=None, p=None, o=None):
+    return {
+        i
+        for i, (ts, tp, to) in enumerate(triples)
+        if (s is None or ts == s) and (p is None or tp == p) and (o is None or to == o)
+    }
+
+
+def test_match_all_components():
+    store = TripleStore.from_triples([(0, 1, 2), (0, 1, 3), (4, 1, 2), (0, 2, 2)])
+    hexa = Hexastore(store)
+    assert set(hexa.match(subject=0, predicate=1, obj=2).tolist()) == {0}
+    assert set(hexa.match(subject=0, predicate=1).tolist()) == {0, 1}
+    assert set(hexa.match(predicate=1, obj=2).tolist()) == {0, 2}
+    assert set(hexa.match(subject=0, obj=2).tolist()) == {0, 3}
+    assert set(hexa.match(subject=0).tolist()) == {0, 1, 3}
+    assert set(hexa.match(predicate=2).tolist()) == {3}
+    assert set(hexa.match(obj=3).tolist()) == {1}
+    assert set(hexa.match().tolist()) == {0, 1, 2, 3}
+
+
+def test_match_missing_value_returns_empty():
+    hexa = Hexastore(TripleStore.from_triples([(0, 0, 1)]))
+    assert len(hexa.match(subject=99)) == 0
+    assert len(hexa.match(predicate=99)) == 0
+
+
+def test_count_matches_match():
+    store = TripleStore.from_triples([(0, 1, 2), (0, 1, 3), (4, 1, 2)])
+    hexa = Hexastore(store)
+    assert hexa.count(subject=0) == 2
+    assert hexa.count(predicate=1) == 3
+    assert hexa.count() == 3
+    assert hexa.count(subject=0, predicate=1, obj=2) == 1
+
+
+def test_neighbor_accessors():
+    store = TripleStore.from_triples([(0, 1, 2), (3, 1, 0), (0, 2, 4)])
+    hexa = Hexastore(store)
+    assert sorted(hexa.out_neighbors(0).tolist()) == [2, 4]
+    assert sorted(hexa.in_neighbors(0).tolist()) == [3]
+    assert sorted(hexa.neighbors(0).tolist()) == [2, 3, 4]
+    assert sorted(hexa.objects(subject=0, predicate=1).tolist()) == [2]
+    assert sorted(hexa.subjects(predicate=1, obj=0).tolist()) == [3]
+    assert sorted(hexa.predicates(subject=0, obj=2).tolist()) == [1]
+
+
+def test_triples_materialisation():
+    store = TripleStore.from_triples([(0, 1, 2), (0, 1, 3)])
+    hexa = Hexastore(store)
+    assert hexa.triples(subject=0).to_set() == {(0, 1, 2), (0, 1, 3)}
+
+
+def test_empty_store():
+    hexa = Hexastore(TripleStore())
+    assert len(hexa.match()) == 0
+    assert hexa.count(subject=0) == 0
+    assert len(hexa.neighbors(0)) == 0
+
+
+def test_nbytes_counts_all_indices():
+    hexa = Hexastore(TripleStore.from_triples([(0, 1, 2)] * 10))
+    # 6 orders × (perm + 3 key arrays) × 10 entries × 8 bytes
+    assert hexa.nbytes() == 6 * 4 * 10 * 8
+
+
+@settings(max_examples=60)
+@given(triple_lists, st.integers(0, 8), st.integers(0, 3), st.integers(0, 8), st.data())
+def test_match_agrees_with_bruteforce_property(triples, s, p, o, data):
+    store = TripleStore.from_triples(triples)
+    hexa = Hexastore(store)
+    mask = data.draw(st.tuples(st.booleans(), st.booleans(), st.booleans()))
+    qs = s if mask[0] else None
+    qp = p if mask[1] else None
+    qo = o if mask[2] else None
+    got = set(hexa.match(subject=qs, predicate=qp, obj=qo).tolist())
+    assert got == _brute(triples, qs, qp, qo)
+    assert hexa.count(subject=qs, predicate=qp, obj=qo) == len(got)

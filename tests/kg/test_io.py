@@ -1,0 +1,55 @@
+"""Serialization round-trips."""
+
+import pytest
+
+from repro.kg.io import load_kg, read_ntriples, save_kg, write_ntriples
+
+
+def _same_graph(a, b):
+    nodes_a = {(a.node_vocab.term(i), a.class_vocab.term(int(a.node_types[i]))) for i in range(a.num_nodes)}
+    nodes_b = {(b.node_vocab.term(i), b.class_vocab.term(int(b.node_types[i]))) for i in range(b.num_nodes)}
+    triples_a = {
+        (a.node_vocab.term(s), a.relation_vocab.term(p), a.node_vocab.term(o))
+        for s, p, o in a.triples
+    }
+    triples_b = {
+        (b.node_vocab.term(s), b.relation_vocab.term(p), b.node_vocab.term(o))
+        for s, p, o in b.triples
+    }
+    return nodes_a == nodes_b and triples_a == triples_b
+
+
+def test_tsv_roundtrip(toy_kg, tmp_path):
+    save_kg(toy_kg, str(tmp_path / "kg"))
+    loaded = load_kg(str(tmp_path / "kg"), name="toy")
+    assert _same_graph(toy_kg, loaded)
+
+
+def test_ntriples_roundtrip(toy_kg, tmp_path):
+    path = str(tmp_path / "kg.nt")
+    write_ntriples(toy_kg, path)
+    loaded = read_ntriples(path, name="toy")
+    assert _same_graph(toy_kg, loaded)
+
+
+def test_ntriples_malformed_line_rejected(tmp_path):
+    path = tmp_path / "bad.nt"
+    path.write_text("<a> <b> <c>\n")  # missing trailing dot
+    with pytest.raises(ValueError):
+        read_ntriples(str(path))
+
+
+def test_ntriples_untyped_node_gets_default_class(tmp_path):
+    path = tmp_path / "untyped.nt"
+    path.write_text("<a> <likes> <b> .\n")
+    kg = read_ntriples(str(path))
+    assert kg.num_nodes == 2
+    assert "owl:Thing" in kg.class_vocab
+
+
+def test_ntriples_skips_comments_and_blanks(tmp_path):
+    path = tmp_path / "comments.nt"
+    path.write_text("# header\n\n<a> <rdf:type> <T> .\n<a> <r> <b> .\n")
+    kg = read_ntriples(str(path))
+    assert kg.num_edges == 1
+    assert kg.class_vocab.id("T") == int(kg.node_types[kg.node_vocab.id("a")])

@@ -1,0 +1,53 @@
+"""Schema summaries derived from instance triples."""
+
+from repro.kg.schema import summarize_schema
+
+
+def test_class_and_relation_counts(toy_kg):
+    schema = summarize_schema(toy_kg)
+    paper = toy_kg.class_vocab.id("Paper")
+    movie = toy_kg.class_vocab.id("Movie")
+    assert schema.class_counts[paper] == 6
+    assert schema.class_counts[movie] == 4
+    has_author = toy_kg.relation_vocab.id("hasAuthor")
+    assert schema.relation_counts[has_author] == 6
+
+
+def test_schema_triples(toy_kg):
+    schema = summarize_schema(toy_kg)
+    paper = toy_kg.class_vocab.id("Paper")
+    author = toy_kg.class_vocab.id("Author")
+    has_author = toy_kg.relation_vocab.id("hasAuthor")
+    assert schema.schema_triples[(paper, has_author, author)] == 6
+
+
+def test_relations_between(toy_kg):
+    schema = summarize_schema(toy_kg)
+    paper = toy_kg.class_vocab.id("Paper")
+    venue = toy_kg.class_vocab.id("Venue")
+    published = toy_kg.relation_vocab.id("publishedIn")
+    assert schema.relations_between(paper, venue) == [published]
+    assert schema.relations_between(venue, paper) == []
+
+
+def test_out_in_relations(toy_kg):
+    schema = summarize_schema(toy_kg)
+    paper = toy_kg.class_vocab.id("Paper")
+    out = schema.out_relations(paper)
+    assert toy_kg.relation_vocab.id("hasAuthor") in out
+    assert toy_kg.relation_vocab.id("cites") in out
+    author = toy_kg.class_vocab.id("Author")
+    assert schema.in_relations(author) == [toy_kg.relation_vocab.id("hasAuthor")]
+
+
+def test_metapaths_enumeration(toy_kg):
+    schema = summarize_schema(toy_kg)
+    paper = toy_kg.class_vocab.id("Paper")
+    one_hop = schema.metapaths(paper, 1)
+    # Paper ->hasAuthor Author, ->publishedIn Venue, ->cites Paper.
+    assert len(one_hop) == 3
+    two_hop = schema.metapaths(paper, 2)
+    # Only Paper->cites->Paper can be extended (by 3 relations).
+    assert len(two_hop) == 3
+    for path in two_hop:
+        assert len(path) == 5  # c0, r1, c1, r2, c2

@@ -1,0 +1,25 @@
+"""Table I statistics."""
+
+from repro.kg.stats import compute_statistics, _humanize
+
+
+def test_stats_counts(toy_kg):
+    stats = compute_statistics(toy_kg)
+    assert stats.num_nodes == 15
+    assert stats.num_edges == 13
+    assert stats.num_node_types == 4
+    assert stats.num_edge_types == 4
+    assert stats.max_degree >= 3
+    assert 0 < stats.density < 1
+
+
+def test_humanize():
+    assert _humanize(42_400_000) == "42.4M"
+    assert _humanize(123_000) == "123.0K"
+    assert _humanize(999) == "999"
+
+
+def test_as_row_shape(toy_kg):
+    row = compute_statistics(toy_kg).as_row()
+    assert len(row) == 5
+    assert row[0] == "toy"

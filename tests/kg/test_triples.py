@@ -1,0 +1,94 @@
+"""TripleStore: columnar storage semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kg.triples import TripleStore
+
+triple_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=20),
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=20),
+    ),
+    max_size=60,
+)
+
+
+def test_empty_store():
+    store = TripleStore()
+    assert len(store) == 0
+    assert list(store) == []
+    assert len(store.unique_nodes()) == 0
+
+
+def test_from_triples_and_iteration():
+    store = TripleStore.from_triples([(1, 2, 3), (4, 5, 6)])
+    assert len(store) == 2
+    assert list(store) == [(1, 2, 3), (4, 5, 6)]
+    assert store[1] == (4, 5, 6)
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        TripleStore([1, 2], [1], [1, 2])
+
+
+def test_partial_columns_rejected():
+    with pytest.raises(ValueError):
+        TripleStore([1], None, None)
+
+
+def test_append_concatenates():
+    a = TripleStore.from_triples([(1, 0, 2)])
+    b = TripleStore.from_triples([(3, 0, 4)])
+    merged = a.append(b)
+    assert list(merged) == [(1, 0, 2), (3, 0, 4)]
+    assert len(a) == 1  # append is non-destructive
+
+
+def test_select_and_mask():
+    store = TripleStore.from_triples([(0, 0, 1), (1, 0, 2), (2, 0, 3)])
+    assert list(store.select(np.asarray([2, 0]))) == [(2, 0, 3), (0, 0, 1)]
+    assert list(store.mask(np.asarray([True, False, True]))) == [(0, 0, 1), (2, 0, 3)]
+
+
+def test_deduplicated_removes_duplicates():
+    store = TripleStore.from_triples([(1, 0, 2), (1, 0, 2), (3, 0, 4)])
+    assert store.deduplicated().to_set() == {(1, 0, 2), (3, 0, 4)}
+
+
+def test_unique_nodes_and_predicates():
+    store = TripleStore.from_triples([(5, 1, 2), (2, 3, 7)])
+    assert store.unique_nodes().tolist() == [2, 5, 7]
+    assert store.unique_predicates().tolist() == [1, 3]
+
+
+def test_equality():
+    a = TripleStore.from_triples([(1, 0, 2)])
+    b = TripleStore.from_triples([(1, 0, 2)])
+    c = TripleStore.from_triples([(2, 0, 1)])
+    assert a == b
+    assert a != c
+
+
+def test_nbytes_positive():
+    store = TripleStore.from_triples([(1, 0, 2)])
+    assert store.nbytes() == 3 * 8
+
+
+@given(triple_lists)
+def test_dedup_idempotent_property(triples):
+    store = TripleStore.from_triples(triples)
+    once = store.deduplicated()
+    twice = once.deduplicated()
+    assert once.to_set() == set(triples)
+    assert once == twice
+
+
+@given(triple_lists, triple_lists)
+def test_append_preserves_multiset_property(left, right):
+    merged = TripleStore.from_triples(left).append(TripleStore.from_triples(right))
+    assert len(merged) == len(left) + len(right)
+    assert merged.deduplicated().to_set() == set(left) | set(right)

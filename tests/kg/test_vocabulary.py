@@ -1,0 +1,95 @@
+"""Vocabulary: interning, lookup, restriction."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kg.vocabulary import Vocabulary
+
+
+def test_add_assigns_dense_ids():
+    vocab = Vocabulary()
+    assert vocab.add("a") == 0
+    assert vocab.add("b") == 1
+    assert vocab.add("a") == 0
+    assert len(vocab) == 2
+
+
+def test_term_and_id_are_inverse():
+    vocab = Vocabulary(["x", "y", "z"])
+    for term in ("x", "y", "z"):
+        assert vocab.term(vocab.id(term)) == term
+
+
+def test_unknown_term_raises_keyerror():
+    vocab = Vocabulary()
+    with pytest.raises(KeyError):
+        vocab.id("missing")
+
+
+def test_get_returns_default_for_unknown():
+    vocab = Vocabulary(["a"])
+    assert vocab.get("a") == 0
+    assert vocab.get("b") is None
+    assert vocab.get("b", -1) == -1
+
+
+def test_negative_id_rejected():
+    vocab = Vocabulary(["a"])
+    with pytest.raises(IndexError):
+        vocab.term(-1)
+
+
+def test_contains_and_iter():
+    vocab = Vocabulary(["a", "b"])
+    assert "a" in vocab
+    assert "c" not in vocab
+    assert list(vocab) == ["a", "b"]
+
+
+def test_add_many_returns_ids_in_order():
+    vocab = Vocabulary()
+    assert vocab.add_many(["a", "b", "a"]) == [0, 1, 0]
+
+
+def test_copy_is_independent():
+    vocab = Vocabulary(["a"])
+    clone = vocab.copy()
+    clone.add("b")
+    assert len(vocab) == 1
+    assert len(clone) == 2
+
+
+def test_restrict_compacts_ids():
+    vocab = Vocabulary(["a", "b", "c", "d"])
+    restricted, mapping = vocab.restrict([1, 3])
+    assert len(restricted) == 2
+    assert restricted.term(mapping[1]) == "b"
+    assert restricted.term(mapping[3]) == "d"
+
+
+def test_terms_vectorised():
+    vocab = Vocabulary(["a", "b", "c"])
+    assert vocab.terms([2, 0]) == ["c", "a"]
+
+
+@given(st.lists(st.text(min_size=1, max_size=10)))
+def test_roundtrip_property(terms):
+    """Every interned term maps back to itself through its id."""
+    vocab = Vocabulary()
+    ids = [vocab.add(t) for t in terms]
+    for term, term_id in zip(terms, ids):
+        assert vocab.term(term_id) == term
+        assert vocab.id(term) == vocab.add(term)
+    assert len(vocab) == len(set(terms))
+
+
+@given(st.lists(st.text(min_size=1, max_size=6), min_size=1, unique=True), st.data())
+def test_restrict_preserves_terms_property(terms, data):
+    vocab = Vocabulary(terms)
+    keep = data.draw(
+        st.lists(st.integers(min_value=0, max_value=len(terms) - 1), unique=True)
+    )
+    restricted, mapping = vocab.restrict(keep)
+    assert len(restricted) == len(keep)
+    for old_id in keep:
+        assert restricted.term(mapping[old_id]) == vocab.term(old_id)

@@ -1,0 +1,131 @@
+"""The three LP methods: interface compliance + learnability."""
+
+import numpy as np
+import pytest
+
+from repro.core.tasks import LinkPredictionTask, Split
+from repro.models import LHGNNPredictor, ModelConfig, MorsEPredictor, RGCNLinkPredictor
+from repro.training import ResourceMeter, TrainConfig, train_link_predictor
+
+CONFIG = ModelConfig(hidden_dim=16, num_layers=1, dropout=0.0, lr=0.05, batch_size=32, margin=1.0)
+
+ALL_MODELS = [RGCNLinkPredictor, MorsEPredictor, LHGNNPredictor]
+
+
+@pytest.fixture
+def lp_setup(toy_kg):
+    papers = [toy_kg.node_vocab.id(f"p{i}") for i in range(6)]
+    authors = [toy_kg.node_vocab.id(f"a{i}") for i in range(3)]
+    edges = np.asarray(
+        [[papers[0], authors[0]], [papers[1], authors[0]],
+         [papers[2], authors[1]], [papers[3], authors[1]],
+         [papers[4], authors[2]], [papers[5], authors[2]]]
+    )
+    task = LinkPredictionTask(
+        name="HA", predicate=toy_kg.relation_vocab.id("hasAuthor"),
+        head_class=toy_kg.class_vocab.id("Paper"),
+        tail_class=toy_kg.class_vocab.id("Author"),
+        edges=edges,
+        split=Split(np.arange(4), np.asarray([4]), np.asarray([5])),
+    )
+    return toy_kg, task
+
+
+@pytest.mark.parametrize("model_cls", ALL_MODELS)
+def test_train_epoch_finite(lp_setup, model_cls):
+    kg, task = lp_setup
+    model = model_cls(kg, task, CONFIG)
+    assert np.isfinite(model.train_epoch(np.random.default_rng(0)))
+
+
+@pytest.mark.parametrize("model_cls", ALL_MODELS)
+def test_candidate_pool_is_tail_class(lp_setup, model_cls):
+    kg, task = lp_setup
+    model = model_cls(kg, task, CONFIG)
+    pool = model.candidate_pool()
+    author_class = kg.class_vocab.id("Author")
+    assert all(kg.node_types[n] == author_class for n in pool)
+    assert len(pool) == 3
+
+
+@pytest.mark.parametrize("model_cls", ALL_MODELS)
+def test_score_pairs_shape_and_determinism(lp_setup, model_cls):
+    kg, task = lp_setup
+    model = model_cls(kg, task, CONFIG)
+    heads = task.edges[:3, 0]
+    tails = task.edges[:3, 1]
+    first = model.score_pairs(heads, tails)
+    second = model.score_pairs(heads, tails)
+    assert first.shape == (3,)
+    assert np.allclose(first, second)  # cached embeddings are stable
+
+
+@pytest.mark.parametrize("model_cls", ALL_MODELS)
+def test_cache_invalidated_by_training(lp_setup, model_cls):
+    kg, task = lp_setup
+    model = model_cls(kg, task, CONFIG)
+    heads, tails = task.edges[:2, 0], task.edges[:2, 1]
+    before = model.score_pairs(heads, tails).copy()
+    model.train_epoch(np.random.default_rng(0))
+    after = model.score_pairs(heads, tails)
+    assert not np.allclose(before, after)
+
+
+@pytest.mark.parametrize("model_cls", ALL_MODELS)
+def test_loss_decreases(lp_setup, model_cls):
+    kg, task = lp_setup
+    model = model_cls(kg, task, CONFIG)
+    rng = np.random.default_rng(0)
+    first = model.train_epoch(rng)
+    for _ in range(40):
+        last = model.train_epoch(rng)
+    assert last <= first
+
+
+@pytest.mark.parametrize("model_cls", ALL_MODELS)
+def test_memory_registration(lp_setup, model_cls):
+    kg, task = lp_setup
+    meter = ResourceMeter()
+    model_cls(kg, task, CONFIG, meter=meter)
+    assert meter.peak_bytes > 0
+
+
+def test_lhgnn_is_heaviest(lp_setup):
+    kg, task = lp_setup
+    meters = {}
+    for model_cls in ALL_MODELS:
+        meter = ResourceMeter()
+        model_cls(kg, task, CONFIG, meter=meter)
+        meters[model_cls.name] = meter.peak_bytes
+    assert meters["LHGNN"] > meters["RGCN"]
+    assert meters["LHGNN"] > meters["MorsE"]
+
+
+def test_morse_is_lighter_than_rgcn(lp_setup):
+    """MorsE's entity-independent design avoids the |V|×|R| blowup."""
+    kg, task = lp_setup
+    rgcn_meter, morse_meter = ResourceMeter(), ResourceMeter()
+    RGCNLinkPredictor(kg, task, CONFIG, meter=rgcn_meter)
+    MorsEPredictor(kg, task, CONFIG, meter=morse_meter)
+    assert morse_meter.components["activations"] < rgcn_meter.components["activations"]
+
+
+def test_lp_through_trainer(lp_setup):
+    kg, task = lp_setup
+    meter = ResourceMeter()
+    model = RGCNLinkPredictor(kg, task, CONFIG, meter=meter)
+    config = TrainConfig(epochs=5, eval_every=1, num_eval_negatives=2)
+    result = train_link_predictor(model, task, config, meter)
+    assert result.metric_name == "hits@10"
+    assert 0.0 <= result.test_metric <= 1.0
+
+
+def test_empty_train_split_returns_zero_loss(toy_kg):
+    task = LinkPredictionTask(
+        name="empty", predicate=0, head_class=0, tail_class=1,
+        edges=np.empty((0, 2), dtype=np.int64),
+        split=Split(np.asarray([], dtype=np.int64), np.asarray([], dtype=np.int64),
+                    np.asarray([], dtype=np.int64)),
+    )
+    model = RGCNLinkPredictor(toy_kg, task, CONFIG)
+    assert model.train_epoch(np.random.default_rng(0)) == 0.0

@@ -1,0 +1,66 @@
+"""Loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.nn.functional import (
+    accuracy,
+    bce_with_logits,
+    cross_entropy,
+    margin_ranking_loss,
+    nll_loss,
+)
+from repro.nn.tensor import Tensor
+
+
+def test_cross_entropy_matches_manual():
+    logits = np.asarray([[2.0, 1.0, 0.1], [0.5, 2.5, 0.2]])
+    labels = np.asarray([0, 1])
+    loss = cross_entropy(Tensor(logits), labels).item()
+    probs = np.exp(logits) / np.exp(logits).sum(axis=1, keepdims=True)
+    manual = -np.log(probs[np.arange(2), labels]).mean()
+    assert loss == pytest.approx(manual)
+
+
+def test_cross_entropy_gradient_direction():
+    logits = Tensor(np.zeros((1, 3)), requires_grad=True)
+    loss = cross_entropy(logits, np.asarray([1]))
+    loss.backward()
+    # Gradient should push label-1 logit up (negative grad) and others down.
+    assert logits.grad[0, 1] < 0
+    assert logits.grad[0, 0] > 0 and logits.grad[0, 2] > 0
+
+
+def test_nll_empty_batch():
+    assert nll_loss(Tensor(np.zeros((0, 3))), np.asarray([], dtype=int)).item() == 0.0
+
+
+def test_bce_with_logits_matches_manual():
+    logits = np.asarray([1.5, -2.0, 0.0])
+    targets = np.asarray([1.0, 0.0, 1.0])
+    loss = bce_with_logits(Tensor(logits), targets).item()
+    probs = 1 / (1 + np.exp(-logits))
+    manual = -(targets * np.log(probs) + (1 - targets) * np.log(1 - probs)).mean()
+    assert loss == pytest.approx(manual, rel=1e-6)
+
+
+def test_margin_ranking_loss():
+    positive = Tensor(np.asarray([3.0, 0.5]))
+    negative = Tensor(np.asarray([1.0, 1.0]))
+    # max(0, 1 - 3 + 1) = 0; max(0, 1 - 0.5 + 1) = 1.5 → mean 0.75.
+    loss = margin_ranking_loss(positive, negative, margin=1.0)
+    assert loss.item() == pytest.approx(0.75)
+
+
+def test_margin_loss_zero_when_separated():
+    positive = Tensor(np.asarray([10.0]))
+    negative = Tensor(np.asarray([0.0]))
+    assert margin_ranking_loss(positive, negative, margin=1.0).item() == 0.0
+
+
+def test_accuracy_from_logits_and_labels():
+    logits = np.asarray([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+    labels = np.asarray([0, 1, 1])
+    assert accuracy(logits, labels) == pytest.approx(2 / 3)
+    assert accuracy(np.asarray([0, 1, 1]), labels) == 1.0
+    assert accuracy(np.empty((0, 2)), np.asarray([], dtype=int)) == 0.0

@@ -1,0 +1,139 @@
+"""Module system: registration, state dict, modes."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dropout, Embedding, Linear, Module, ModuleList, Parameter
+from repro.nn.tensor import Tensor, no_grad
+
+
+def test_linear_forward_shape():
+    rng = np.random.default_rng(0)
+    layer = Linear(4, 3, rng)
+    out = layer(Tensor(rng.normal(size=(5, 4))))
+    assert out.shape == (5, 3)
+
+
+def test_linear_without_bias():
+    rng = np.random.default_rng(0)
+    layer = Linear(4, 3, rng, bias=False)
+    assert layer.bias is None
+    assert len(layer.parameters()) == 1
+
+
+def test_parameter_registration_recursive():
+    rng = np.random.default_rng(0)
+
+    class Net(Module):
+        def __init__(self):
+            super().__init__()
+            self.first = Linear(4, 8, rng)
+            self.second = Linear(8, 2, rng)
+
+        def forward(self, x):
+            return self.second(self.first(x).relu())
+
+    net = Net()
+    assert len(net.parameters()) == 4  # two weights + two biases
+    assert net.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+    assert net.parameter_nbytes() == net.num_parameters() * 8
+
+
+def test_named_parameters_paths():
+    rng = np.random.default_rng(0)
+
+    class Net(Module):
+        def __init__(self):
+            super().__init__()
+            self.inner = Linear(2, 2, rng)
+
+        def forward(self, x):
+            return self.inner(x)
+
+    names = dict(Net().named_parameters())
+    assert "inner.weight" in names and "inner.bias" in names
+
+
+def test_embedding_lookup_and_all():
+    rng = np.random.default_rng(0)
+    table = Embedding(10, 4, rng)
+    rows = table(np.asarray([1, 1, 3]))
+    assert rows.shape == (3, 4)
+    assert np.allclose(rows.data[0], rows.data[1])
+    assert table.all().shape == (10, 4)
+
+
+def test_parameter_survives_no_grad():
+    rng = np.random.default_rng(0)
+    with no_grad():
+        parameter = Parameter(rng.normal(size=(2, 2)))
+    assert parameter.requires_grad
+
+
+def test_dropout_layer_respects_mode():
+    rng = np.random.default_rng(0)
+    layer = Dropout(0.5, np.random.default_rng(1))
+    x = Tensor(np.ones((50, 10)))
+    layer.train()
+    assert (layer(x).data == 0).any()
+    layer.eval()
+    assert (layer(x).data == 1).all()
+
+
+def test_train_eval_propagates():
+    rng = np.random.default_rng(0)
+
+    class Net(Module):
+        def __init__(self):
+            super().__init__()
+            self.drop = Dropout(0.5, rng)
+
+        def forward(self, x):
+            return self.drop(x)
+
+    net = Net()
+    net.eval()
+    assert not net.drop.training
+    net.train()
+    assert net.drop.training
+
+
+def test_module_list():
+    rng = np.random.default_rng(0)
+    layers = ModuleList([Linear(2, 2, rng), Linear(2, 2, rng)])
+    assert len(layers) == 2
+    assert len(layers.parameters()) == 4
+    layers.append(Linear(2, 2, rng))
+    assert len(layers) == 3
+    assert layers[2].out_features == 2
+    with pytest.raises(RuntimeError):
+        layers(Tensor(np.ones((1, 2))))
+
+
+def test_state_dict_roundtrip():
+    rng = np.random.default_rng(0)
+    source = Linear(3, 3, rng)
+    target = Linear(3, 3, np.random.default_rng(99))
+    target.load_state_dict(source.state_dict())
+    assert np.allclose(source.weight.data, target.weight.data)
+
+
+def test_state_dict_mismatch_raises():
+    rng = np.random.default_rng(0)
+    layer = Linear(3, 3, rng)
+    with pytest.raises(KeyError):
+        layer.load_state_dict({"weight": np.zeros((3, 3))})  # bias missing
+    state = layer.state_dict()
+    state["weight"] = np.zeros((2, 2))
+    with pytest.raises(ValueError):
+        layer.load_state_dict(state)
+
+
+def test_zero_grad():
+    rng = np.random.default_rng(0)
+    layer = Linear(2, 2, rng)
+    loss = (layer(Tensor(np.ones((1, 2)))) ** 2).sum()
+    loss.backward()
+    assert layer.weight.grad is not None
+    layer.zero_grad()
+    assert layer.weight.grad is None

@@ -1,0 +1,72 @@
+"""Optimizers must actually optimize."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Parameter
+from repro.nn.optim import SGD, Adam
+
+
+def _quadratic(parameter):
+    # f(w) = ||w - 3||^2, minimised at w = 3.
+    diff = parameter + (-3.0)
+    return (diff * diff).sum()
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda p: SGD([p], lr=0.1),
+        lambda p: SGD([p], lr=0.05, momentum=0.9),
+        lambda p: Adam([p], lr=0.2),
+    ],
+)
+def test_converges_on_quadratic(make):
+    parameter = Parameter(np.zeros(4))
+    optimizer = make(parameter)
+    for _ in range(200):
+        optimizer.zero_grad()
+        loss = _quadratic(parameter)
+        loss.backward()
+        optimizer.step()
+    assert np.allclose(parameter.data, 3.0, atol=1e-2)
+
+
+def test_weight_decay_shrinks_parameters():
+    parameter = Parameter(np.full(3, 10.0))
+    optimizer = SGD([parameter], lr=0.1, weight_decay=1.0)
+    # Zero task gradient: decay alone should shrink weights.
+    parameter.grad = np.zeros(3)
+    optimizer.step()
+    assert (np.abs(parameter.data) < 10.0).all()
+
+
+def test_skip_parameters_without_grad():
+    parameter = Parameter(np.ones(2))
+    optimizer = Adam([parameter], lr=0.5)
+    optimizer.step()  # no grad -> no movement
+    assert np.allclose(parameter.data, 1.0)
+
+
+def test_empty_parameter_list_rejected():
+    with pytest.raises(ValueError):
+        Adam([], lr=0.1)
+    with pytest.raises(ValueError):
+        SGD([], lr=0.1)
+
+
+def test_invalid_lr_rejected():
+    parameter = Parameter(np.ones(2))
+    with pytest.raises(ValueError):
+        Adam([parameter], lr=0.0)
+    with pytest.raises(ValueError):
+        SGD([parameter], lr=-1.0)
+
+
+def test_adam_bias_correction_first_step():
+    parameter = Parameter(np.zeros(1))
+    optimizer = Adam([parameter], lr=0.1)
+    parameter.grad = np.asarray([1.0])
+    optimizer.step()
+    # With bias correction the first step is ≈ -lr regardless of betas.
+    assert parameter.data[0] == pytest.approx(-0.1, rel=1e-6)

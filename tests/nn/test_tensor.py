@@ -1,0 +1,201 @@
+"""Autograd: every op is checked against finite differences."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.tensor import Tensor, concat, is_grad_enabled, no_grad, spmm, stack
+
+RNG = np.random.default_rng(42)
+
+
+def numeric_gradient(func, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    grad = np.zeros_like(x)
+    flat_x, flat_g = x.ravel(), grad.ravel()
+    for i in range(x.size):
+        original = flat_x[i]
+        flat_x[i] = original + eps
+        hi = func()
+        flat_x[i] = original - eps
+        lo = func()
+        flat_x[i] = original
+        flat_g[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def check_gradient(build_loss, x: Tensor, tol: float = 1e-6):
+    loss = build_loss(x)
+    loss.backward()
+    expected = numeric_gradient(lambda: build_loss(Tensor(x.data)).item(), x.data)
+    assert np.abs(x.grad - expected).max() < tol
+
+
+@pytest.mark.parametrize(
+    "op",
+    [
+        lambda t: (t + 2.0).sum(),
+        lambda t: (2.0 - t).sum(),
+        lambda t: (t * 3.0 + t).sum(),
+        lambda t: (t * t).sum(),
+        lambda t: (t / 2.0).sum(),
+        lambda t: (t ** 3).sum(),
+        lambda t: (-t).sum(),
+        lambda t: t.relu().sum(),
+        lambda t: t.sigmoid().sum(),
+        lambda t: t.tanh().sum(),
+        lambda t: t.exp().sum(),
+        lambda t: t.abs().sum(),
+        lambda t: t.log_softmax(axis=-1).sum(),
+        lambda t: t.softmax(axis=-1).sum(axis=0).sum(),
+        lambda t: t.mean(),
+        lambda t: t.mean(axis=1).sum(),
+        lambda t: t.sum(axis=0, keepdims=True).sum(),
+        lambda t: t.reshape(6, 2).sum(axis=1).sum(),
+        lambda t: t.T.sum(axis=0).sum(),
+        lambda t: t[1:3].sum(),
+    ],
+)
+def test_elementwise_ops_gradcheck(op):
+    x = Tensor(RNG.normal(size=(3, 4)), requires_grad=True)
+    check_gradient(op, x, tol=1e-5)
+
+
+def test_log_gradcheck():
+    x = Tensor(RNG.random((3, 3)) + 0.5, requires_grad=True)
+    check_gradient(lambda t: t.log().sum(), x)
+
+
+def test_matmul_gradcheck_both_sides():
+    a = Tensor(RNG.normal(size=(3, 4)), requires_grad=True)
+    b = Tensor(RNG.normal(size=(4, 2)), requires_grad=True)
+    loss = (a @ b).sum()
+    loss.backward()
+    na = numeric_gradient(lambda: float((a.data @ b.data).sum()), a.data)
+    nb = numeric_gradient(lambda: float((a.data @ b.data).sum()), b.data)
+    assert np.abs(a.grad - na).max() < 1e-6
+    assert np.abs(b.grad - nb).max() < 1e-6
+
+
+def test_broadcast_add_unbroadcasts_grad():
+    x = Tensor(RNG.normal(size=(3, 4)), requires_grad=True)
+    bias = Tensor(RNG.normal(size=(4,)), requires_grad=True)
+    loss = (x + bias).sum()
+    loss.backward()
+    assert bias.grad.shape == (4,)
+    assert np.allclose(bias.grad, 3.0)
+
+
+def test_broadcast_mul_scalar_tensor():
+    x = Tensor(RNG.normal(size=(3, 4)), requires_grad=True)
+    scale = Tensor(np.asarray(2.0), requires_grad=True)
+    loss = (x * scale).sum()
+    loss.backward()
+    assert np.allclose(scale.grad, x.data.sum())
+
+
+def test_gather_rows_gradcheck():
+    x = Tensor(RNG.normal(size=(5, 3)), requires_grad=True)
+    idx = np.asarray([0, 2, 2, 4])
+    check_gradient(lambda t: (t.gather_rows(idx) ** 2).sum(), x)
+
+
+def test_index_add_gradcheck():
+    x = Tensor(RNG.normal(size=(5, 3)), requires_grad=True)
+    seg = np.asarray([0, 1, 0, 2, 1])
+
+    def loss(t):
+        return (t.index_add(seg, 3) ** 2).sum()
+
+    check_gradient(loss, x, tol=1e-5)
+
+
+def test_spmm_gradcheck():
+    matrix = sp.random(6, 5, density=0.5, random_state=0, format="csr")
+    x = Tensor(RNG.normal(size=(5, 3)), requires_grad=True)
+
+    def loss(t):
+        return (spmm(matrix, t) ** 2).sum()
+
+    check_gradient(loss, x, tol=1e-5)
+
+
+def test_concat_and_stack_gradcheck():
+    a = Tensor(RNG.normal(size=(2, 3)), requires_grad=True)
+    b = Tensor(RNG.normal(size=(4, 3)), requires_grad=True)
+    loss = (concat([a, b], axis=0) ** 2).sum()
+    loss.backward()
+    assert np.allclose(a.grad, 2 * a.data)
+    assert np.allclose(b.grad, 2 * b.data)
+
+    c = Tensor(RNG.normal(size=(3,)), requires_grad=True)
+    d = Tensor(RNG.normal(size=(3,)), requires_grad=True)
+    loss = (stack([c, d], axis=0) * np.asarray([[1.0], [2.0]])).sum()
+    loss.backward()
+    assert np.allclose(c.grad, 1.0)
+    assert np.allclose(d.grad, 2.0)
+
+
+def test_dropout_train_and_eval():
+    x = Tensor(np.ones((100, 10)), requires_grad=True)
+    rng = np.random.default_rng(0)
+    dropped = x.dropout(0.5, rng, training=True)
+    kept = dropped.data != 0
+    # Inverted dropout scales surviving entries by 1/(1-rate).
+    assert np.allclose(dropped.data[kept], 2.0)
+    identical = x.dropout(0.5, rng, training=False)
+    assert identical is x
+    with pytest.raises(ValueError):
+        x.dropout(1.5, rng)
+
+
+def test_backward_requires_grad():
+    x = Tensor(np.ones(3))
+    with pytest.raises(RuntimeError):
+        x.backward()
+
+
+def test_backward_needs_scalar_or_explicit_grad():
+    x = Tensor(np.ones(3), requires_grad=True)
+    y = x * 2.0
+    with pytest.raises(RuntimeError):
+        y.backward()
+    y.backward(np.ones(3))
+    assert np.allclose(x.grad, 2.0)
+
+
+def test_grad_accumulates_across_uses():
+    x = Tensor(np.ones((2, 2)), requires_grad=True)
+    loss = (x + x).sum()
+    loss.backward()
+    assert np.allclose(x.grad, 2.0)
+
+
+def test_no_grad_suppresses_tape():
+    x = Tensor(np.ones(3), requires_grad=True)
+    with no_grad():
+        assert not is_grad_enabled()
+        y = x * 2.0
+        assert not y.requires_grad
+    assert is_grad_enabled()
+
+
+def test_diamond_graph_gradient():
+    x = Tensor(np.asarray([2.0]), requires_grad=True)
+    a = x * 3.0
+    b = x * 4.0
+    loss = (a * b).sum()  # 12 x^2 -> d/dx = 24x = 48
+    loss.backward()
+    assert np.allclose(x.grad, 48.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 4), st.integers(1, 4), st.integers(0, 1000))
+def test_matmul_shapes_property(n, m, seed):
+    rng = np.random.default_rng(seed)
+    a = Tensor(rng.normal(size=(n, m)), requires_grad=True)
+    b = Tensor(rng.normal(size=(m, 2)), requires_grad=True)
+    out = (a @ b).sum()
+    out.backward()
+    assert a.grad.shape == a.data.shape
+    assert b.grad.shape == b.data.shape

@@ -1,0 +1,75 @@
+"""GraphSAINT node/edge samplers."""
+
+import numpy as np
+import pytest
+
+from repro.kg.graph import KnowledgeGraph
+from repro.sampling.node_edge import EdgeSampler, NodeSampler
+
+
+def test_node_sampler_size_and_validity(toy_kg):
+    sampler = NodeSampler(toy_kg, num_nodes=6)
+    sampled = sampler.sample(np.random.default_rng(0))
+    assert sampled.num_nodes == 6
+    assert sampled.sampler == "NodeSampler"
+
+
+def test_node_sampler_prefers_high_degree(toy_kg):
+    sampler = NodeSampler(toy_kg, num_nodes=4)
+    hits = np.zeros(toy_kg.num_nodes)
+    for seed in range(200):
+        sampled = sampler.sample(np.random.default_rng(seed))
+        hits[sampled.root_nodes] += 1
+    p0 = toy_kg.node_vocab.id("p0")  # degree 3
+    m0 = toy_kg.node_vocab.id("m0")  # degree 1
+    assert hits[p0] > hits[m0]
+
+
+def test_node_sampler_capped(toy_kg):
+    sampler = NodeSampler(toy_kg, num_nodes=10_000)
+    assert sampler.num_nodes == toy_kg.num_nodes
+
+
+def test_node_sampler_validation(toy_kg):
+    with pytest.raises(ValueError):
+        NodeSampler(toy_kg, num_nodes=0)
+
+
+def test_edge_sampler_endpoints_present(toy_kg):
+    sampler = EdgeSampler(toy_kg, num_edges=5)
+    sampled = sampler.sample(np.random.default_rng(1))
+    # Every sampled-subgraph edge exists in the source.
+    source = {
+        (toy_kg.node_vocab.term(s), toy_kg.relation_vocab.term(p), toy_kg.node_vocab.term(o))
+        for s, p, o in toy_kg.triples
+    }
+    assert sampled.subgraph.num_edges >= 5  # induced closure adds edges
+    for s, p, o in sampled.subgraph.triples:
+        term = (
+            sampled.subgraph.node_vocab.term(s),
+            sampled.subgraph.relation_vocab.term(p),
+            sampled.subgraph.node_vocab.term(o),
+        )
+        assert term in source
+
+
+def test_edge_sampler_rejects_empty_graph():
+    kg = KnowledgeGraph.build([("a", "T")], [])
+    with pytest.raises(ValueError):
+        EdgeSampler(kg)
+
+
+def test_edge_sampler_validation(toy_kg):
+    with pytest.raises(ValueError):
+        EdgeSampler(toy_kg, num_edges=0)
+
+
+def test_samplers_plug_into_graphsaint(toy_kg, toy_task):
+    from repro.models import GraphSAINTClassifier, ModelConfig
+
+    sampler = NodeSampler(toy_kg, num_nodes=10)
+    model = GraphSAINTClassifier(
+        toy_kg, toy_task, ModelConfig(hidden_dim=8, num_layers=1),
+        node_sampler=lambda rng: sampler.sample(rng).mapping.node_old_ids,
+    )
+    assert np.isfinite(model.train_epoch(np.random.default_rng(0)))

@@ -1,0 +1,82 @@
+"""Approximate PPR: mass conservation, locality, determinism."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.sampling.ppr import approximate_ppr, ppr_top_k
+
+
+def _chain(n):
+    rows = list(range(n - 1)) + list(range(1, n))
+    cols = list(range(1, n)) + list(range(n - 1))
+    return sp.csr_matrix((np.ones(len(rows)), (rows, cols)), shape=(n, n))
+
+
+def test_scores_sum_at_most_one():
+    adjacency = _chain(10)
+    scores = approximate_ppr(adjacency, [0], alpha=0.25, eps=1e-5)
+    assert 0 < sum(scores.values()) <= 1.0 + 1e-9
+
+
+def test_seed_has_highest_score():
+    adjacency = _chain(10)
+    scores = approximate_ppr(adjacency, [4], alpha=0.25, eps=1e-5)
+    assert max(scores, key=scores.get) == 4
+
+
+def test_locality_decay_along_chain():
+    adjacency = _chain(12)
+    scores = approximate_ppr(adjacency, [0], alpha=0.25, eps=1e-7)
+    assert scores.get(1, 0) > scores.get(5, 0) >= scores.get(10, 0)
+
+
+def test_disconnected_component_untouched():
+    # Two disjoint chains; seeding in one leaves the other at zero.
+    a = _chain(4)
+    adjacency = sp.block_diag([a, a]).tocsr()
+    scores = approximate_ppr(adjacency, [0], alpha=0.2, eps=1e-6)
+    assert all(node < 4 for node in scores)
+
+
+def test_empty_seed_list():
+    assert approximate_ppr(_chain(4), []) == {}
+
+
+def test_dangling_node_keeps_mass():
+    adjacency = sp.csr_matrix((3, 3))
+    scores = approximate_ppr(adjacency, [1], alpha=0.3, eps=1e-6)
+    assert scores == pytest.approx({1: 1.0})
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        approximate_ppr(_chain(4), [0], alpha=0.0)
+    with pytest.raises(ValueError):
+        approximate_ppr(_chain(4), [0], eps=0.0)
+
+
+def test_top_k_excludes_target_and_is_deterministic():
+    adjacency = _chain(10)
+    first = ppr_top_k(adjacency, 3, k=4, eps=1e-6)
+    second = ppr_top_k(adjacency, 3, k=4, eps=1e-6)
+    assert first == second
+    assert all(node != 3 for node, _ in first)
+    assert len(first) == 4
+    # Scores are sorted descending.
+    scores = [score for _, score in first]
+    assert scores == sorted(scores, reverse=True)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=2, max_value=12), st.integers(min_value=0, max_value=10))
+def test_smaller_eps_never_loses_mass_property(n, seed):
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((n, n)) < 0.3).astype(float)
+    np.fill_diagonal(dense, 0)
+    adjacency = sp.csr_matrix(dense + dense.T)
+    coarse = approximate_ppr(adjacency, [0], alpha=0.25, eps=1e-2)
+    fine = approximate_ppr(adjacency, [0], alpha=0.25, eps=1e-5)
+    assert sum(fine.values()) >= sum(coarse.values()) - 1e-9
+    assert sum(fine.values()) <= 1.0 + 1e-9

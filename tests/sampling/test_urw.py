@@ -1,0 +1,50 @@
+"""URW sampler: GraphSAINT's default, with its known pathologies."""
+
+import numpy as np
+import pytest
+
+from repro.sampling.urw import UniformRandomWalkSampler
+
+
+def test_sample_returns_valid_subgraph(toy_kg):
+    sampler = UniformRandomWalkSampler(toy_kg, walk_length=2, num_roots=5)
+    sampled = sampler.sample(np.random.default_rng(0))
+    assert 0 < sampled.num_nodes <= toy_kg.num_nodes
+    assert sampled.sampler == "URW"
+    # Every subgraph edge must exist in the original graph.
+    original = {
+        (toy_kg.node_vocab.term(s), toy_kg.relation_vocab.term(p), toy_kg.node_vocab.term(o))
+        for s, p, o in toy_kg.triples
+    }
+    for s, p, o in sampled.subgraph.triples:
+        term = (
+            sampled.subgraph.node_vocab.term(s),
+            sampled.subgraph.relation_vocab.term(p),
+            sampled.subgraph.node_vocab.term(o),
+        )
+        assert term in original
+
+
+def test_num_roots_capped_at_graph_size(toy_kg):
+    sampler = UniformRandomWalkSampler(toy_kg, walk_length=1, num_roots=10_000)
+    sampled = sampler.sample(np.random.default_rng(0))
+    assert sampled.num_nodes <= toy_kg.num_nodes
+
+
+def test_invalid_parameters(toy_kg):
+    with pytest.raises(ValueError):
+        UniformRandomWalkSampler(toy_kg, walk_length=0)
+    with pytest.raises(ValueError):
+        UniformRandomWalkSampler(toy_kg, num_roots=0)
+
+
+def test_urw_ignores_types_can_sample_noise(yago_tiny):
+    """URW roots are type-blind: noise-domain nodes appear in samples.
+
+    This is the Figure 2 pathology the paper's samplers fix.
+    """
+    kg = yago_tiny.kg
+    sampler = UniformRandomWalkSampler(kg, walk_length=2, num_roots=40)
+    sampled = sampler.sample(np.random.default_rng(3))
+    classes = {sampled.subgraph.class_vocab.term(int(c)) for c in sampled.subgraph.node_types}
+    assert any("Noise" in c or "Island" in c for c in classes)

@@ -1,0 +1,74 @@
+"""Random-walk engine: step validity and dead-end handling."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.kg.graph import KnowledgeGraph
+from repro.sampling.walks import RandomWalkEngine
+
+
+def test_walk_steps_follow_edges(toy_kg):
+    engine = RandomWalkEngine(toy_kg, direction="both")
+    roots = np.asarray([toy_kg.node_vocab.id("p0")])
+    paths = engine.walk(roots, length=4, rng=np.random.default_rng(0), return_paths=True)
+    edges = set()
+    for s, _p, o in toy_kg.triples:
+        edges.add((s, o))
+        edges.add((o, s))
+    for i in range(paths.shape[1] - 1):
+        u, v = int(paths[0, i]), int(paths[0, i + 1])
+        assert u == v or (u, v) in edges
+
+
+def test_dead_end_walker_stays(toy_kg):
+    # Build a graph with an isolated node and walk from it.
+    kg = KnowledgeGraph.build([("x", "T"), ("y", "T")], [("x", "r", "y")])
+    engine = RandomWalkEngine(kg, direction="out")
+    roots = np.asarray([kg.node_vocab.id("y")])  # y has no out-edges
+    paths = engine.walk(roots, length=3, rng=np.random.default_rng(0), return_paths=True)
+    assert (paths == kg.node_vocab.id("y")).all()
+
+
+def test_visited_includes_roots(toy_kg):
+    engine = RandomWalkEngine(toy_kg)
+    roots = np.asarray([0, 5])
+    visited = engine.walk(roots, length=2, rng=np.random.default_rng(1))
+    assert set(roots.tolist()) <= set(visited.tolist())
+
+
+def test_roots_must_be_1d(toy_kg):
+    engine = RandomWalkEngine(toy_kg)
+    try:
+        engine.walk(np.zeros((2, 2), dtype=np.int64), 1, np.random.default_rng(0))
+        raised = False
+    except ValueError:
+        raised = True
+    assert raised
+
+
+def test_neighbors_accessor(toy_kg):
+    engine = RandomWalkEngine(toy_kg, direction="both")
+    p0 = toy_kg.node_vocab.id("p0")
+    assert set(engine.neighbors(p0).tolist()) == set(toy_kg.neighbors(p0).tolist())
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=5), st.integers(min_value=0, max_value=999))
+def test_walk_visits_are_reachable_property(length, seed):
+    """All visited nodes lie within `length` undirected hops of a root."""
+    import networkx as nx
+    from repro.kg.graph import KnowledgeGraph as KG
+
+    nodes = [(f"n{i}", "T") for i in range(8)]
+    triples = [("n0", "r", "n1"), ("n1", "r", "n2"), ("n2", "r", "n3"),
+               ("n4", "r", "n5"), ("n5", "r", "n6")]
+    kg = KG.build(nodes, triples)
+    engine = RandomWalkEngine(kg, direction="both")
+    roots = np.asarray([0])
+    visited = engine.walk(roots, length, np.random.default_rng(seed))
+    graph = nx.Graph()
+    graph.add_nodes_from(range(kg.num_nodes))
+    for s, _p, o in kg.triples:
+        graph.add_edge(s, o)
+    for node in visited:
+        assert nx.shortest_path_length(graph, 0, int(node)) <= length

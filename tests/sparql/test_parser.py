@@ -1,0 +1,112 @@
+"""Parser: the SPARQL subset of Section IV-C."""
+
+import pytest
+
+from repro.sparql.ast import BGP, IRI, RDF_TYPE, SelectQuery, Union, Var
+from repro.sparql.parser import SparqlSyntaxError, parse_query
+
+
+def test_simple_select():
+    query = parse_query("select ?s ?p ?o where { ?s ?p ?o . }")
+    assert isinstance(query.body, BGP)
+    assert [p.output.name for p in query.projections] == ["s", "p", "o"]
+    assert len(query.body.patterns) == 1
+
+
+def test_star_projection():
+    query = parse_query("SELECT * WHERE { ?s ?p ?o }")
+    assert query.projections == ()
+    assert [v.name for v in query.output_variables()] == ["s", "p", "o"]
+
+
+def test_a_keyword_expands_to_rdf_type():
+    query = parse_query("select ?v where { ?v a <Paper> . }")
+    pattern = query.body.patterns[0]
+    assert isinstance(pattern.p, IRI) and pattern.p.value == RDF_TYPE
+    assert pattern.is_type_pattern()
+    assert pattern.o == IRI("Paper")
+
+
+def test_alias_projection():
+    query = parse_query("select ?v as ?s ?p ?o where { ?v ?p ?o . }")
+    first = query.projections[0]
+    assert first.source == Var("v")
+    assert first.alias == Var("s")
+    assert [v.name for v in query.output_variables()] == ["s", "p", "o"]
+
+
+def test_parenthesised_alias():
+    query = parse_query("select (?v as ?s) where { ?v a <T> . }")
+    assert query.projections[0].alias == Var("s")
+
+
+def test_limit_offset():
+    query = parse_query("select ?s where { ?s ?p ?o } limit 10 offset 20")
+    assert query.limit == 10
+    assert query.offset == 20
+
+
+def test_paper_union_query_qd2h1():
+    text = """select ?s ?p ?o {
+      select ?v as ?s ?p ?o where { ?v a <Node_Type_URI>. ?v ?p ?o.}
+      union select ?s ?p ?v as ?o where { ?v a <Node_Type_URI>. ?s ?p ?v.}
+    }"""
+    query = parse_query(text)
+    assert isinstance(query.body, Union)
+    assert len(query.body.arms) == 2
+    for arm in query.body.arms:
+        assert [v.name for v in arm.output_variables()] == ["s", "p", "o"]
+        assert len(arm.body.patterns) == 2
+
+
+def test_braced_union_arms():
+    text = """select ?s { { select ?v as ?s where { ?v a <A> . } }
+                           union { select ?v as ?s where { ?v a <B> . } } }"""
+    query = parse_query(text)
+    assert isinstance(query.body, Union)
+    assert len(query.body.arms) == 2
+
+
+def test_multiple_patterns_with_optional_trailing_dot():
+    query = parse_query("select ?x where { ?x a <T> . ?x <r> ?y }")
+    assert len(query.body.patterns) == 2
+
+
+def test_error_on_missing_select():
+    with pytest.raises(SparqlSyntaxError):
+        parse_query("where { ?s ?p ?o }")
+
+
+def test_error_on_empty_pattern():
+    with pytest.raises(SparqlSyntaxError):
+        parse_query("select ?s where { }")
+
+
+def test_error_on_trailing_tokens():
+    with pytest.raises(SparqlSyntaxError):
+        parse_query("select ?s where { ?s ?p ?o } garbage ?x")
+
+
+def test_error_on_bad_character():
+    with pytest.raises(SparqlSyntaxError):
+        parse_query("select ?s where { ?s ?p %%% }")
+
+
+def test_error_on_unterminated_query():
+    with pytest.raises(SparqlSyntaxError):
+        parse_query("select ?s where { ?s ?p")
+
+
+def test_with_page_creates_copy():
+    query = parse_query("select ?s where { ?s ?p ?o }")
+    paged = query.with_page(limit=5, offset=10)
+    assert paged.limit == 5 and paged.offset == 10
+    assert query.limit is None and query.offset is None
+
+
+def test_query_str_roundtrips_through_parser():
+    original = parse_query(
+        "select ?v as ?s ?p ?o where { ?v a <T> . ?v ?p ?o . } limit 7 offset 3"
+    )
+    reparsed = parse_query(str(original))
+    assert reparsed == original

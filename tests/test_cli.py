@@ -1,0 +1,72 @@
+"""CLI subcommands."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+def test_stats_command(capsys):
+    assert main(["stats", "--dataset", "mag", "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "MAG-tiny" in out
+    assert "#n-type" in out
+
+
+def test_stats_unknown_dataset():
+    with pytest.raises(SystemExit):
+        main(["stats", "--dataset", "freebase"])
+
+
+def test_extract_command_saves_bundle(tmp_path, capsys):
+    out_dir = str(tmp_path / "kgprime")
+    assert main([
+        "extract", "--dataset", "mag", "--scale", "tiny", "--task", "PV",
+        "--method", "sparql", "-d", "1", "-H", "1", "--out", out_dir,
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "extracted" in out and "saved TSV bundle" in out
+    assert os.path.exists(os.path.join(out_dir, "nodes.tsv"))
+    assert os.path.exists(os.path.join(out_dir, "triples.tsv"))
+
+
+def test_extract_brw(capsys):
+    assert main([
+        "extract", "--dataset", "yago4", "--scale", "tiny", "--task", "CG",
+        "--method", "brw", "--walk-length", "2",
+    ]) == 0
+    assert "BRW" in capsys.readouterr().out
+
+
+def test_train_nc_on_tosa(capsys):
+    assert main([
+        "train", "--dataset", "mag", "--scale", "tiny", "--task", "PV",
+        "--model", "SeHGNN", "--tosa", "--epochs", "3",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "SeHGNN" in out and "KG-TOSAd1h1" in out
+
+
+def test_train_lp_model_check():
+    with pytest.raises(SystemExit):
+        main(["train", "--dataset", "dblp", "--scale", "tiny", "--task", "AA",
+              "--model", "SeHGNN"])  # SeHGNN is NC-only
+
+
+def test_train_lp_runs(capsys):
+    assert main([
+        "train", "--dataset", "yago3_10", "--scale", "tiny", "--task", "CA",
+        "--model", "MorsE", "--epochs", "3",
+    ]) == 0
+    assert "MorsE" in capsys.readouterr().out
+
+
+def test_bench_table1(capsys):
+    assert main(["bench", "--experiment", "table1", "--scale", "tiny"]) == 0
+    assert "table1" in capsys.readouterr().out
+
+
+def test_bench_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["bench", "--experiment", "fig99"])

@@ -1,0 +1,36 @@
+"""Ranking metrics."""
+
+import numpy as np
+import pytest
+
+from repro.training.metrics import hits_at_k, mean_reciprocal_rank, rank_of_true
+
+
+def test_rank_of_true_pessimistic_ties():
+    # Two negatives equal the true score: rank counts them as better.
+    assert rank_of_true(1.0, np.asarray([1.0, 1.0, 0.5])) == 3
+    assert rank_of_true(2.0, np.asarray([1.0, 1.5])) == 1
+    assert rank_of_true(0.0, np.asarray([1.0, 2.0])) == 3
+
+
+def test_rank_empty_negatives():
+    assert rank_of_true(5.0, np.asarray([])) == 1
+
+
+def test_hits_at_k():
+    ranks = np.asarray([1, 5, 11, 10, 2])
+    assert hits_at_k(ranks, 10) == pytest.approx(4 / 5)
+    assert hits_at_k(ranks, 1) == pytest.approx(1 / 5)
+    assert hits_at_k(np.asarray([]), 10) == 0.0
+
+
+def test_mrr():
+    assert mean_reciprocal_rank(np.asarray([1, 2, 4])) == pytest.approx((1 + 0.5 + 0.25) / 3)
+    assert mean_reciprocal_rank(np.asarray([])) == 0.0
+
+
+def test_constant_scorer_gets_no_credit():
+    """A scorer assigning equal scores everywhere must rank last."""
+    negatives = np.full(20, 0.5)
+    assert rank_of_true(0.5, negatives) == 21
+    assert hits_at_k(np.asarray([21]), 10) == 0.0

@@ -1,0 +1,66 @@
+"""Modeled-memory meter and OOM semantics."""
+
+import pytest
+
+from repro.training.resources import OutOfModeledMemory, ResourceMeter, activation_bytes
+
+
+def test_register_and_total():
+    meter = ResourceMeter()
+    meter.register("graph", 1000)
+    meter.register("params", 500)
+    assert meter.total_bytes == 1500
+    assert meter.peak_bytes == 1500
+
+
+def test_upsert_replaces_component():
+    meter = ResourceMeter()
+    meter.register("activations", 1000)
+    meter.register("activations", 200)
+    assert meter.total_bytes == 200
+    assert meter.peak_bytes == 1000  # peak is retained
+
+
+def test_release_keeps_peak():
+    meter = ResourceMeter()
+    meter.register("transient", 700)
+    meter.release("transient")
+    assert meter.total_bytes == 0
+    assert meter.peak_bytes == 700
+    meter.release("never-registered")  # no-op
+
+
+def test_budget_violation_raises():
+    meter = ResourceMeter(budget_bytes=1000)
+    meter.register("a", 600)
+    with pytest.raises(OutOfModeledMemory) as excinfo:
+        meter.register("b", 600)
+    assert excinfo.value.requested == 1200
+    assert excinfo.value.budget == 1000
+    assert "a" in excinfo.value.components
+
+
+def test_no_budget_never_raises():
+    meter = ResourceMeter()
+    meter.register("huge", 10**15)
+    assert meter.peak_gb() == pytest.approx(10**6)
+
+
+def test_breakdown_in_mb():
+    meter = ResourceMeter()
+    meter.register("x", 2_000_000)
+    assert meter.breakdown() == {"x": 2.0}
+
+
+def test_activation_bytes_scales_with_relations():
+    base = activation_bytes(100, 8, 2, num_relations=1)
+    rich = activation_bytes(100, 8, 2, num_relations=50)
+    assert rich > base
+    fused = activation_bytes(100, 8, 2, num_relations=50, relation_materialized=False)
+    assert fused < rich
+    assert fused == activation_bytes(100, 8, 2, num_relations=1, relation_materialized=False)
+
+
+def test_activation_bytes_formula():
+    # hidden states: n*(L+1)*d; messages: n*R*d; 8 bytes each.
+    assert activation_bytes(10, 4, 2, num_relations=3) == (10 * 4 * 3 + 10 * 4 * 3) * 8

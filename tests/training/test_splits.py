@@ -1,0 +1,65 @@
+"""Split construction (Table II schemas)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.training.splits import stratified_random_split, time_split
+
+
+def test_time_split_respects_order():
+    timestamps = np.asarray([2020, 2010, 2015, 2021, 2012])
+    split = time_split(timestamps, ratios=(0.6, 0.2, 0.2))
+    train_years = timestamps[split.train]
+    test_years = timestamps[split.test]
+    assert train_years.max() <= test_years.min()
+    assert split.schema == "time"
+
+
+def test_time_split_partition_complete():
+    timestamps = np.arange(100)
+    split = time_split(timestamps, ratios=(0.8, 0.1, 0.1))
+    combined = np.sort(np.concatenate([split.train, split.valid, split.test]))
+    assert combined.tolist() == list(range(100))
+    assert len(split.train) == 80
+
+
+def test_stratified_split_preserves_label_presence():
+    labels = np.asarray([0] * 50 + [1] * 30 + [2] * 20)
+    split = stratified_random_split(labels, (0.8, 0.1, 0.1), np.random.default_rng(0))
+    for label in (0, 1, 2):
+        assert (labels[split.train] == label).any()
+    combined = np.sort(np.concatenate([split.train, split.valid, split.test]))
+    assert combined.tolist() == list(range(100))
+
+
+def test_stratified_split_tiny_label_keeps_training_example():
+    labels = np.asarray([0] * 50 + [1])  # a single example of label 1
+    split = stratified_random_split(labels, (0.8, 0.1, 0.1), np.random.default_rng(0))
+    assert (labels[split.train] == 1).any()
+
+
+def test_invalid_ratios_rejected():
+    with pytest.raises(ValueError):
+        time_split(np.arange(5), ratios=(0.0, 0.0, 0.0))
+
+
+def test_ratios_normalised():
+    split = time_split(np.arange(10), ratios=(8, 1, 1))
+    assert len(split.train) == 8
+
+
+@settings(max_examples=30)
+@given(
+    st.lists(st.integers(min_value=0, max_value=3), min_size=4, max_size=80),
+    st.integers(min_value=0, max_value=100),
+)
+def test_stratified_partition_property(labels, seed):
+    labels = np.asarray(labels)
+    split = stratified_random_split(labels, (0.7, 0.15, 0.15), np.random.default_rng(seed))
+    combined = np.sort(np.concatenate([split.train, split.valid, split.test]))
+    assert combined.tolist() == list(range(len(labels)))
+    # No example appears in two parts.
+    assert len(set(split.train) & set(split.valid)) == 0
+    assert len(set(split.train) & set(split.test)) == 0
+    assert len(set(split.valid) & set(split.test)) == 0

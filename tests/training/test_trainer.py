@@ -1,0 +1,127 @@
+"""Trainer loops: traces, early stopping, metric plumbing."""
+
+import numpy as np
+
+from repro.core.tasks import LinkPredictionTask, NodeClassificationTask, Split
+from repro.training.trainer import TrainConfig, train_link_predictor, train_node_classifier
+
+
+class _FakeNCModel:
+    """Deterministic model whose accuracy improves per epoch."""
+
+    def __init__(self, task, improve=True):
+        self.task = task
+        self.epochs_seen = 0
+        self.improve = improve
+
+    def train_epoch(self, rng):
+        self.epochs_seen += 1
+        return 1.0 / self.epochs_seen
+
+    def predict_logits(self):
+        n = self.task.num_targets
+        logits = np.zeros((n, self.task.num_labels))
+        quality = min(self.epochs_seen, 5) / 5 if self.improve else 0.0
+        correct = int(n * quality)
+        for i in range(n):
+            if i < correct:
+                logits[i, self.task.labels[i]] = 1.0
+            else:
+                logits[i, (self.task.labels[i] + 1) % self.task.num_labels] = 1.0
+        return logits
+
+    def num_parameters(self):
+        return 123
+
+
+def _nc_task(n=20):
+    labels = np.arange(n) % 3
+    return NodeClassificationTask(
+        name="T", target_class=0, target_nodes=np.arange(n), labels=labels,
+        num_labels=3,
+        split=Split(np.arange(0, n - 6), np.arange(n - 6, n - 3), np.arange(n - 3, n)),
+    )
+
+
+def test_nc_trainer_runs_all_epochs_and_traces():
+    task = _nc_task()
+    model = _FakeNCModel(task)
+    result = train_node_classifier(model, task, TrainConfig(epochs=6, eval_every=2))
+    assert result.epochs_run == 6
+    assert len(result.trace) == 3
+    assert result.num_parameters == 123
+    times = [point.seconds for point in result.trace]
+    assert times == sorted(times)
+    losses = [point.train_loss for point in result.trace]
+    assert losses == sorted(losses, reverse=True)
+
+
+def test_nc_trainer_early_stops_on_plateau():
+    task = _nc_task()
+    model = _FakeNCModel(task, improve=False)
+    result = train_node_classifier(
+        model, task, TrainConfig(epochs=50, eval_every=1, patience=3)
+    )
+    assert result.epochs_run < 50
+
+
+def test_nc_final_metric_reflects_improvement():
+    task = _nc_task()
+    model = _FakeNCModel(task)
+    result = train_node_classifier(model, task, TrainConfig(epochs=10, eval_every=5))
+    assert result.test_metric == 1.0
+    assert result.metric_name == "accuracy"
+
+
+class _FakeLPModel:
+    """Scores the true tail highest for a fraction of heads."""
+
+    def __init__(self, pool_size=30, good=True):
+        self.pool_size = pool_size
+        self.good = good
+
+    def train_epoch(self, rng):
+        return 0.5
+
+    def candidate_pool(self):
+        return np.arange(self.pool_size)
+
+    def score_pairs(self, heads, tails):
+        if self.good:
+            # True tail is always passed first by the evaluator.
+            scores = np.zeros(len(tails))
+            scores[0] = 10.0
+            return scores
+        return np.zeros(len(tails))
+
+    def num_parameters(self):
+        return 7
+
+
+def _lp_task(n=30):
+    edges = np.stack([np.arange(n), np.arange(n)[::-1]], axis=1)
+    return LinkPredictionTask(
+        name="LP", predicate=0, head_class=0, tail_class=0, edges=edges,
+        split=Split(np.arange(0, n - 10), np.arange(n - 10, n - 5), np.arange(n - 5, n)),
+    )
+
+
+def test_lp_trainer_perfect_model():
+    task = _lp_task()
+    result = train_link_predictor(_FakeLPModel(), task, TrainConfig(epochs=3, eval_every=1))
+    assert result.test_metric == 1.0
+    assert result.metric_name == "hits@10"
+
+
+def test_lp_trainer_constant_model_scores_zero():
+    task = _lp_task()
+    config = TrainConfig(epochs=2, eval_every=1, num_eval_negatives=25)
+    result = train_link_predictor(_FakeLPModel(good=False), task, config)
+    assert result.test_metric == 0.0
+
+
+def test_lp_eval_subsampling():
+    task = _lp_task()
+    config = TrainConfig(epochs=1, eval_every=1, max_eval_examples=2)
+    result = train_link_predictor(_FakeLPModel(), task, config)
+    assert result.test_metric == 1.0

@@ -1,0 +1,90 @@
+"""Triples → CSR transformation (the Figure 4 mandatory step)."""
+
+import numpy as np
+import pytest
+
+from repro.transform.adjacency import build_csr, build_hetero_adjacency
+from repro.transform.features import one_hot_type_features, xavier_features
+
+
+def test_build_csr_both_is_symmetric(toy_kg):
+    matrix = build_csr(toy_kg, direction="both")
+    assert (matrix != matrix.T).nnz == 0
+
+
+def test_build_csr_out_matches_triples(toy_kg):
+    matrix = build_csr(toy_kg, direction="out")
+    for s, _p, o in toy_kg.triples:
+        assert matrix[s, o] == 1.0
+
+
+def test_build_csr_in_is_transpose_of_out(toy_kg):
+    out = build_csr(toy_kg, direction="out")
+    into = build_csr(toy_kg, direction="in")
+    assert (out.T != into).nnz == 0
+
+
+def test_build_csr_binary_on_multi_edges():
+    from repro.kg.graph import KnowledgeGraph
+    from repro.kg.triples import TripleStore
+    from repro.kg.vocabulary import Vocabulary
+
+    kg = KnowledgeGraph(
+        node_vocab=Vocabulary(["a", "b"]),
+        class_vocab=Vocabulary(["T"]),
+        relation_vocab=Vocabulary(["r", "q"]),
+        node_types=np.zeros(2, dtype=np.int64),
+        triples=TripleStore([0, 0], [0, 1], [1, 1]),  # two parallel edges
+    )
+    matrix = build_csr(kg, direction="out")
+    assert matrix[0, 1] == 1.0
+
+
+def test_hetero_adjacency_per_relation(toy_kg):
+    adjacency = build_hetero_adjacency(toy_kg, add_reverse=False, normalize=False)
+    assert adjacency.num_relations == toy_kg.num_edge_types
+    cites = toy_kg.relation_vocab.id("cites")
+    p0, p2 = toy_kg.node_vocab.id("p0"), toy_kg.node_vocab.id("p2")
+    assert adjacency.matrices[cites][p0, p2] == 1.0
+    total = sum(int(m.nnz) for m in adjacency.matrices)
+    assert total == toy_kg.num_edges
+
+
+def test_hetero_adjacency_reverse_relations(toy_kg):
+    adjacency = build_hetero_adjacency(toy_kg, add_reverse=True, normalize=False)
+    base = toy_kg.num_edge_types
+    assert adjacency.num_relations == 2 * base
+    for relation in range(base):
+        forward = adjacency.matrices[relation]
+        reverse = adjacency.matrices[relation + base]
+        assert (forward.T != reverse).nnz == 0
+        assert adjacency.relation_names[relation + base].endswith("~rev")
+
+
+def test_row_normalization(toy_kg):
+    adjacency = build_hetero_adjacency(toy_kg, add_reverse=True, normalize=True)
+    for matrix in adjacency.matrices:
+        sums = np.asarray(matrix.sum(axis=1)).ravel()
+        nonzero = sums[sums > 0]
+        assert np.allclose(nonzero, 1.0)
+
+
+def test_adjacency_nbytes(toy_kg):
+    adjacency = build_hetero_adjacency(toy_kg)
+    assert adjacency.nbytes() > 0
+    assert adjacency.transform_seconds >= 0.0
+
+
+def test_xavier_features_shape_and_bound():
+    rng = np.random.default_rng(0)
+    feats = xavier_features(100, 16, rng)
+    assert feats.shape == (100, 16)
+    bound = np.sqrt(6.0 / 16)
+    assert np.abs(feats).max() <= bound
+
+
+def test_one_hot_type_features(toy_kg):
+    feats = one_hot_type_features(toy_kg)
+    assert feats.shape == (toy_kg.num_nodes, toy_kg.num_node_types)
+    assert np.allclose(feats.sum(axis=1), 1.0)
+    assert (feats.argmax(axis=1) == toy_kg.node_types).all()
