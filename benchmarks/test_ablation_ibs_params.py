@@ -16,7 +16,7 @@ def _sweep(scale="tiny", seed=7):
     task = bundle.task("PV")
     outcomes = []
     for top_k in (2, 8, 24):
-        sampler = InfluenceBasedSampler(bundle.kg, top_k=top_k, eps=2e-3, workers=2)
+        sampler = InfluenceBasedSampler(bundle.kg, top_k=top_k, eps=2e-3)
         sampled = sampler.sample(task, np.random.default_rng(seed))
         outcomes.append((top_k, sampled))
     return outcomes

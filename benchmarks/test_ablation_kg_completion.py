@@ -19,6 +19,10 @@ from repro.datasets import dblp
 from repro.models import ModelConfig
 from repro.training import TrainConfig
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 CONFIG = ModelConfig(hidden_dim=24, num_layers=1, lr=0.03, batch_size=256, margin=2.0)
 TRAIN = TrainConfig(epochs=15, eval_every=5, num_eval_negatives=30, max_eval_examples=40)
 

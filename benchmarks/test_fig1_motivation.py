@@ -9,6 +9,10 @@ Paper shape (PV on MAG-42M, ShaDowSAINT & SeHGNN):
 from repro.bench import experiments
 from repro.bench.harness import RUN_HEADERS, render_table
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 
 def test_fig1_motivation(benchmark, report):
     result = benchmark.pedantic(

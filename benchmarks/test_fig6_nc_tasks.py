@@ -9,6 +9,10 @@ tolerance band since the substrate differs).
 from repro.bench import experiments
 from repro.bench.harness import RUN_HEADERS, render_table
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 # Two test-set examples at tiny scale (~0.077 each) plus margin: accuracy
 # differences below this are quantisation noise, not signal.
 ACCURACY_TOLERANCE = 0.2

@@ -11,6 +11,10 @@ Paper shape:
 from repro.bench import experiments
 from repro.bench.harness import RUN_HEADERS, render_table
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 
 def test_fig7_lp_tasks(benchmark, report):
     result = benchmark.pedantic(

@@ -8,6 +8,10 @@ BRW/IBS while the sampling baselines pay a much larger extraction
 from repro.bench import experiments
 from repro.bench.harness import RUN_HEADERS, render_table
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 
 def test_fig8_extraction_methods(benchmark, report):
     result = benchmark.pedantic(

@@ -7,6 +7,10 @@ its achievable accuracy in a fraction of the FG wall-clock.
 from repro.bench import experiments
 from repro.bench.harness import render_series
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 
 def _time_to_reach(trace, target):
     for point in trace:

@@ -10,6 +10,10 @@ from repro.bench import experiments
 from repro.bench.harness import RUN_HEADERS, render_table
 from benchmarks.test_fig2_urw_pathology import QUALITY_HEADERS
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 
 def test_table3_subgraph_quality(benchmark, report):
     result = benchmark.pedantic(

@@ -7,6 +7,10 @@ training savings; models trained on KG′ are smaller and infer faster.
 from repro.bench import experiments
 from repro.bench.harness import render_table
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 HEADERS = [
     "task", "graph", "extract(s)", "transform(s)", "train(s)",
     "accuracy", "#params", "infer(ms)", "mem(MB)",

@@ -56,7 +56,7 @@ def extract_tosg(
     rng: Optional[np.random.Generator] = None,
     endpoint: Optional[SparqlEndpoint] = None,
     batch_size: Optional[int] = None,
-    workers: int = 4,
+    workers: Optional[int] = None,
     walk_length: Optional[int] = None,
     top_k: int = 16,
     alpha: float = 0.25,
@@ -76,6 +76,10 @@ def extract_tosg(
     batch_size:
         SPARQL page size, or the bs target-batch for BRW/IBS (defaults:
         100 000 rows / all targets).
+    workers:
+        SPARQL request-handler threads (default 4).  For ``"ibs"`` the knob
+        is deprecated and ignored — passing it forwards to the sampler,
+        which raises a :class:`DeprecationWarning`.
     rng:
         Required for the stochastic methods (BRW, IBS target choice).
 
@@ -98,7 +102,7 @@ def extract_tosg(
         extractor = SparqlTOSGExtractor(
             endpoint,
             batch_size=batch_size if batch_size is not None else 100_000,
-            workers=workers,
+            workers=workers if workers is not None else 4,
         )
         subgraph, mapping, stats = extractor.extract(task, pattern)
         params.update(
@@ -130,7 +134,7 @@ def extract_tosg(
             batch_size=batch_size if batch_size is not None else max(len(task.target_nodes), 1),
             alpha=alpha,
             eps=eps,
-            workers=workers,
+            workers=workers,  # deprecated no-op; the sampler warns if set
         )
         sampled = sampler.sample(task, rng)
         subgraph, mapping = sampled.subgraph, sampled.mapping

@@ -10,10 +10,9 @@ neighbourhoods into one TOSG that preserves the task's global structure.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
+from repro.kg.cache import artifacts_for
 from repro.kg.graph import KnowledgeGraph
 from repro.core.tasks import GNNTask
 from repro.sampling.urw import SampledSubgraph
@@ -44,13 +43,10 @@ class BiasedRandomWalkSampler:
         self.kg = kg
         self.walk_length = walk_length
         self.batch_size = batch_size
-        self._engine: Optional[RandomWalkEngine] = None
 
     @property
     def engine(self) -> RandomWalkEngine:
-        if self._engine is None:
-            self._engine = RandomWalkEngine(self.kg, direction="both")
-        return self._engine
+        return artifacts_for(self.kg).walk_engine("both")
 
     def _initial_vertices(self, task: GNNTask, rng: np.random.Generator) -> np.ndarray:
         """``getInitialVertices(bs, A.V_T)`` — random targets, no replacement."""

@@ -19,9 +19,9 @@ from typing import List, Optional
 import numpy as np
 import scipy.sparse as sp
 
+from repro.kg.cache import artifacts_for
 from repro.kg.graph import KnowledgeGraph
 from repro.core.tasks import GNNTask
-from repro.transform.adjacency import build_csr
 
 
 def multi_source_bfs_distances(adjacency: sp.csr_matrix, sources: np.ndarray) -> np.ndarray:
@@ -122,7 +122,7 @@ def evaluate_quality(
     target_ratio = (len(targets) / n * 100.0) if n else 0.0
 
     if n and len(targets):
-        adjacency = build_csr(subgraph, direction="both")
+        adjacency = artifacts_for(subgraph).csr("both")
         distances = multi_source_bfs_distances(adjacency, targets)
         non_target = np.ones(n, dtype=bool)
         non_target[targets] = False

@@ -1,0 +1,156 @@
+"""Shared per-graph artifact cache (the IBS/BRW/URW/bench hot path).
+
+Samplers, the SPARQL executor and the benchmark experiments all derive the
+same handful of artifacts from a :class:`~repro.kg.graph.KnowledgeGraph`:
+the symmetric/homogeneous CSR projections, the hexastore index, the random
+walk engine and the per-relation hetero adjacency stack.  Before this cache
+each consumer rebuilt them independently — e.g. one ``table3`` run built
+the identical symmetric CSR four times per dataset.
+
+:class:`GraphArtifacts` memoizes each artifact per graph; :func:`artifacts_for`
+hands out one shared instance per :class:`KnowledgeGraph`.
+
+Invalidation contract
+---------------------
+Artifacts are keyed by *object identity* of the graph, which the codebase
+treats as immutable after construction (subgraph extraction returns new
+``KnowledgeGraph`` instances rather than mutating).  There is therefore no
+invalidation: a mutated graph must be rebuilt, which naturally gets a fresh
+cache entry.  Artifacts live on the graph object itself (a plain reference
+cycle the garbage collector handles), so they die with their graph and
+throwaway subgraphs do not accumulate.  See ``docs/performance.md`` for the
+full contract.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.hexastore import Hexastore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.sampling.walks import RandomWalkEngine
+    from repro.transform.adjacency import Direction, HeteroAdjacency
+
+
+class GraphArtifacts:
+    """Memoized derived artifacts of one (immutable) knowledge graph.
+
+    All getters are idempotent and thread-safe; the first call builds, every
+    later call returns the shared instance.  This is the single construction
+    point for CSR projections, walk engines and hetero stacks outside
+    :mod:`repro.transform`.
+    """
+
+    def __init__(self, kg: KnowledgeGraph):
+        self.kg = kg
+        self._lock = threading.RLock()
+        self._csr: Dict[str, sp.csr_matrix] = {}
+        self._engines: Dict[str, "RandomWalkEngine"] = {}
+        self._hetero: Dict[Tuple[bool, bool], "HeteroAdjacency"] = {}
+
+    # -- homogeneous projections --
+
+    def csr(self, direction: "Direction" = "both") -> sp.csr_matrix:
+        """Homogeneous 0/1 CSR projection (memoized per direction)."""
+        with self._lock:
+            matrix = self._csr.get(direction)
+            if matrix is None:
+                from repro.transform.adjacency import build_csr
+
+                matrix = build_csr(self.kg, direction=direction)
+                self._csr[direction] = matrix
+            return matrix
+
+    # -- indices --
+
+    @property
+    def hexastore(self) -> Hexastore:
+        """The graph's (lazily built) six-permutation index."""
+        return self.kg.hexastore
+
+    # -- walk engines --
+
+    def walk_engine(self, direction: "Direction" = "both") -> "RandomWalkEngine":
+        """Shared random-walk engine over the cached CSR projection."""
+        with self._lock:
+            engine = self._engines.get(direction)
+            if engine is None:
+                from repro.sampling.walks import RandomWalkEngine
+
+                engine = RandomWalkEngine(
+                    self.kg, direction=direction, adjacency=self.csr(direction)
+                )
+                self._engines[direction] = engine
+            return engine
+
+    # -- heterogeneous stacks --
+
+    def hetero(
+        self, add_reverse: bool = True, normalize: bool = True
+    ) -> "HeteroAdjacency":
+        """Per-relation adjacency stack (memoized per flag combination)."""
+        key = (add_reverse, normalize)
+        with self._lock:
+            stack = self._hetero.get(key)
+            if stack is None:
+                from repro.transform.adjacency import build_hetero_adjacency
+
+                stack = build_hetero_adjacency(
+                    self.kg, add_reverse=add_reverse, normalize=normalize
+                )
+                self._hetero[key] = stack
+            return stack
+
+    # -- accounting --
+
+    def nbytes(self) -> int:
+        """Modeled resident bytes of all artifacts built so far."""
+        with self._lock:
+            total = 0
+            for matrix in self._csr.values():
+                total += matrix.data.nbytes + matrix.indices.nbytes + matrix.indptr.nbytes
+            for stack in self._hetero.values():
+                total += stack.nbytes()
+            if self.kg._hexastore is not None:
+                total += self.kg._hexastore.nbytes()
+            return int(total)
+
+    def clear(self) -> None:
+        """Drop every memoized artifact (they rebuild on next access)."""
+        with self._lock:
+            self._csr.clear()
+            self._engines.clear()
+            self._hetero.clear()
+
+
+# Artifacts hang off the graph object itself (not a module-level registry):
+# the kg <-> artifacts reference cycle is ordinary and cyclic-GC collected,
+# whereas a WeakKeyDictionary whose values reference their keys would pin
+# every graph forever.
+_ATTRIBUTE = "_graph_artifacts"
+_ATTACH_LOCK = threading.Lock()
+
+
+def artifacts_for(kg: KnowledgeGraph) -> GraphArtifacts:
+    """The shared :class:`GraphArtifacts` of ``kg`` (one per graph)."""
+    artifacts = getattr(kg, _ATTRIBUTE, None)
+    if artifacts is None:
+        with _ATTACH_LOCK:
+            artifacts = getattr(kg, _ATTRIBUTE, None)
+            if artifacts is None:
+                artifacts = GraphArtifacts(kg)
+                setattr(kg, _ATTRIBUTE, artifacts)
+    return artifacts
+
+
+def clear_artifacts(kg: KnowledgeGraph) -> None:
+    """Forget ``kg``'s cached artifacts (they rebuild on next access)."""
+    with _ATTACH_LOCK:
+        if getattr(kg, _ATTRIBUTE, None) is not None:
+            delattr(kg, _ATTRIBUTE)

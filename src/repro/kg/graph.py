@@ -10,6 +10,7 @@ separately (they carry node attributes, not graph structure).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
@@ -96,6 +97,7 @@ class KnowledgeGraph:
             if max_node >= len(node_vocab):
                 raise ValueError(f"triple references node {max_node} >= |V| {len(node_vocab)}")
         self._hexastore: Optional[Hexastore] = None
+        self._hexastore_lock = threading.Lock()
         self._nodes_by_type: Optional[Dict[int, np.ndarray]] = None
         self._out_degree: Optional[np.ndarray] = None
         self._in_degree: Optional[np.ndarray] = None
@@ -139,7 +141,11 @@ class KnowledgeGraph:
     def hexastore(self) -> Hexastore:
         """Lazily built six-permutation index over the entity triples."""
         if self._hexastore is None:
-            self._hexastore = Hexastore(self.triples)
+            # Double-checked so the SPARQL endpoint's worker threads share
+            # one index (its own lazy builds are serialized internally).
+            with self._hexastore_lock:
+                if self._hexastore is None:
+                    self._hexastore = Hexastore(self.triples)
         return self._hexastore
 
     def nodes_of_type(self, class_id: int) -> np.ndarray:
@@ -182,9 +188,10 @@ class KnowledgeGraph:
         """Subjects of triples with object ``node``."""
         return self.hexastore.in_neighbors(node)
 
-    def neighbors(self, node: int) -> np.ndarray:
-        """Unique in+out neighbours of ``node``."""
-        return self.hexastore.neighbors(node)
+    def neighbors(self, node: int, unique: bool = True) -> np.ndarray:
+        """In+out neighbours of ``node``; ``unique=False`` skips the dedup
+        sort (frontier-expansion fast path, see :meth:`Hexastore.neighbors`)."""
+        return self.hexastore.neighbors(node, unique=unique)
 
     # -- memory accounting --
 

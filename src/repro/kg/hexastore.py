@@ -7,14 +7,21 @@ SPARQL-based extraction (Algorithm 3) owes its "negligible preprocessing
 overhead" to exactly these indices; this module supplies the equivalent.
 
 The implementation stores, per ordering, a permutation of triple positions
-sorted lexicographically by that ordering, plus materialised sorted key
-columns.  Lookups are nested ``numpy.searchsorted`` range narrowings, i.e.
-O(log n) per bound component.
+sorted lexicographically by that ordering.  Both the orderings themselves
+and their sorted key columns are built *lazily*: an ordering materialises on
+its first lookup, and each sorted key column is derived from the stored
+permutation on the first lookup that actually binds that level.  A workload
+that only ever asks ``(s, ?, ?)`` patterns therefore pays for one
+``lexsort`` and one gathered column instead of six of each.  Lookups are
+nested ``numpy.searchsorted`` range narrowings, i.e. O(log n) per bound
+component; :meth:`Hexastore.batch_ranges` answers many sibling patterns with
+one batched ``searchsorted`` for the executor's vectorized joins.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+import threading
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -32,17 +39,38 @@ _ORDERS: Dict[str, Tuple[str, str, str]] = {
 
 
 class _SortedIndex:
-    """One of the six orderings: a permutation plus its sorted key columns."""
+    """One of the six orderings: a permutation plus lazy sorted key columns."""
 
-    __slots__ = ("order", "perm", "keys")
+    __slots__ = ("order", "perm", "_columns", "_keys", "_lock")
 
     def __init__(self, store: TripleStore, order: Tuple[str, str, str]):
         self.order = order
         columns = {"s": store.s, "p": store.p, "o": store.o}
-        primary, secondary, tertiary = (columns[c] for c in order)
+        self._columns = tuple(columns[c] for c in order)
         # numpy.lexsort sorts by the *last* key first.
-        self.perm = np.lexsort((tertiary, secondary, primary))
-        self.keys = tuple(columns[c][self.perm] for c in order)
+        self.perm = np.lexsort((self._columns[2], self._columns[1], self._columns[0]))
+        self._keys: List[Optional[np.ndarray]] = [None, None, None]
+        self._lock = threading.Lock()
+
+    def key(self, level: int) -> np.ndarray:
+        """Sorted key column of ``level``, derived from ``perm`` on first use."""
+        column = self._keys[level]
+        if column is None:
+            # Double-checked so concurrent endpoint workers gather once.
+            with self._lock:
+                column = self._keys[level]
+                if column is None:
+                    column = self._columns[level][self.perm]
+                    self._keys[level] = column
+        return column
+
+    def nbytes(self) -> int:
+        """Bytes of the permutation plus the key columns built so far."""
+        total = int(self.perm.nbytes)
+        for column in self._keys:
+            if column is not None:
+                total += int(column.nbytes)
+        return total
 
     def narrow(self, bound: Dict[str, int]) -> Tuple[int, int]:
         """Binary-search the run of positions matching the bound prefix.
@@ -55,7 +83,7 @@ class _SortedIndex:
         for level, component in enumerate(self.order):
             if component not in bound:
                 break
-            key_column = self.keys[level]
+            key_column = self.key(level)
             value = bound[component]
             window = key_column[lo:hi]
             new_lo = lo + int(np.searchsorted(window, value, side="left"))
@@ -75,12 +103,25 @@ def _choose_order(bound_components: frozenset) -> str:
     raise AssertionError(f"no order covers {bound_components}")  # pragma: no cover
 
 
+def _choose_order_with_next(bound_components: frozenset, next_component: str) -> str:
+    """Pick the index whose prefix is ``bound`` followed by ``next_component``."""
+    depth = len(bound_components)
+    for name, order in _ORDERS.items():
+        if set(order[:depth]) == set(bound_components) and order[depth] == next_component:
+            return name
+    raise AssertionError(  # pragma: no cover
+        f"no order covers {bound_components} then {next_component!r}"
+    )
+
+
 class Hexastore:
     """Six-permutation sorted index over a :class:`TripleStore`.
 
-    All six indices are built eagerly at construction (RDF engines build
-    them at load time); :meth:`match` then answers any triple pattern by
-    nested binary search on the best-suited ordering.
+    Each of the six indices is built on its first use (and its sorted key
+    columns on *their* first use), so the steady-state footprint reflects
+    the patterns a workload actually asks; :meth:`materialize` forces the
+    full RDF-engine-style eager build.  :meth:`match` answers any triple
+    pattern by nested binary search on the best-suited ordering.
 
     Example
     -------
@@ -92,19 +133,36 @@ class Hexastore:
 
     def __init__(self, store: TripleStore):
         self.store = store
-        self._indices: Dict[str, _SortedIndex] = {
-            name: _SortedIndex(store, order) for name, order in _ORDERS.items()
-        }
+        self._indices: Dict[str, _SortedIndex] = {}
+        self._build_lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self.store)
 
+    def _index(self, name: str) -> _SortedIndex:
+        index = self._indices.get(name)
+        if index is None:
+            # The SPARQL endpoint fans pages out to worker threads over one
+            # shared hexastore; double-checked locking keeps the one-time
+            # lexsort per ordering from running once per thread.
+            with self._build_lock:
+                index = self._indices.get(name)
+                if index is None:
+                    index = _SortedIndex(self.store, _ORDERS[name])
+                    self._indices[name] = index
+        return index
+
+    def materialize(self) -> "Hexastore":
+        """Eagerly build all six orderings and their key columns."""
+        for name in _ORDERS:
+            index = self._index(name)
+            for level in range(3):
+                index.key(level)
+        return self
+
     def nbytes(self) -> int:
-        """Approximate bytes used by the six permutations + key copies."""
-        total = 0
-        for index in self._indices.values():
-            total += index.perm.nbytes + sum(k.nbytes for k in index.keys)
-        return int(total)
+        """Approximate bytes used by the permutations + key columns built."""
+        return int(sum(index.nbytes() for index in self._indices.values()))
 
     def match(
         self,
@@ -126,7 +184,7 @@ class Hexastore:
             bound["o"] = int(obj)
         if not bound:
             return np.arange(len(self.store), dtype=np.int64)
-        index = self._indices[_choose_order(frozenset(bound))]
+        index = self._index(_choose_order(frozenset(bound)))
         lo, hi = index.narrow(bound)
         return index.perm[lo:hi]
 
@@ -146,9 +204,32 @@ class Hexastore:
             bound["o"] = int(obj)
         if not bound:
             return len(self.store)
-        index = self._indices[_choose_order(frozenset(bound))]
+        index = self._index(_choose_order(frozenset(bound)))
         lo, hi = index.narrow(bound)
         return hi - lo
+
+    def batch_ranges(
+        self,
+        bound: Dict[str, int],
+        component: str,
+        values: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched lookup of many sibling patterns in one ``searchsorted``.
+
+        For each ``v`` in ``values``, resolves the pattern whose constants
+        are ``bound`` plus ``{component: v}``.  Returns ``(los, his, perm)``
+        where ``perm[los[i]:his[i]]`` are the store positions matching the
+        i-th pattern.  ``bound`` may be empty; ``values`` need not be unique
+        but must be 1-D.
+        """
+        order_name = _choose_order_with_next(frozenset(bound), component)
+        index = self._index(order_name)
+        lo, hi = (0, len(index.perm)) if not bound else index.narrow(bound)
+        window = index.key(len(bound))[lo:hi]
+        values = np.asarray(values)
+        los = lo + np.searchsorted(window, values, side="left")
+        his = lo + np.searchsorted(window, values, side="right")
+        return los.astype(np.int64), his.astype(np.int64), index.perm
 
     def triples(
         self,
@@ -185,10 +266,23 @@ class Hexastore:
         """All subjects pointing to ``obj`` via any predicate."""
         return self.subjects(obj=obj)
 
-    def neighbors(self, node: int) -> np.ndarray:
-        """Union of in- and out-neighbours of ``node`` (unique, sorted)."""
+    def neighbors(self, node: int, unique: bool = True) -> np.ndarray:
+        """Union of in- and out-neighbours of ``node``.
+
+        ``unique=True`` (default) deduplicates and sorts.  ``unique=False``
+        skips the sort and may return duplicates — the fast path for
+        walk-style frontier expansion (ego-net BFS, fanout sampling) whose
+        callers dedupe downstream anyway.  One-sided nodes never pay the
+        concatenate+unique of the general case.
+        """
         outs = self.out_neighbors(node)
         ins = self.in_neighbors(node)
-        if len(outs) == 0 and len(ins) == 0:
+        if len(ins) == 0:
+            combined = outs
+        elif len(outs) == 0:
+            combined = ins
+        else:
+            combined = np.concatenate([outs, ins])
+        if len(combined) == 0:
             return np.empty(0, dtype=np.int64)
-        return np.unique(np.concatenate([outs, ins]))
+        return np.unique(combined) if unique else combined

@@ -29,7 +29,7 @@ from repro.nn.optim import Adam
 from repro.nn.tensor import no_grad
 from repro.sampling.urw import UniformRandomWalkSampler
 from repro.training.resources import ResourceMeter, activation_bytes
-from repro.transform.adjacency import build_hetero_adjacency
+from repro.kg.cache import artifacts_for
 
 # A node sampler: rng -> global node ids forming this step's subgraph.
 NodeSampler = Callable[[np.random.Generator], np.ndarray]
@@ -58,7 +58,7 @@ class GraphSAINTClassifier(Module):
         self.steps_per_epoch = steps_per_epoch
         self.meter = meter
         rng = config.rng()
-        self.adjacency = build_hetero_adjacency(kg, add_reverse=True, normalize=True)
+        self.adjacency = artifacts_for(kg).hetero(add_reverse=True, normalize=True)
         num_relations = self.adjacency.num_relations
         self.embedding = Embedding(kg.num_nodes, config.hidden_dim, rng)
         dims = [config.hidden_dim] * config.num_layers + [task.num_labels]

@@ -28,7 +28,7 @@ from repro.nn.layers import Embedding, Linear, Module, Parameter
 from repro.nn.optim import Adam
 from repro.nn.tensor import Tensor, no_grad, spmm, stack
 from repro.training.resources import ResourceMeter, activation_bytes
-from repro.transform.adjacency import build_hetero_adjacency
+from repro.kg.cache import artifacts_for
 
 
 class _LatentLayer(Module):
@@ -98,7 +98,7 @@ class LHGNNPredictor(Module):
         self.num_channels = num_channels
         rng = config.rng()
         hidden = config.hidden_dim
-        self.adjacency = build_hetero_adjacency(kg, add_reverse=True, normalize=True)
+        self.adjacency = artifacts_for(kg).hetero(add_reverse=True, normalize=True)
         num_relations = self.adjacency.num_relations
         self.embedding = Embedding(kg.num_nodes, hidden, rng)
         self.layer_one = _LatentLayer(num_relations, num_channels, hidden, hidden, rng)

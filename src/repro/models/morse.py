@@ -27,7 +27,7 @@ from repro.nn.layers import Embedding, Module
 from repro.nn.optim import Adam
 from repro.nn.tensor import Tensor, no_grad, spmm
 from repro.training.resources import ResourceMeter, activation_bytes
-from repro.transform.adjacency import build_hetero_adjacency
+from repro.kg.cache import artifacts_for
 from repro.transform.features import xavier_features
 
 
@@ -74,7 +74,7 @@ class MorsEPredictor(Module):
         # aggregation.  Xavier features play the role of the paper's
         # randomly initialised node embeddings (Section V-A3).
         self.node_features = xavier_features(kg.num_nodes, hidden, rng)
-        self.adjacency = build_hetero_adjacency(kg, add_reverse=True, normalize=True)
+        self.adjacency = artifacts_for(kg).hetero(add_reverse=True, normalize=True)
         self.refine = RGCNStack(
             self.adjacency.num_relations, [hidden, hidden], rng, dropout=config.dropout
         )

@@ -26,7 +26,7 @@ from repro.nn.layers import Embedding, Module
 from repro.nn.optim import Adam
 from repro.nn.tensor import Tensor, no_grad
 from repro.training.resources import ResourceMeter, activation_bytes
-from repro.transform.adjacency import build_hetero_adjacency
+from repro.kg.cache import artifacts_for
 
 
 class RGCNNodeClassifier(Module):
@@ -46,7 +46,7 @@ class RGCNNodeClassifier(Module):
         self.task = task
         self.config = config
         rng = config.rng()
-        self.adjacency = build_hetero_adjacency(kg, add_reverse=True, normalize=True)
+        self.adjacency = artifacts_for(kg).hetero(add_reverse=True, normalize=True)
         num_relations = self.adjacency.num_relations
         self.embedding = Embedding(kg.num_nodes, config.hidden_dim, rng)
         dims = [config.hidden_dim] * config.num_layers + [task.num_labels]
@@ -108,7 +108,7 @@ class RGCNLinkPredictor(Module):
         self.task = task
         self.config = config
         rng = config.rng()
-        self.adjacency = build_hetero_adjacency(kg, add_reverse=True, normalize=True)
+        self.adjacency = artifacts_for(kg).hetero(add_reverse=True, normalize=True)
         num_relations = self.adjacency.num_relations
         self.embedding = Embedding(kg.num_nodes, config.hidden_dim, rng)
         dims = [config.hidden_dim] * (config.num_layers + 1)

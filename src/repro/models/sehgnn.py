@@ -29,7 +29,7 @@ from repro.nn.init import xavier_uniform
 from repro.nn.optim import Adam
 from repro.nn.tensor import Tensor, no_grad, stack
 from repro.training.resources import ResourceMeter
-from repro.transform.adjacency import build_hetero_adjacency
+from repro.kg.cache import artifacts_for
 from repro.transform.features import xavier_features
 
 
@@ -54,7 +54,7 @@ class SeHGNNClassifier(Module):
         rng = config.rng()
         self.feature_dim = feature_dim
 
-        adjacency = build_hetero_adjacency(kg, add_reverse=True, normalize=True)
+        adjacency = artifacts_for(kg).hetero(add_reverse=True, normalize=True)
         features = xavier_features(kg.num_nodes, feature_dim, rng)
         self.metapath_names, metapath_feats = self._preaggregate(
             adjacency.matrices, adjacency.relation_names, features, num_two_hop

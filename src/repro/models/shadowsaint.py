@@ -24,7 +24,6 @@ from repro.nn.layers import Embedding, Linear, Module
 from repro.nn.optim import Adam
 from repro.nn.tensor import no_grad
 from repro.training.resources import ResourceMeter, activation_bytes
-from repro.transform.adjacency import build_hetero_adjacency
 
 
 @dataclass
@@ -99,9 +98,15 @@ class ShaDowSAINTClassifier(Module):
         for _hop in range(self.depth):
             next_frontier: List[int] = []
             for node in frontier:
-                neighbors = hexastore.neighbors(node)
+                # unique=False skips the dedup sort; `chosen_set` dedupes
+                # below.  Frontier order shifts, so fanout rng draws may
+                # land differently than pre-optimization revisions — still
+                # the same sampling distribution.
+                neighbors = hexastore.neighbors(node, unique=False)
                 if len(neighbors) > self.fanout:
-                    neighbors = rng.choice(neighbors, size=self.fanout, replace=False)
+                    neighbors = np.unique(neighbors)
+                    if len(neighbors) > self.fanout:
+                        neighbors = rng.choice(neighbors, size=self.fanout, replace=False)
                 for neighbor in neighbors:
                     neighbor = int(neighbor)
                     if neighbor not in chosen_set:

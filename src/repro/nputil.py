@@ -1,0 +1,38 @@
+"""Flat-array helpers shared by the vectorized kernels.
+
+Small primitives used by the batch PPR kernel and the SPARQL executor's
+vectorized joins; kept dependency-free so any layer may import them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def expand_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``[arange(s, s + c) for s, c in zip(starts, counts)]``.
+
+    The multi-range gather primitive: turns per-row CSR offsets (or per-key
+    run starts) plus lengths into one flat index array, without a Python
+    loop.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    cumulative = np.cumsum(counts)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(cumulative - counts, counts)
+    return np.repeat(starts, counts) + offsets
+
+
+def rank_within_sorted_groups(groups: np.ndarray) -> np.ndarray:
+    """Per-element rank inside runs of equal values of a sorted array.
+
+    ``[3, 3, 5, 5, 5, 9] -> [0, 1, 0, 1, 2, 0]``.
+    """
+    if groups.size == 0:
+        return np.empty(0, dtype=np.int64)
+    first = np.zeros(groups.size, dtype=np.int64)
+    boundaries = np.flatnonzero(groups[1:] != groups[:-1]) + 1
+    first[boundaries] = boundaries
+    np.maximum.accumulate(first, out=first)
+    return np.arange(groups.size, dtype=np.int64) - first

@@ -11,10 +11,10 @@ types — exactly the behaviour whose pathologies Figure 2 illustrates
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
+from repro.kg.cache import artifacts_for
 from repro.kg.graph import KnowledgeGraph, SubgraphMapping
 from repro.sampling.walks import RandomWalkEngine
 
@@ -60,13 +60,10 @@ class UniformRandomWalkSampler:
         self.kg = kg
         self.walk_length = walk_length
         self.num_roots = num_roots
-        self._engine: Optional[RandomWalkEngine] = None
 
     @property
     def engine(self) -> RandomWalkEngine:
-        if self._engine is None:
-            self._engine = RandomWalkEngine(self.kg, direction="both")
-        return self._engine
+        return artifacts_for(self.kg).walk_engine("both")
 
     def sample(self, rng: np.random.Generator) -> SampledSubgraph:
         """Draw one subgraph: uniform roots → walks → induced subgraph."""

@@ -13,7 +13,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.kg.graph import KnowledgeGraph
-from repro.transform.adjacency import build_csr, Direction
+from repro.transform.adjacency import Direction
 
 
 class RandomWalkEngine:
@@ -26,11 +26,24 @@ class RandomWalkEngine:
     direction:
         Which edge orientation the walk may traverse; GraphSAINT's URW walks
         the undirected projection (``'both'``).
+    adjacency:
+        Optional prebuilt CSR projection.  When omitted the engine pulls the
+        shared one from :func:`repro.kg.cache.artifacts_for`, so every
+        engine over the same graph/direction reuses one matrix.
     """
 
-    def __init__(self, kg: KnowledgeGraph, direction: Direction = "both"):
+    def __init__(
+        self,
+        kg: KnowledgeGraph,
+        direction: Direction = "both",
+        adjacency: Optional[sp.csr_matrix] = None,
+    ):
         self.kg = kg
-        self.adjacency: sp.csr_matrix = build_csr(kg, direction=direction)
+        if adjacency is None:
+            from repro.kg.cache import artifacts_for
+
+            adjacency = artifacts_for(kg).csr(direction)
+        self.adjacency: sp.csr_matrix = adjacency
         self.indptr = self.adjacency.indptr
         self.indices = self.adjacency.indices
         self.degrees = np.diff(self.indptr)

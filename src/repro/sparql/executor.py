@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triples import TripleStore
+from repro.nputil import expand_ranges
 from repro.sparql.ast import BGP, IRI, SelectQuery, TriplePattern, Union, Var
 
 
@@ -282,6 +283,11 @@ class QueryExecutor:
                 return bindings
             return _cross_join(bindings, new_cols)
 
+        if len(bound_vars) == 1:
+            return self._join_single_bound(
+                bindings, consts, bound_vars[0], free_vars, repeated_pairs, pattern_names
+            )
+
         # Group rows by their distinct bound-value combinations so each
         # distinct combination costs one index lookup.
         key_columns = [bindings.columns[name] for _component, name in bound_vars]
@@ -313,6 +319,57 @@ class QueryExecutor:
         columns = {name: column[row_rep] for name, column in bindings.columns.items()}
         for component, name in free_vars:
             columns[name] = getattr(store, component)[pos_rep]
+        return _Bindings(columns, rows=len(row_rep))
+
+    def _join_single_bound(
+        self,
+        bindings: _Bindings,
+        consts: Dict[str, int],
+        bound_var: Tuple[str, str],
+        free_vars: List[Tuple[str, str]],
+        repeated_pairs: List[Tuple[str, str]],
+        pattern_names: List[str],
+    ) -> _Bindings:
+        """Vectorized join for the common single-bound-variable pattern.
+
+        Instead of one hexastore lookup per distinct key, all distinct keys
+        are resolved with one batched ``searchsorted`` over the sorted key
+        column of the ordering whose prefix is ``consts + bound component``
+        (:meth:`Hexastore.batch_ranges`).  Produces rows in exactly the
+        per-key order of the generic loop.
+        """
+        store = self.kg.triples
+        component, name = bound_var
+        column = bindings.columns[name]
+        unique_keys, inverse = np.unique(column, return_inverse=True)
+
+        los, his, perm = self.kg.hexastore.batch_ranges(consts, component, unique_keys)
+        counts = his - los
+        pos_flat = perm[expand_ranges(los, counts)]
+        if repeated_pairs and len(pos_flat):
+            keep = np.ones(len(pos_flat), dtype=bool)
+            for first, second in repeated_pairs:
+                keep &= getattr(store, first)[pos_flat] == getattr(store, second)[pos_flat]
+            key_ids = np.repeat(np.arange(len(unique_keys)), counts)[keep]
+            pos_flat = pos_flat[keep]
+            counts = np.bincount(key_ids, minlength=len(unique_keys))
+        if len(pos_flat) == 0:
+            return bindings.with_names(pattern_names)
+        key_starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+
+        # Expand per row, grouped by key with rows in original order — the
+        # same output order the per-key loop produces.
+        order = np.argsort(inverse, kind="stable")
+        keys_of_rows = inverse[order]
+        row_counts = counts[keys_of_rows]
+        row_rep = np.repeat(order, row_counts)
+        if len(row_rep) == 0:
+            return bindings.with_names(pattern_names)
+        pos_rep = pos_flat[expand_ranges(key_starts[keys_of_rows], row_counts)]
+
+        columns = {n: col[row_rep] for n, col in bindings.columns.items()}
+        for free_component, free_name in free_vars:
+            columns[free_name] = getattr(store, free_component)[pos_rep]
         return _Bindings(columns, rows=len(row_rep))
 
     def _filter_repeats(

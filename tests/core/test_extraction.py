@@ -45,7 +45,7 @@ def test_brw_parameter_validation(toy_kg):
 
 
 def test_ibs_includes_targets_and_influencers(toy_kg, toy_task):
-    sampler = InfluenceBasedSampler(toy_kg, top_k=3, batch_size=6, workers=1)
+    sampler = InfluenceBasedSampler(toy_kg, top_k=3, batch_size=6)
     sampled = sampler.sample(toy_task, np.random.default_rng(0))
     new_names = set(sampled.subgraph.node_vocab)
     # All six papers were chosen as the partition's targets.
@@ -54,11 +54,19 @@ def test_ibs_includes_targets_and_influencers(toy_kg, toy_task):
     assert "Movie" not in set(sampled.subgraph.class_vocab)
 
 
-def test_ibs_parallel_matches_serial(toy_kg, toy_task):
-    serial = InfluenceBasedSampler(toy_kg, top_k=3, workers=1)
-    parallel = InfluenceBasedSampler(toy_kg, top_k=3, workers=4)
+def test_ibs_workers_is_a_deprecated_noop(toy_kg, toy_task):
+    default = InfluenceBasedSampler(toy_kg, top_k=3)
+    with pytest.warns(DeprecationWarning):
+        legacy = InfluenceBasedSampler(toy_kg, top_k=3, workers=4)
     targets = toy_task.target_nodes
-    assert serial.influence_pairs(targets) == parallel.influence_pairs(targets)
+    assert default.influence_pairs(targets) == legacy.influence_pairs(targets)
+
+
+def test_ibs_chunking_is_invisible(toy_kg, toy_task):
+    whole = InfluenceBasedSampler(toy_kg, top_k=3)
+    chunked = InfluenceBasedSampler(toy_kg, top_k=3, chunk_size=2)
+    targets = toy_task.target_nodes
+    assert whole.influence_pairs(targets) == chunked.influence_pairs(targets)
 
 
 def test_sparql_extractor_basic(toy_kg, toy_task):

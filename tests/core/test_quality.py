@@ -12,11 +12,11 @@ from repro.core.quality import (
 )
 from repro.core.tasks import remap_task
 from repro.kg.graph import KnowledgeGraph
-from repro.transform.adjacency import build_csr
+from repro.kg.cache import artifacts_for
 
 
 def test_bfs_distances_chain(toy_kg):
-    adjacency = build_csr(toy_kg, direction="both")
+    adjacency = artifacts_for(toy_kg).csr("both")
     p0 = toy_kg.node_vocab.id("p0")
     distances = multi_source_bfs_distances(adjacency, np.asarray([p0]))
     assert distances[p0] == 0
@@ -26,7 +26,7 @@ def test_bfs_distances_chain(toy_kg):
 
 
 def test_bfs_matches_networkx(toy_kg):
-    adjacency = build_csr(toy_kg, direction="both")
+    adjacency = artifacts_for(toy_kg).csr("both")
     sources = np.asarray([toy_kg.node_vocab.id("p0"), toy_kg.node_vocab.id("p5")])
     distances = multi_source_bfs_distances(adjacency, sources)
     graph = nx.Graph()
@@ -42,7 +42,7 @@ def test_bfs_matches_networkx(toy_kg):
 
 
 def test_bfs_empty_sources(toy_kg):
-    adjacency = build_csr(toy_kg, direction="both")
+    adjacency = artifacts_for(toy_kg).csr("both")
     distances = multi_source_bfs_distances(adjacency, np.empty(0, dtype=np.int64))
     assert np.isinf(distances).all()
 

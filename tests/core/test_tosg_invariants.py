@@ -15,7 +15,7 @@ from repro.core.tasks import NodeClassificationTask, Split
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triples import TripleStore
 from repro.kg.vocabulary import Vocabulary
-from repro.transform.adjacency import build_csr
+from repro.kg.cache import artifacts_for
 
 _NUM_NODES = 12
 _NUM_CLASSES = 4
@@ -86,7 +86,7 @@ def test_sparql_tosg_invariants(node_types, triples, target_class, direction, ho
     # "every non-target vertex is reachable to a vertex in V_T").
     if subgraph.num_edges == 0:
         return
-    adjacency = build_csr(subgraph, direction="both")
+    adjacency = artifacts_for(subgraph).csr("both")
     distances = multi_source_bfs_distances(adjacency, result.task.target_nodes)
     non_target = np.ones(subgraph.num_nodes, dtype=bool)
     non_target[result.task.target_nodes] = False
@@ -107,6 +107,6 @@ def test_brw_tosg_reachability(node_types, triples, target_class, seed):
     # subgraph is within walk_length undirected hops of some target.
     if result.subgraph.num_edges == 0:
         return
-    adjacency = build_csr(result.subgraph, direction="both")
+    adjacency = artifacts_for(result.subgraph).csr("both")
     distances = multi_source_bfs_distances(adjacency, result.task.target_nodes)
     assert np.isfinite(distances).all()

@@ -1,0 +1,99 @@
+"""GraphArtifacts: one shared construction point per graph."""
+
+import numpy as np
+
+from repro.kg.cache import GraphArtifacts, artifacts_for, clear_artifacts
+from repro.kg.graph import KnowledgeGraph
+from repro.transform.adjacency import build_csr
+
+
+def _kg(name="cache-kg"):
+    nodes = [(f"n{i}", "A" if i % 2 else "B") for i in range(6)]
+    triples = [("n0", "r", "n1"), ("n1", "r", "n2"), ("n3", "s", "n4")]
+    return KnowledgeGraph.build(nodes, triples, name=name)
+
+
+def test_artifacts_are_shared_per_graph():
+    kg = _kg()
+    assert artifacts_for(kg) is artifacts_for(kg)
+    other = _kg("other")
+    assert artifacts_for(kg) is not artifacts_for(other)
+
+
+def test_csr_memoized_per_direction_and_correct():
+    kg = _kg()
+    artifacts = artifacts_for(kg)
+    both = artifacts.csr("both")
+    assert artifacts.csr("both") is both
+    assert (both != build_csr(kg, direction="both")).nnz == 0
+    out = artifacts.csr("out")
+    assert out is not both
+    assert (out != build_csr(kg, direction="out")).nnz == 0
+    assert np.array_equal(artifacts.walk_engine("both").degrees, np.diff(both.indptr))
+
+
+def test_walk_engine_shares_cached_csr():
+    kg = _kg()
+    artifacts = artifacts_for(kg)
+    engine = artifacts.walk_engine("both")
+    assert artifacts.walk_engine("both") is engine
+    assert engine.adjacency is artifacts.csr("both")
+
+
+def test_samplers_share_one_engine_and_adjacency():
+    from repro.core.brw import BiasedRandomWalkSampler
+    from repro.core.ibs import InfluenceBasedSampler
+    from repro.sampling.urw import UniformRandomWalkSampler
+
+    kg = _kg()
+    urw = UniformRandomWalkSampler(kg)
+    brw = BiasedRandomWalkSampler(kg)
+    ibs = InfluenceBasedSampler(kg)
+    assert urw.engine is brw.engine
+    assert ibs.adjacency is urw.engine.adjacency
+
+
+def test_hetero_memoized_per_flags():
+    kg = _kg()
+    artifacts = artifacts_for(kg)
+    stack = artifacts.hetero()
+    assert artifacts.hetero() is stack
+    assert artifacts.hetero(add_reverse=False) is not stack
+    assert stack.num_relations == 2 * kg.num_edge_types
+
+
+def test_hexastore_is_the_graphs_index():
+    kg = _kg()
+    assert artifacts_for(kg).hexastore is kg.hexastore
+
+
+def test_nbytes_grows_with_built_artifacts_and_clear_resets():
+    kg = _kg()
+    artifacts = artifacts_for(kg)
+    assert artifacts.nbytes() == 0
+    artifacts.csr("both")
+    after_csr = artifacts.nbytes()
+    assert after_csr > 0
+    artifacts.hetero()
+    assert artifacts.nbytes() > after_csr
+    artifacts.clear()
+    assert artifacts.nbytes() >= 0  # hexastore (if built) survives on the KG
+    assert artifacts.csr("both") is not None
+
+
+def test_registry_entries_die_with_their_graph():
+    import gc
+    import weakref
+
+    kg = _kg()
+    reference = weakref.ref(artifacts_for(kg))
+    del kg
+    gc.collect()
+    assert reference() is None
+
+
+def test_clear_artifacts_forgets_graph():
+    kg = _kg()
+    first = artifacts_for(kg)
+    clear_artifacts(kg)
+    assert artifacts_for(kg) is not first

@@ -76,10 +76,42 @@ def test_empty_store():
     assert len(hexa.neighbors(0)) == 0
 
 
-def test_nbytes_counts_all_indices():
+def test_nbytes_counts_all_indices_once_materialized():
     hexa = Hexastore(TripleStore.from_triples([(0, 1, 2)] * 10))
+    # Indices are lazy: nothing is resident before the first lookup.
+    assert hexa.nbytes() == 0
+    hexa.materialize()
     # 6 orders × (perm + 3 key arrays) × 10 entries × 8 bytes
     assert hexa.nbytes() == 6 * 4 * 10 * 8
+
+
+def test_lazy_indices_build_only_what_lookups_touch():
+    hexa = Hexastore(TripleStore.from_triples([(0, 1, 2), (3, 1, 4)]))
+    hexa.match(subject=0)
+    # One ordering (perm) + one sorted key column (the subject level).
+    assert hexa.nbytes() == 2 * 2 * 8
+    assert set(hexa.match(subject=0).tolist()) == {0}
+
+
+def test_neighbors_unique_flag():
+    store = TripleStore.from_triples([(0, 1, 2), (0, 2, 2), (3, 1, 0)])
+    hexa = Hexastore(store)
+    assert sorted(hexa.neighbors(0).tolist()) == [2, 3]
+    raw = hexa.neighbors(0, unique=False)
+    assert sorted(raw.tolist()) == [2, 2, 3]
+    # One-sided nodes skip the concatenate entirely.
+    assert hexa.neighbors(2, unique=False).tolist() == [0, 0]
+    assert hexa.neighbors(2).tolist() == [0]
+
+
+def test_batch_ranges_matches_per_key_match():
+    triples = [(0, 1, 2), (0, 1, 3), (4, 1, 2), (0, 2, 2), (4, 2, 5)]
+    hexa = Hexastore(TripleStore.from_triples(triples))
+    values = np.asarray([0, 2, 4, 9])
+    los, his, perm = hexa.batch_ranges({"p": 1}, "s", values)
+    for value, lo, hi in zip(values, los, his):
+        expected = set(hexa.match(subject=int(value), predicate=1).tolist())
+        assert set(perm[lo:hi].tolist()) == expected
 
 
 @settings(max_examples=60)

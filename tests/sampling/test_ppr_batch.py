@@ -1,0 +1,143 @@
+"""Batch PPR kernel: exact equivalence with the scalar push oracle.
+
+The batch kernel replays the scalar FIFO push schedule per target, so the
+equivalence here is *exact* (we still assert with a 1e-9 band to stay
+robust to harmless float churn): same touched sets, same top-k selections,
+same scores — across random graphs, dangling nodes, isolated targets and
+arbitrary chunk splits.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.sampling.ppr import (
+    approximate_ppr,
+    batch_approximate_ppr,
+    batch_ppr_top_k,
+    ppr_top_k,
+)
+
+
+def _random_graph(n, density, seed, with_dangling=False):
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((n, n)) < density).astype(float)
+    np.fill_diagonal(dense, 0)
+    dense = dense + dense.T
+    if with_dangling and n > 2:
+        # Cut a couple of nodes loose entirely.
+        loose = rng.choice(n, size=max(n // 4, 1), replace=False)
+        dense[loose, :] = 0.0
+        dense[:, loose] = 0.0
+    adjacency = sp.csr_matrix(dense)
+    adjacency.data[:] = 1.0
+    return adjacency
+
+
+def _assert_matches_oracle(adjacency, targets, k, alpha, eps, chunk_size=None):
+    batch = batch_ppr_top_k(
+        adjacency, targets, k, alpha=alpha, eps=eps, chunk_size=chunk_size
+    )
+    maps = batch_approximate_ppr(
+        adjacency, targets, alpha=alpha, eps=eps, chunk_size=chunk_size
+    )
+    assert set(batch) == {int(t) for t in targets}
+    for target in targets:
+        target = int(target)
+        oracle_ranked = ppr_top_k(adjacency, target, k, alpha=alpha, eps=eps)
+        got = batch[target]
+        assert [node for node, _ in got] == [node for node, _ in oracle_ranked]
+        for (_, got_score), (_, oracle_score) in zip(got, oracle_ranked):
+            assert got_score == pytest.approx(oracle_score, abs=1e-9)
+        oracle_map = approximate_ppr(adjacency, [target], alpha=alpha, eps=eps)
+        assert set(maps[target]) == set(oracle_map)
+        for node, score in oracle_map.items():
+            assert maps[target][node] == pytest.approx(score, abs=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=40),
+    st.integers(min_value=0, max_value=1000),
+    st.sampled_from([2e-4, 1e-3, 5e-3]),
+    st.sampled_from([0.1, 0.25, 0.6]),
+    st.booleans(),
+)
+def test_batch_matches_scalar_oracle_property(n, seed, eps, alpha, with_dangling):
+    adjacency = _random_graph(n, 0.2, seed, with_dangling=with_dangling)
+    rng = np.random.default_rng(seed + 1)
+    targets = rng.choice(n, size=min(n, 8), replace=False)
+    _assert_matches_oracle(adjacency, targets, k=5, alpha=alpha, eps=eps)
+
+
+def test_chunking_does_not_change_results():
+    adjacency = _random_graph(30, 0.2, seed=3)
+    targets = np.arange(30)
+    whole = batch_ppr_top_k(adjacency, targets, 6, eps=1e-3)
+    for chunk_size in (1, 3, 7, 30, 100):
+        assert batch_ppr_top_k(adjacency, targets, 6, eps=1e-3, chunk_size=chunk_size) == whole
+
+
+def test_isolated_targets_have_empty_top_k_and_unit_self_mass():
+    adjacency = sp.csr_matrix((6, 6))
+    result = batch_ppr_top_k(adjacency, [0, 4], 3)
+    assert result == {0: [], 4: []}
+    maps = batch_approximate_ppr(adjacency, [2], alpha=0.3)
+    assert maps[2] == pytest.approx({2: 1.0})
+
+
+def test_dangling_nodes_inside_connected_graph():
+    # 0-1-2 chain plus isolated 3; seed every node.
+    rows = [0, 1, 1, 2]
+    cols = [1, 0, 2, 1]
+    adjacency = sp.csr_matrix((np.ones(4), (rows, cols)), shape=(4, 4))
+    _assert_matches_oracle(adjacency, [0, 1, 2, 3], k=3, alpha=0.25, eps=1e-4)
+
+
+def test_duplicate_targets_are_tolerated():
+    adjacency = _random_graph(12, 0.3, seed=9)
+    result = batch_ppr_top_k(adjacency, [4, 4, 7], 3, eps=1e-3)
+    assert set(result) == {4, 7}
+    assert result[4] == batch_ppr_top_k(adjacency, [4], 3, eps=1e-3)[4]
+
+
+def test_empty_target_list():
+    assert batch_ppr_top_k(_random_graph(5, 0.4, seed=1), [], 3) == {}
+    assert batch_approximate_ppr(_random_graph(5, 0.4, seed=1), []) == {}
+
+
+def test_parameter_validation():
+    adjacency = _random_graph(5, 0.4, seed=2)
+    with pytest.raises(ValueError):
+        batch_ppr_top_k(adjacency, [0], 3, alpha=0.0)
+    with pytest.raises(ValueError):
+        batch_ppr_top_k(adjacency, [0], 3, eps=0.0)
+    with pytest.raises(ValueError):
+        batch_ppr_top_k(adjacency, [0], 0)
+    with pytest.raises(ValueError):
+        batch_approximate_ppr(adjacency, [0], alpha=1.5)
+    with pytest.raises(ValueError):
+        batch_approximate_ppr(adjacency, [0], eps=-1.0)
+
+
+def test_scalar_fallback_beyond_dense_node_limit(monkeypatch):
+    import repro.sampling.ppr as ppr_module
+
+    adjacency = _random_graph(25, 0.2, seed=11)
+    targets = np.arange(0, 25, 3)
+    dense = batch_ppr_top_k(adjacency, targets, 4, eps=1e-3)
+    dense_maps = batch_approximate_ppr(adjacency, targets, eps=1e-3)
+    monkeypatch.setattr(ppr_module, "DENSE_NODE_LIMIT", 10)
+    assert batch_ppr_top_k(adjacency, targets, 4, eps=1e-3) == dense
+    assert batch_approximate_ppr(adjacency, targets, eps=1e-3) == dense_maps
+
+
+def test_scores_sorted_descending_with_id_tiebreak():
+    adjacency = _random_graph(20, 0.25, seed=5)
+    for ranked in batch_ppr_top_k(adjacency, np.arange(20), 8, eps=1e-3).values():
+        scores = [score for _, score in ranked]
+        assert scores == sorted(scores, reverse=True)
+        for (node_a, score_a), (node_b, score_b) in zip(ranked, ranked[1:]):
+            if score_a == score_b:
+                assert node_a < node_b
