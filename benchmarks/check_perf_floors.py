@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""CI perf-guard: verify recorded batch-kernel speedups against their floors.
+
+Reads ``benchmarks/reports/BENCH_sampling.json`` (written by
+``benchmarks/test_perf_sampling.py``, which records each benchmark's
+measured speedup *and* its regression floor) and exits non-zero if any
+speedup fell below its floor or the report is missing/incomplete.  Run it
+after the perf benchmarks:
+
+    PYTHONPATH=src python -m pytest -q benchmarks/test_perf_sampling.py
+    python benchmarks/check_perf_floors.py
+
+Floors are maintained in ``FLOORS`` in ``test_perf_sampling.py`` — see
+``docs/ci.md`` for the update policy.
+"""
+
+import json
+import os
+import sys
+
+EXPECTED = (
+    "ibs_influence_scoring",
+    "ppr_sparse_frontier",
+    "shadow_ego_bfs",
+    "sparql_multi_bound_join",
+)
+
+REPORT = os.path.join(os.path.dirname(__file__), "reports", "BENCH_sampling.json")
+
+
+def main() -> int:
+    if not os.path.exists(REPORT):
+        print(f"perf-guard: {REPORT} not found — run the perf benchmarks first")
+        return 1
+    with open(REPORT, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    benchmarks = data.get("benchmarks", {})
+    failures = []
+    for name in EXPECTED:
+        entry = benchmarks.get(name)
+        if entry is None:
+            print(f"{name:26s} MISSING from report")
+            failures.append(name)
+            continue
+        speedup, floor = entry["speedup"], entry["floor"]
+        ok = speedup >= floor
+        status = "ok" if ok else "BELOW FLOOR"
+        print(f"{name:26s} speedup {speedup:6.2f}x  floor {floor:.2f}x  {status}")
+        if not ok:
+            failures.append(name)
+    if failures:
+        print(f"perf-guard: {len(failures)} benchmark(s) regressed: {', '.join(failures)}")
+        return 1
+    print("perf-guard: all batch-kernel speedups at or above their floors")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

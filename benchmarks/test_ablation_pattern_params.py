@@ -5,7 +5,6 @@ must grow monotonically along d1h1 → d2h1 → d2h2 and d1h1 → d1h2 → d2h2,
 and every variant keeps all target vertices.
 """
 
-import numpy as np
 
 from repro.bench.harness import render_table
 from repro.core import extract_tosg

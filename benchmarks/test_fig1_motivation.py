@@ -20,7 +20,9 @@ def test_fig1_motivation(benchmark, report):
     )
     lines = []
     for method, runs in result.sections.items():
-        lines.append(render_table(RUN_HEADERS, [r.cells() for r in runs], title=f"Fig.1 {method} (PV/MAG)"))
+        lines.append(
+            render_table(RUN_HEADERS, [r.cells() for r in runs], title=f"Fig.1 {method} (PV/MAG)")
+        )
     report("fig1_motivation", "\n\n".join(lines))
 
     for method, runs in result.sections.items():

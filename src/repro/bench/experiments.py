@@ -11,9 +11,8 @@ what gets reduced, where OOM happens, how convergence compares.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -110,7 +109,9 @@ def _dataset(name: str, scale, seed: int) -> catalog.DatasetBundle:
     return maker(scale, seed)
 
 
-def _urw_quality(bundle, task, seed: int, walk_length: int = 2, num_roots: int = 20) -> QualityReport:
+def _urw_quality(
+    bundle, task, seed: int, walk_length: int = 2, num_roots: int = 20
+) -> QualityReport:
     sampler = UniformRandomWalkSampler(bundle.kg, walk_length=walk_length, num_roots=num_roots)
     sampled = sampler.sample(np.random.default_rng(seed))
     remapped = remap_task(task, sampled.subgraph, sampled.mapping)
@@ -269,7 +270,9 @@ def fig7_lp_tasks(scale="small", seed: int = 7) -> ExperimentResult:
 _FIG8_TASKS = [("PV/MAG", "mag", "PV"), ("PV/DBLP", "dblp", "PV"), ("PC/YAGO", "yago4", "PC")]
 
 
-def fig8_extraction_methods(scale="small", seed: int = 7, train_epochs: int = 6) -> ExperimentResult:
+def fig8_extraction_methods(
+    scale="small", seed: int = 7, train_epochs: int = 6
+) -> ExperimentResult:
     """Accuracy / total time / memory per extraction method (Figure 8)."""
     variants = [
         ("brw", {"walk_length": 3, "batch_size": 20000}),

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.kg.graph import KnowledgeGraph
-from repro.core.tasks import GNNTask, LinkPredictionTask, NodeClassificationTask
+from repro.core.tasks import LinkPredictionTask, NodeClassificationTask
 from repro.models import (
     GraphSAINTClassifier,
     LHGNNPredictor,

@@ -9,8 +9,8 @@ when a task "moves" from the full KG onto an extracted TOSG.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Union
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
 
 import numpy as np
 

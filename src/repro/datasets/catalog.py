@@ -26,7 +26,7 @@ heavier sweeps.  Type-richness ordering follows Table I
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 

@@ -25,9 +25,8 @@ full contract.
 from __future__ import annotations
 
 import threading
-from typing import TYPE_CHECKING, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Tuple
 
-import numpy as np
 import scipy.sparse as sp
 
 from repro.kg.graph import KnowledgeGraph

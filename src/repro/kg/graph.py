@@ -84,7 +84,9 @@ class KnowledgeGraph:
         self.node_vocab = node_vocab
         self.class_vocab = class_vocab
         self.relation_vocab = relation_vocab
-        self.literal_vocab = literal_vocab if literal_vocab is not None else Vocabulary(name="literals")
+        self.literal_vocab = (
+            literal_vocab if literal_vocab is not None else Vocabulary(name="literals")
+        )
         self.node_types = np.asarray(node_types, dtype=np.int64)
         self.triples = triples
         self.literal_triples = literal_triples if literal_triples is not None else TripleStore()
@@ -165,7 +167,9 @@ class KnowledgeGraph:
     def out_degree(self) -> np.ndarray:
         """Out-degree per node over entity triples."""
         if self._out_degree is None:
-            self._out_degree = np.bincount(self.triples.s, minlength=self.num_nodes).astype(np.int64)
+            self._out_degree = np.bincount(
+                self.triples.s, minlength=self.num_nodes
+            ).astype(np.int64)
         return self._out_degree
 
     def in_degree(self) -> np.ndarray:
@@ -201,7 +205,9 @@ class KnowledgeGraph:
 
     # -- subgraph extraction --
 
-    def induced_subgraph(self, nodes: np.ndarray, name: Optional[str] = None) -> tuple["KnowledgeGraph", SubgraphMapping]:
+    def induced_subgraph(
+        self, nodes: np.ndarray, name: Optional[str] = None
+    ) -> tuple["KnowledgeGraph", SubgraphMapping]:
         """Node-induced subgraph: keep triples with both endpoints in ``nodes``.
 
         This is the ``extractSubgraph`` step shared by Algorithms 1 and 2 of
@@ -234,7 +240,9 @@ class KnowledgeGraph:
             nodes = np.unique(np.concatenate([nodes, np.asarray(extra_nodes, dtype=np.int64)]))
         return self._build_subgraph(nodes, triples, name or f"{self.name}-triples")
 
-    def _build_subgraph(self, nodes: np.ndarray, kept: TripleStore, name: str) -> tuple["KnowledgeGraph", SubgraphMapping]:
+    def _build_subgraph(
+        self, nodes: np.ndarray, kept: TripleStore, name: str
+    ) -> tuple["KnowledgeGraph", SubgraphMapping]:
         new_node_vocab, node_old_to_new = self.node_vocab.restrict(nodes.tolist())
         node_old_ids = nodes
 
@@ -254,10 +262,14 @@ class KnowledgeGraph:
 
         # Compact surviving relations.
         surviving_relations = np.unique(kept.p) if len(kept) else np.empty(0, dtype=np.int64)
-        new_relation_vocab, relation_old_to_new = self.relation_vocab.restrict(surviving_relations.tolist())
+        new_relation_vocab, relation_old_to_new = self.relation_vocab.restrict(
+            surviving_relations.tolist()
+        )
         relation_lookup = np.full(max(self.num_edge_types, 1), -1, dtype=np.int64)
         if len(surviving_relations):
-            relation_lookup[surviving_relations] = np.arange(len(surviving_relations), dtype=np.int64)
+            relation_lookup[surviving_relations] = np.arange(
+                len(surviving_relations), dtype=np.int64
+            )
         new_p = relation_lookup[kept.p] if len(kept) else kept.p
 
         # Literal triples whose subject survives.

@@ -21,7 +21,7 @@ one batched ``searchsorted`` for the executor's vectorized joins.
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -112,6 +112,35 @@ def _choose_order_with_next(bound_components: frozenset, next_component: str) ->
     raise AssertionError(  # pragma: no cover
         f"no order covers {bound_components} then {next_component!r}"
     )
+
+
+def _choose_order_with_group(
+    bound_components: frozenset, group: Sequence[str]
+) -> Tuple[str, Tuple[int, ...]]:
+    """Pick an index whose prefix is ``bound`` then the ``group`` components.
+
+    The group may land in the index in either internal order; returns the
+    index name plus, per index level, which position of ``group`` supplies
+    that level's key (so callers can reorder their key columns to match).
+    """
+    depth = len(bound_components)
+    wanted = set(group)
+    for name, order in _ORDERS.items():
+        if set(order[:depth]) != set(bound_components):
+            continue
+        if set(order[depth : depth + len(group)]) == wanted:
+            layout = tuple(group.index(order[depth + i]) for i in range(len(group)))
+            return name, layout
+    raise AssertionError(  # pragma: no cover
+        f"no order covers {bound_components} then group {group}"
+    )
+
+
+def _radix_product_fits_int64(radices: List[int]) -> bool:
+    product = 1
+    for radix in radices:
+        product *= radix
+    return product < 2**63
 
 
 class Hexastore:
@@ -211,25 +240,76 @@ class Hexastore:
     def batch_ranges(
         self,
         bound: Dict[str, int],
-        component: str,
+        component: Union[str, Sequence[str]],
         values: np.ndarray,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Batched lookup of many sibling patterns in one ``searchsorted``.
 
-        For each ``v`` in ``values``, resolves the pattern whose constants
-        are ``bound`` plus ``{component: v}``.  Returns ``(los, his, perm)``
-        where ``perm[los[i]:his[i]]`` are the store positions matching the
-        i-th pattern.  ``bound`` may be empty; ``values`` need not be unique
-        but must be 1-D.
+        With a single ``component``, resolves — for each ``v`` in the 1-D
+        ``values`` — the pattern whose constants are ``bound`` plus
+        ``{component: v}``.  With a *sequence* of components, ``values``
+        must be 2-D with one column per component (in the given order) and
+        each row resolves the pattern binding all of them at once: the
+        sorted-merge over composite keys that vectorizes the executor's
+        multi-bound-variable joins.
+
+        Returns ``(los, his, perm)`` where ``perm[los[i]:his[i]]`` are the
+        store positions matching the i-th pattern.  ``bound`` may be empty;
+        ``values`` need not be unique.
         """
-        order_name = _choose_order_with_next(frozenset(bound), component)
+        if isinstance(component, str):
+            order_name = _choose_order_with_next(frozenset(bound), component)
+            index = self._index(order_name)
+            lo, hi = (0, len(index.perm)) if not bound else index.narrow(bound)
+            window = index.key(len(bound))[lo:hi]
+            values = np.asarray(values)
+            los = lo + np.searchsorted(window, values, side="left")
+            his = lo + np.searchsorted(window, values, side="right")
+            return los.astype(np.int64), his.astype(np.int64), index.perm
+
+        components = tuple(component)
+        values = np.atleast_2d(np.asarray(values, dtype=np.int64))
+        if values.shape[1] != len(components):
+            raise ValueError(
+                f"values must have one column per component: "
+                f"{values.shape[1]} columns for {components}"
+            )
+        order_name, layout = _choose_order_with_group(frozenset(bound), components)
         index = self._index(order_name)
         lo, hi = (0, len(index.perm)) if not bound else index.narrow(bound)
-        window = index.key(len(bound))[lo:hi]
-        values = np.asarray(values)
-        los = lo + np.searchsorted(window, values, side="left")
-        his = lo + np.searchsorted(window, values, side="right")
-        return los.astype(np.int64), his.astype(np.int64), index.perm
+        depth = len(bound)
+        if lo >= hi:
+            flat = np.full(len(values), lo, dtype=np.int64)
+            return flat, flat.copy(), index.perm
+        windows = [index.key(depth + level)[lo:hi] for level in range(len(components))]
+        columns = [values[:, position] for position in layout]
+        # Mixed-radix composite keys: with radix > max value per level the
+        # encoding is injective and preserves the window's lexicographic
+        # order, so one searchsorted resolves every composite pattern.
+        radices = [
+            int(max(window.max(), column.max() if column.size else 0)) + 1
+            for window, column in zip(windows, columns)
+        ]
+        if _radix_product_fits_int64(radices):
+            composite_window = windows[0].astype(np.int64)
+            composite_values = columns[0].astype(np.int64)
+            for window, column, radix in zip(windows[1:], columns[1:], radices[1:]):
+                composite_window = composite_window * radix + window
+                composite_values = composite_values * radix + column
+            los = lo + np.searchsorted(composite_window, composite_values, side="left")
+            his = lo + np.searchsorted(composite_window, composite_values, side="right")
+            return los.astype(np.int64), his.astype(np.int64), index.perm
+        # Composite would overflow int64 (needs ids near 2^21 on all three
+        # levels): narrow each row separately — rare and still correct.
+        los = np.empty(len(values), dtype=np.int64)
+        his = np.empty(len(values), dtype=np.int64)
+        for row in range(len(values)):  # pragma: no cover - overflow guard
+            pattern = dict(bound)
+            for position, name in enumerate(components):
+                pattern[name] = int(values[row, position])
+            row_lo, row_hi = index.narrow(pattern)
+            los[row], his[row] = row_lo, row_hi
+        return los, his, index.perm
 
     def triples(
         self,

@@ -13,8 +13,8 @@ per-relation transforms are separate parameters so model size scales with
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Sequence
 
 import numpy as np
 import scipy.sparse as sp

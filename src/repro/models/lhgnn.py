@@ -24,7 +24,7 @@ from repro.core.tasks import LinkPredictionTask
 from repro.models.base import ModelConfig
 from repro.nn.functional import margin_ranking_loss
 from repro.nn.init import xavier_uniform
-from repro.nn.layers import Embedding, Linear, Module, Parameter
+from repro.nn.layers import Embedding, Module, Parameter
 from repro.nn.optim import Adam
 from repro.nn.tensor import Tensor, no_grad, spmm, stack
 from repro.training.resources import ResourceMeter, activation_bytes

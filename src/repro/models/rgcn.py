@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.kg.graph import KnowledgeGraph
 from repro.core.tasks import LinkPredictionTask, NodeClassificationTask
-from repro.models.base import ModelConfig, RGCNStack, adjacency_nbytes
+from repro.models.base import ModelConfig, RGCNStack
 from repro.nn.functional import cross_entropy, margin_ranking_loss
 from repro.nn.layers import Embedding, Module
 from repro.nn.optim import Adam

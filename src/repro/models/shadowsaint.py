@@ -3,9 +3,19 @@
 Instead of sampling one big subgraph per step, ShaDow extracts a bounded
 **ego-subgraph** (the *scope*) around every target node and runs an
 arbitrarily deep GNN (the *depth*) inside it, reading out the root's
-embedding.  Ego-graphs are materialised once at construction (fanout-capped
-BFS), then minibatches assemble block-diagonal unions — each ego keeps its
-own copy of shared nodes, as in the reference implementation.
+embedding.  Ego-graphs are materialised once at construction, then
+minibatches assemble block-diagonal unions — each ego keeps its own copy of
+shared nodes, as in the reference implementation.
+
+Extraction runs through :func:`extract_ego_batch`, a multi-root lock-step
+frontier expansion over the cached CSR: all roots advance one hop per numpy
+step, fanout subsampling included.  Randomness is *content-addressed* —
+each candidate edge gets a :func:`repro.nputil.splitmix64` key derived from
+``(salt, root, hop, source, neighbour)`` and each over-fanout node keeps
+the ``fanout`` smallest keys — so the batched kernel and the per-root
+scalar oracle (:func:`extract_ego`) select bit-identical scopes no matter
+the evaluation order, while every (salt, node) still draws a fresh uniform
+subsample.
 """
 
 from __future__ import annotations
@@ -16,6 +26,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from repro.kg.cache import artifacts_for
 from repro.kg.graph import KnowledgeGraph
 from repro.core.tasks import NodeClassificationTask
 from repro.models.base import ModelConfig, RGCNStack
@@ -23,6 +34,7 @@ from repro.nn.functional import cross_entropy
 from repro.nn.layers import Embedding, Linear, Module
 from repro.nn.optim import Adam
 from repro.nn.tensor import no_grad
+from repro.nputil import expand_ranges, rank_within_sorted_groups, splitmix64
 from repro.training.resources import ResourceMeter, activation_bytes
 
 
@@ -34,6 +46,228 @@ class _EgoGraph:
     src: np.ndarray  # local indices
     dst: np.ndarray  # local indices
     rel: np.ndarray  # global relation ids (forward only)
+
+
+def _fanout_keys(
+    salt: int,
+    roots: np.ndarray,
+    hop: int,
+    sources: np.ndarray,
+    neighbors: np.ndarray,
+) -> np.ndarray:
+    """Deterministic uniform key per (salt, root, hop, source, neighbour).
+
+    Chained SplitMix64 finalizers: every stage feeds the next so keys are
+    decorrelated across all four coordinates, and both the batched kernel
+    and the scalar oracle can evaluate them in any order.
+    """
+    keys = splitmix64(np.uint64(salt) + np.asarray(roots).astype(np.uint64))
+    keys = splitmix64(keys + np.uint64(hop))
+    keys = splitmix64(keys + np.asarray(sources).astype(np.uint64))
+    return splitmix64(keys + np.asarray(neighbors).astype(np.uint64))
+
+
+def extract_ego(
+    kg: KnowledgeGraph, root: int, depth: int = 2, fanout: int = 8, salt: int = 0
+) -> _EgoGraph:
+    """Fanout-capped BFS scope of one ``root`` plus its internal edges.
+
+    The scalar reference oracle: per-node Python BFS over the cached CSR.
+    :func:`extract_ego_batch` must reproduce its node order, edge order and
+    fanout selections bit-for-bit.
+    """
+    adjacency = artifacts_for(kg).csr("both")
+    indptr, indices = adjacency.indptr, adjacency.indices
+    root = int(root)
+    chosen: List[int] = [root]
+    seen = {root}
+    frontier: List[int] = [root]
+    for hop in range(depth):
+        next_frontier: List[int] = []
+        for node in frontier:
+            row = indices[indptr[node] : indptr[node + 1]].astype(np.int64)
+            if len(row) > fanout:
+                keys = _fanout_keys(
+                    salt,
+                    np.full(len(row), root, dtype=np.int64),
+                    hop,
+                    np.full(len(row), node, dtype=np.int64),
+                    row,
+                )
+                winners = np.lexsort((row, keys))[:fanout]
+                keep = np.zeros(len(row), dtype=bool)
+                keep[winners] = True
+                row = row[keep]
+            for neighbor in row:
+                neighbor = int(neighbor)
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    chosen.append(neighbor)
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
+    nodes = np.asarray(chosen, dtype=np.int64)
+    local_of = {int(node): i for i, node in enumerate(nodes)}
+    src: List[int] = []
+    dst: List[int] = []
+    rel: List[int] = []
+    store = kg.triples
+    hexastore = kg.hexastore
+    for node in chosen:
+        for position in hexastore.match(subject=node):
+            obj = int(store.o[position])
+            if obj in local_of:
+                src.append(local_of[node])
+                dst.append(local_of[obj])
+                rel.append(int(store.p[position]))
+    return _EgoGraph(
+        nodes=nodes,
+        src=np.asarray(src, dtype=np.int64),
+        dst=np.asarray(dst, dtype=np.int64),
+        rel=np.asarray(rel, dtype=np.int64),
+    )
+
+
+def _ego_chunk_size(num_nodes: int) -> int:
+    # Bound the per-chunk (chunk, n) visited/local-id state to ~8M cells.
+    return max(int(8e6 // max(num_nodes, 1)), 1)
+
+
+def extract_ego_batch(
+    kg: KnowledgeGraph,
+    roots: np.ndarray,
+    depth: int = 2,
+    fanout: int = 8,
+    salt: int = 0,
+    chunk_size: Optional[int] = None,
+) -> List[_EgoGraph]:
+    """Multi-root lock-step ego extraction (the batched BFS kernel).
+
+    All roots advance one hop per numpy super-step over the cached CSR:
+    neighbour gathering, fanout subsampling (smallest
+    :func:`_fanout_keys`), per-root first-visit dedup and edge collection
+    are whole-batch array operations.  Scopes are bit-identical to
+    :func:`extract_ego` per root; roots are processed in memory-bounded
+    chunks so ``(chunk, n)`` visited/local-id state stays small.
+    """
+    if depth < 0:
+        raise ValueError(f"depth must be >= 0, got {depth}")
+    if fanout < 1:
+        raise ValueError(f"fanout must be >= 1, got {fanout}")
+    adjacency = artifacts_for(kg).csr("both")
+    roots = np.asarray(roots, dtype=np.int64)
+    if chunk_size is None:
+        chunk_size = _ego_chunk_size(kg.num_nodes)
+    egos: List[_EgoGraph] = []
+    for start in range(0, len(roots), chunk_size):
+        egos.extend(
+            _extract_ego_chunk(
+                kg, adjacency, roots[start : start + chunk_size], depth, fanout, salt
+            )
+        )
+    return egos
+
+
+def _extract_ego_chunk(
+    kg: KnowledgeGraph,
+    adjacency: sp.csr_matrix,
+    roots: np.ndarray,
+    depth: int,
+    fanout: int,
+    salt: int,
+) -> List[_EgoGraph]:
+    indptr, indices = adjacency.indptr, adjacency.indices
+    degrees = np.diff(indptr).astype(np.int64)
+    n = kg.num_nodes
+    chunk = len(roots)
+    row_base = np.arange(chunk, dtype=np.int64) * n
+    visited = np.zeros(chunk * n, dtype=bool)
+    visited[row_base + roots] = True
+
+    # Per-hop (rows, nodes) blocks; concatenated later they give each row's
+    # scope in exactly the scalar oracle's insertion order (root first).
+    part_rows: List[np.ndarray] = [np.arange(chunk, dtype=np.int64)]
+    part_nodes: List[np.ndarray] = [roots.copy()]
+    frontier_rows, frontier_nodes = part_rows[0], roots
+    for hop in range(depth):
+        counts = degrees[frontier_nodes]
+        neighbor = indices[expand_ranges(indptr[frontier_nodes], counts)].astype(np.int64)
+        entry = np.repeat(np.arange(len(frontier_nodes), dtype=np.int64), counts)
+        rows_rep = frontier_rows[entry]
+        over = counts > fanout
+        if over.any():
+            # Subsample over-fanout nodes: keep the `fanout` smallest keys
+            # per frontier entry (ties broken by neighbour id), preserving
+            # CSR order among the survivors — same rule as the oracle.
+            over_elements = over[entry]
+            group = entry[over_elements]
+            candidates = neighbor[over_elements]
+            keys = _fanout_keys(
+                salt,
+                roots[rows_rep[over_elements]],
+                hop,
+                frontier_nodes[group],
+                candidates,
+            )
+            order = np.lexsort((candidates, keys, group))
+            ranks = rank_within_sorted_groups(group[order])
+            keep_over = np.zeros(len(candidates), dtype=bool)
+            keep_over[order[ranks < fanout]] = True
+            keep = np.ones(len(neighbor), dtype=bool)
+            keep[over_elements] = keep_over
+            neighbor, rows_rep = neighbor[keep], rows_rep[keep]
+        flat = row_base[rows_rep] + neighbor
+        fresh = ~visited[flat]
+        flat, rows_rep, neighbor = flat[fresh], rows_rep[fresh], neighbor[fresh]
+        # First-occurrence dedup in frontier order == the oracle's
+        # add-on-first-sight semantics (np.unique returns first indices).
+        _unique, first = np.unique(flat, return_index=True)
+        first.sort()
+        visited[flat[first]] = True
+        frontier_rows, frontier_nodes = rows_rep[first], neighbor[first]
+        part_rows.append(frontier_rows)
+        part_nodes.append(frontier_nodes)
+
+    all_rows = np.concatenate(part_rows)
+    all_nodes = np.concatenate(part_nodes)
+    order = np.argsort(all_rows, kind="stable")
+    grouped_rows, grouped_nodes = all_rows[order], all_nodes[order]
+    node_counts = np.bincount(grouped_rows, minlength=chunk)
+    node_starts = np.concatenate([[0], np.cumsum(node_counts)])
+    local_ids = rank_within_sorted_groups(grouped_rows)
+    local_of = np.zeros(chunk * n, dtype=np.int64)
+    local_of[row_base[grouped_rows] + grouped_nodes] = local_ids
+
+    # Internal edges of every ego with one batched subject lookup: the
+    # "spo" index run of each (row, node), filtered to in-scope objects.
+    store = kg.triples
+    los, his, perm = kg.hexastore.batch_ranges({}, "s", grouped_nodes)
+    edge_counts = his - los
+    positions = perm[expand_ranges(los, edge_counts)]
+    edge_rows = np.repeat(grouped_rows, edge_counts)
+    edge_src = np.repeat(grouped_nodes, edge_counts)
+    objects = store.o[positions].astype(np.int64)
+    member = visited[row_base[edge_rows] + objects]
+    edge_rows, edge_src = edge_rows[member], edge_src[member]
+    objects, positions = objects[member], positions[member]
+    src_local = local_of[row_base[edge_rows] + edge_src]
+    dst_local = local_of[row_base[edge_rows] + objects]
+    relations = store.p[positions].astype(np.int64)
+    per_row_edges = np.bincount(edge_rows, minlength=chunk)
+    edge_starts = np.concatenate([[0], np.cumsum(per_row_edges)])
+
+    egos: List[_EgoGraph] = []
+    for row in range(chunk):
+        node_lo, node_hi = node_starts[row], node_starts[row + 1]
+        edge_lo, edge_hi = edge_starts[row], edge_starts[row + 1]
+        egos.append(
+            _EgoGraph(
+                nodes=grouped_nodes[node_lo:node_hi].copy(),
+                src=src_local[edge_lo:edge_hi].copy(),
+                dst=dst_local[edge_lo:edge_hi].copy(),
+                rel=relations[edge_lo:edge_hi].copy(),
+            )
+        )
+    return egos
 
 
 class ShaDowSAINTClassifier(Module):
@@ -66,9 +300,13 @@ class ShaDowSAINTClassifier(Module):
         self.readout = Linear(config.hidden_dim, task.num_labels, rng)
         self.optimizer = Adam(self.parameters(), lr=config.lr, weight_decay=config.weight_decay)
 
-        self._egos: List[_EgoGraph] = [
-            self._extract_ego(int(target), rng) for target in task.target_nodes
-        ]
+        # Content-addressed sampling salt: per-config-seed determinism with
+        # fresh subsamples per seed, evaluated identically by the batched
+        # kernel and the scalar oracle.
+        self._ego_salt = int(rng.integers(0, 2**63))
+        self._egos: List[_EgoGraph] = extract_ego_batch(
+            kg, task.target_nodes, depth=depth, fanout=fanout, salt=self._ego_salt
+        )
         max_ego = max((len(e.nodes) for e in self._egos), default=1)
         if meter is not None:
             graph_bytes = sum(
@@ -87,56 +325,11 @@ class ShaDowSAINTClassifier(Module):
                 ),
             )
 
-    # -- ego-graph extraction --
-
-    def _extract_ego(self, root: int, rng: np.random.Generator) -> _EgoGraph:
-        """Fanout-capped BFS scope of ``root`` plus its internal edges."""
-        hexastore = self.kg.hexastore
-        chosen: List[int] = [root]
-        chosen_set = {root}
-        frontier = [root]
-        for _hop in range(self.depth):
-            next_frontier: List[int] = []
-            for node in frontier:
-                # unique=False skips the dedup sort; `chosen_set` dedupes
-                # below.  Frontier order shifts, so fanout rng draws may
-                # land differently than pre-optimization revisions — still
-                # the same sampling distribution.
-                neighbors = hexastore.neighbors(node, unique=False)
-                if len(neighbors) > self.fanout:
-                    neighbors = np.unique(neighbors)
-                    if len(neighbors) > self.fanout:
-                        neighbors = rng.choice(neighbors, size=self.fanout, replace=False)
-                for neighbor in neighbors:
-                    neighbor = int(neighbor)
-                    if neighbor not in chosen_set:
-                        chosen_set.add(neighbor)
-                        chosen.append(neighbor)
-                        next_frontier.append(neighbor)
-            frontier = next_frontier
-        nodes = np.asarray(chosen, dtype=np.int64)
-        local_of = {int(node): i for i, node in enumerate(nodes)}
-        src: List[int] = []
-        dst: List[int] = []
-        rel: List[int] = []
-        store = self.kg.triples
-        for node in chosen:
-            for position in hexastore.match(subject=node):
-                obj = int(store.o[position])
-                if obj in local_of:
-                    src.append(local_of[node])
-                    dst.append(local_of[obj])
-                    rel.append(int(store.p[position]))
-        return _EgoGraph(
-            nodes=nodes,
-            src=np.asarray(src, dtype=np.int64),
-            dst=np.asarray(dst, dtype=np.int64),
-            rel=np.asarray(rel, dtype=np.int64),
-        )
-
     # -- batch assembly --
 
-    def _assemble(self, ego_indices: np.ndarray) -> Tuple[np.ndarray, List[sp.csr_matrix], np.ndarray]:
+    def _assemble(
+        self, ego_indices: np.ndarray
+    ) -> Tuple[np.ndarray, List[sp.csr_matrix], np.ndarray]:
         """Block-diagonal union of the selected egos.
 
         Returns (global node ids with duplicates, per-relation normalised
@@ -149,8 +342,9 @@ class ShaDowSAINTClassifier(Module):
         nodes = np.concatenate([e.nodes for e in egos])
         roots = offsets.copy()
 
-        src = np.concatenate([e.src + off for e, off in zip(egos, offsets)]) if total else np.empty(0, np.int64)
-        dst = np.concatenate([e.dst + off for e, off in zip(egos, offsets)]) if total else np.empty(0, np.int64)
+        empty = np.empty(0, np.int64)
+        src = np.concatenate([e.src + off for e, off in zip(egos, offsets)]) if total else empty
+        dst = np.concatenate([e.dst + off for e, off in zip(egos, offsets)]) if total else empty
         rel = np.concatenate([e.rel for e in egos]) if total else np.empty(0, np.int64)
 
         num_rel = max(self.num_base_relations, 1)

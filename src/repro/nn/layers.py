@@ -107,7 +107,9 @@ class Module:
 class Linear(Module):
     """Affine map ``y = x W + b`` with Xavier-uniform weights."""
 
-    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator, bias: bool = True):
+    def __init__(
+        self, in_features: int, out_features: int, rng: np.random.Generator, bias: bool = True
+    ):
         super().__init__()
         self.in_features = in_features
         self.out_features = out_features

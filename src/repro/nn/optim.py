@@ -6,7 +6,7 @@ every GNN method in the paper's evaluation.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 

@@ -24,6 +24,21 @@ def expand_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
     return np.repeat(starts, counts) + offsets
 
 
+def splitmix64(values: np.ndarray) -> np.ndarray:
+    """SplitMix64 finalizer over a ``uint64`` array (vectorized, wrapping).
+
+    A counter-based pseudo-random mixer: statistically uniform output for
+    structured input, so kernels can derive per-element randomness from
+    *content* (ids, hops, salts) instead of consuming a sequential generator
+    stream — which is what makes batched and scalar implementations agree
+    bit-for-bit regardless of evaluation order.
+    """
+    z = np.asarray(values, dtype=np.uint64) + np.uint64(0x9E3779B97F4A7C15)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return z ^ (z >> np.uint64(31))
+
+
 def rank_within_sorted_groups(groups: np.ndarray) -> np.ndarray:
     """Per-element rank inside runs of equal values of a sorted array.
 

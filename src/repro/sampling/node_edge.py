@@ -10,7 +10,6 @@ sampling" class; these two complete it for ablation use.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -7,30 +7,38 @@ pushed from a queue of high-residual nodes until every residual drops below
 independent of graph size — which is exactly the "local scope" property the
 paper's influence score relies on.
 
-Two implementations coexist:
+Three implementations coexist:
 
 * :func:`approximate_ppr` / :func:`ppr_top_k` — the scalar dict/deque push.
   Kept as the *reference oracle*: one target, pure-Python, easy to audit.
-* :func:`batch_ppr_top_k` / :func:`batch_approximate_ppr` — the vectorized
-  batch kernel behind IBS.  All targets advance in lock-step over flat
-  numpy state (an ``(n_targets, n_nodes)``-stride residual/score matrix plus
-  a per-target FIFO ring buffer); each super-step pops one queue head per
-  live target and performs the neighbour scatter for the whole batch with a
-  handful of array operations.  Because every target replays *exactly* the
-  scalar algorithm's FIFO push schedule (same floating-point operations in
-  the same order), the batch kernel is bit-for-bit equivalent to the oracle
-  while being an order of magnitude faster on realistic batches.
+* The **dense** batch kernel (:func:`_batch_push`) behind
+  :func:`batch_ppr_top_k` / :func:`batch_approximate_ppr`.  All targets
+  advance in lock-step over flat numpy state (an ``(n_targets, n_nodes)``-
+  stride residual/score matrix plus a per-target FIFO ring buffer); each
+  super-step pops one queue head per live target and performs the neighbour
+  scatter for the whole batch with a handful of array operations.
+* The **sparse-frontier** batch kernel (:func:`_batch_push_sparse`) for
+  graphs past :data:`DENSE_NODE_LIMIT`.  Same lock-step super-steps, but
+  ``(target, node)`` state lives in dynamically allocated *slots* addressed
+  through a vectorized open-addressing hash map, so per-target cost stays
+  ``O(1/(eps * alpha))`` — the push algorithm's graph-size independence —
+  instead of paying ``O(n_nodes)`` zeroing/scanning per target.
+
+Because every target replays *exactly* the scalar algorithm's FIFO push
+schedule (same floating-point operations in the same order), both batch
+kernels are bit-for-bit equivalent to the oracle while being an order of
+magnitude faster on realistic batches.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 
-from repro.nputil import expand_ranges, rank_within_sorted_groups
+from repro.nputil import expand_ranges, rank_within_sorted_groups, splitmix64
 
 
 def approximate_ppr(
@@ -221,10 +229,294 @@ def _default_chunk_size(num_nodes: int) -> int:
 
 # Above this node count the dense (chunk, n) state loses the push
 # algorithm's graph-size-independent locality (O(n) zeroing + scanning per
-# target dwarfs the O(1/(eps*alpha)) pushes), so the batch entry points fall
-# back to the scalar push per target — still exact, just not vectorized.
-# A sparse-frontier batch kernel for this regime is a ROADMAP item.
+# target dwarfs the O(1/(eps*alpha)) pushes), so the batch entry points
+# switch to the sparse-frontier kernel: same lock-step schedule, but state
+# lives in hash-addressed slots whose count tracks *touched* nodes only.
 DENSE_NODE_LIMIT = 2_000_000
+
+# Sparse-kernel chunking bounds slot state by touched nodes, not n, so the
+# chunk can be much larger than the dense default; worst-case touched count
+# is O(1/(eps*alpha)) per target (~20k at the paper's 0.25/2e-4 settings).
+SPARSE_CHUNK_SIZE = 512
+
+
+class _SlotMap:
+    """Vectorized open-addressing map from int64 keys to dense slot ids.
+
+    Keys are ``row * n_nodes + node`` composites; slots are handed out
+    densely in first-insertion order, which lets the sparse kernel keep all
+    per-(target, node) state (residual, score, queue membership) in flat
+    slot-indexed arrays.  ``get_or_insert`` resolves a whole batch of keys
+    (unique within the batch) with a handful of gathers per probe round;
+    linear probing plus a power-of-two table keeps rounds short.
+    """
+
+    __slots__ = ("_table", "_mask", "keys", "size")
+
+    def __init__(self, capacity: int = 1 << 14):
+        self._table = np.full(capacity, -1, dtype=np.int64)
+        self._mask = np.uint64(capacity - 1)
+        self.keys = np.empty(capacity, dtype=np.int64)  # key of each slot
+        self.size = 0
+
+    def get_or_insert(self, batch: np.ndarray) -> np.ndarray:
+        """Slot ids for ``batch`` (unique int64 keys), inserting new ones.
+
+        New keys get slots ``size..size+n_new-1`` in first-probe-resolution
+        order; callers detect them as ``slots >= previous_size``.
+        """
+        # Load factor <= 1/4: linear probing clusters quickly above that,
+        # and probe rounds — not table memory — dominate the kernel cost.
+        if (self.size + len(batch)) * 4 > len(self._table):
+            capacity = len(self._table)
+            while (self.size + len(batch)) * 4 > capacity:
+                capacity *= 2
+            self._rehash(capacity)
+        if self.size + len(batch) > len(self.keys):
+            grown = np.empty(max(len(self.keys) * 2, self.size + len(batch)), np.int64)
+            grown[: self.size] = self.keys[: self.size]
+            self.keys = grown
+        out = np.empty(len(batch), dtype=np.int64)
+        pending = np.arange(len(batch), dtype=np.int64)
+        h = splitmix64(batch.astype(np.uint64))
+        while pending.size:
+            pos = (h & self._mask).astype(np.int64)
+            slot = self._table[pos]
+            occupied = slot >= 0
+            match = np.zeros(pending.size, dtype=bool)
+            match[occupied] = self.keys[slot[occupied]] == batch[pending[occupied]]
+            out[pending[match]] = slot[match]
+            resolved = match
+            if not occupied.all():
+                # Claim empty cells; several batch keys may probe the same
+                # cell this round.  The reversed fancy write leaves the
+                # *first* candidate in each cell (later writes land first),
+                # so first occurrence wins without a sort; losers re-probe.
+                cand = np.flatnonzero(~occupied)
+                cells = pos[cand]
+                self._table[cells[::-1]] = cand[::-1]
+                winners = cand[self._table[cells] == cand]
+                new_slots = self.size + np.arange(len(winners), dtype=np.int64)
+                self._table[pos[winners]] = new_slots
+                self.keys[new_slots] = batch[pending[winners]]
+                out[pending[winners]] = new_slots
+                self.size += len(winners)
+                resolved = match.copy()
+                resolved[winners] = True
+            pending = pending[~resolved]
+            h = h[~resolved] + np.uint64(1)
+        return out
+
+    def _rehash(self, capacity: int) -> None:
+        self._table = np.full(capacity, -1, dtype=np.int64)
+        self._mask = np.uint64(capacity - 1)
+        slots = np.arange(self.size, dtype=np.int64)
+        h = splitmix64(self.keys[: self.size].astype(np.uint64))
+        while slots.size:
+            pos = (h & self._mask).astype(np.int64)
+            empty = self._table[pos] == -1
+            placed = np.zeros(slots.size, dtype=bool)
+            if empty.any():
+                cand = np.flatnonzero(empty)
+                cells = pos[cand]
+                # Reversed write: the first candidate's slot id survives in
+                # each contested cell and is already the final value.
+                self._table[cells[::-1]] = slots[cand[::-1]]
+                placed[cand[self._table[cells] == slots[cand]]] = True
+            slots = slots[~placed]
+            h = h[~placed] + np.uint64(1)
+
+
+def _grown(array: np.ndarray, capacity: int) -> np.ndarray:
+    """Zero-extended copy of ``array`` at ``capacity`` (slot-array growth)."""
+    out = np.zeros(capacity, dtype=array.dtype)
+    out[: len(array)] = array
+    return out
+
+
+def _batch_push_sparse(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    degrees: np.ndarray,
+    targets: np.ndarray,
+    alpha: float,
+    eps: float,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sparse-frontier lock-step FIFO push for one chunk of targets.
+
+    Replays the same super-step schedule as :func:`_batch_push` — one queue
+    pop per live target per step, whole-batch neighbour scatter — but all
+    ``(row, node)`` state lives in hash-allocated slots, so cost and memory
+    track the number of *touched* pairs instead of ``chunk * n_nodes``.
+    Returns ``(rows, nodes, scores)`` of every touched pair with a positive
+    score, grouped by row (slot-allocation order within a row).
+    """
+    chunk = len(targets)
+    n = np.int64(len(degrees))
+    one_minus_alpha = 1.0 - alpha
+
+    slot_map = _SlotMap()
+    cap = len(slot_map.keys)
+    residual = np.zeros(cap, dtype=np.float64)
+    scores = np.zeros(cap, dtype=np.float64)
+    queued = np.zeros(cap, dtype=bool)
+    slot_row = np.zeros(cap, dtype=np.int64)
+    slot_node = np.zeros(cap, dtype=np.int64)
+
+    rows0 = np.arange(chunk, dtype=np.int64)
+    if chunk == 0:
+        return rows0, rows0.copy(), np.zeros(0, dtype=np.float64)
+    seed_slots = slot_map.get_or_insert(rows0 * n + targets)
+    if len(slot_map.keys) > cap:
+        cap = len(slot_map.keys)
+        residual, scores, queued, slot_row, slot_node = (
+            _grown(residual, cap),
+            _grown(scores, cap),
+            _grown(queued, cap),
+            _grown(slot_row, cap),
+            _grown(slot_node, cap),
+        )
+    residual[seed_slots] = 1.0
+    slot_row[seed_slots] = rows0
+    slot_node[seed_slots] = targets
+
+    # Per-row FIFO ring buffers over slot ids; capacity doubles on demand
+    # (unwrapping live entries), so queue state also tracks touched counts.
+    ring_cap = 64
+    ring = np.zeros((chunk, ring_cap), dtype=np.int64)
+    head = np.zeros(chunk, dtype=np.int64)
+    tail = np.zeros(chunk, dtype=np.int64)
+    seeded = np.flatnonzero(1.0 >= eps * np.maximum(degrees[targets], 1))
+    ring[seeded, 0] = seed_slots[seeded]
+    tail[seeded] = 1
+    queued[seed_slots[seeded]] = True
+
+    while True:
+        active = np.flatnonzero(tail > head)
+        if active.size == 0:
+            break
+        popped = ring[active, head[active] % ring_cap]
+        head[active] += 1
+        queued[popped] = False
+        # Residuals only grow while enqueued, so mass >= threshold here —
+        # the scalar oracle's stale-entry guard can never fire either.
+        mass = residual[popped]
+        scores[popped] += alpha * mass
+        residual[popped] = 0.0
+
+        nodes = slot_node[popped]
+        node_degrees = degrees[nodes]
+        dangling = node_degrees == 0
+        if dangling.any():
+            # Dangling node: teleport the rest of the mass back to itself.
+            scores[popped[dangling]] += one_minus_alpha * mass[dangling]
+        pushing = np.flatnonzero(~dangling)
+        if pushing.size == 0:
+            continue
+        sources = nodes[pushing]
+        push = one_minus_alpha * mass[pushing] / node_degrees[pushing]
+        counts = node_degrees[pushing]
+        neighbor = indices[expand_ranges(indptr[sources], counts)]
+        # active is sorted and each active row pops exactly one slot, so the
+        # repeated rows — and every per-row grouping below — stay sorted.
+        rows_rep = np.repeat(active[pushing], counts)
+        previous_size = slot_map.size
+        slots = slot_map.get_or_insert(rows_rep * n + neighbor)
+        if len(slot_map.keys) > cap:
+            cap = len(slot_map.keys)
+            residual, scores, queued, slot_row, slot_node = (
+                _grown(residual, cap),
+                _grown(scores, cap),
+                _grown(queued, cap),
+                _grown(slot_row, cap),
+                _grown(slot_node, cap),
+            )
+        fresh = slots >= previous_size
+        if fresh.any():
+            slot_row[slots[fresh]] = rows_rep[fresh]
+            slot_node[slots[fresh]] = neighbor[fresh]
+        residual[slots] += np.repeat(push, counts)
+
+        thresholds = eps * np.maximum(degrees[neighbor], 1)
+        crossed = (residual[slots] >= thresholds) & ~queued[slots]
+        if not crossed.any():
+            continue
+        enqueue_slots = slots[crossed]
+        enqueue_rows = rows_rep[crossed]
+        queued[enqueue_slots] = True
+        new_counts = np.bincount(enqueue_rows, minlength=chunk)
+        live = tail - head
+        needed = int((live + new_counts).max())
+        if needed > ring_cap:
+            new_cap = ring_cap
+            while new_cap < needed:
+                new_cap *= 2
+            new_ring = np.zeros((chunk, new_cap), dtype=np.int64)
+            live_rows = np.repeat(rows0, live)
+            live_pos = expand_ranges(head, live)
+            new_ring[live_rows, live_pos - np.repeat(head, live)] = ring[
+                live_rows, live_pos % ring_cap
+            ]
+            ring, ring_cap = new_ring, new_cap
+            tail = live.copy()
+            head[:] = 0
+        slot_positions = tail[enqueue_rows] + rank_within_sorted_groups(enqueue_rows)
+        ring[enqueue_rows, slot_positions % ring_cap] = enqueue_slots
+        tail += new_counts
+
+    touched = np.flatnonzero(scores[: slot_map.size] > 0.0)
+    order = np.argsort(slot_row[touched], kind="stable")
+    touched = touched[order]
+    return slot_row[touched], slot_node[touched], scores[touched]
+
+
+def _resolve_kernel(kernel: Optional[str], num_nodes: int) -> str:
+    if kernel is None:
+        return "dense" if num_nodes <= DENSE_NODE_LIMIT else "sparse"
+    if kernel not in ("dense", "sparse"):
+        raise ValueError(f"kernel must be 'dense', 'sparse' or None, got {kernel!r}")
+    return kernel
+
+
+def _batch_results(
+    adjacency: sp.csr_matrix,
+    targets: np.ndarray,
+    alpha: float,
+    eps: float,
+    chunk_size: Optional[int],
+    kernel: Optional[str],
+) -> Iterator[Tuple[int, np.ndarray, np.ndarray]]:
+    """Run the selected kernel chunk-wise, yielding ``(target, nodes, scores)``.
+
+    ``nodes``/``scores`` cover every touched node with a positive score;
+    both kernels produce identical values, so consumers are agnostic.
+    """
+    indptr, indices = adjacency.indptr, adjacency.indices
+    degrees = np.diff(indptr).astype(np.int64)
+    mode = _resolve_kernel(kernel, len(degrees))
+    if chunk_size is None:
+        chunk_size = (
+            _default_chunk_size(len(degrees)) if mode == "dense" else SPARSE_CHUNK_SIZE
+        )
+    thresholds = eps * np.maximum(degrees, 1) if mode == "dense" else None
+    for start in range(0, len(targets), chunk_size):
+        chunk_targets = targets[start : start + chunk_size]
+        if mode == "dense":
+            scores = _batch_push(
+                indptr, indices, degrees, thresholds, chunk_targets, alpha
+            )
+            for row, target in enumerate(chunk_targets):
+                touched = np.flatnonzero(scores[row])
+                yield int(target), touched, scores[row, touched]
+        else:
+            rows, nodes, values = _batch_push_sparse(
+                indptr, indices, degrees, chunk_targets, alpha, eps
+            )
+            counts = np.bincount(rows, minlength=len(chunk_targets))
+            starts = np.concatenate([[0], np.cumsum(counts)])
+            for row, target in enumerate(chunk_targets):
+                lo, hi = starts[row], starts[row + 1]
+                yield int(target), nodes[lo:hi], values[lo:hi]
 
 
 def batch_approximate_ppr(
@@ -233,48 +525,37 @@ def batch_approximate_ppr(
     alpha: float = 0.25,
     eps: float = 2e-4,
     chunk_size: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> Dict[int, Dict[int, float]]:
     """Single-seed :func:`approximate_ppr` for many targets at once.
 
     Returns ``target -> {node: ppr}`` sparse score maps, bit-identical to
-    running the scalar oracle per target.  ``chunk_size`` bounds the dense
-    working set (default: ~64 MB per dense matrix; the kernel keeps a few —
-    scores, residuals, queue state — alive at once).
+    running the scalar oracle per target.  ``chunk_size`` bounds the
+    per-chunk working set (dense kernel: ~64 MB per dense matrix, a few of
+    which — scores, residuals, queue state — live at once; sparse kernel:
+    slot state proportional to touched nodes).
 
     ``adjacency`` must be a canonical CSR without duplicate column entries
     per row (what :func:`repro.transform.adjacency.build_csr` produces);
-    with duplicates the kernel's fancy-indexed scatter collapses them while
+    with duplicates the kernels' fancy-indexed scatter collapses them while
     the scalar oracle pushes per occurrence, and the results diverge.
 
-    Graphs beyond :data:`DENSE_NODE_LIMIT` nodes use the scalar push per
-    target instead (identical results; the dense state would cost more than
-    it saves there).
+    ``kernel`` selects ``'dense'`` or ``'sparse'`` explicitly; ``None``
+    (default) picks dense up to :data:`DENSE_NODE_LIMIT` nodes and the
+    sparse-frontier kernel beyond it.  Both are exact.
     """
     if not 0.0 < alpha <= 1.0:
         raise ValueError(f"alpha must be in (0, 1], got {alpha}")
     if eps <= 0.0:
         raise ValueError(f"eps must be positive, got {eps}")
     targets = np.asarray(list(targets), dtype=np.int64)
-    indptr, indices = adjacency.indptr, adjacency.indices
-    degrees = np.diff(indptr).astype(np.int64)
-    if len(degrees) > DENSE_NODE_LIMIT:
-        return {
-            int(target): approximate_ppr(adjacency, [int(target)], alpha=alpha, eps=eps)
-            for target in targets
-        }
-    thresholds = eps * np.maximum(degrees, 1)
-    if chunk_size is None:
-        chunk_size = _default_chunk_size(len(degrees))
-
     results: Dict[int, Dict[int, float]] = {}
-    for start in range(0, len(targets), chunk_size):
-        chunk_targets = targets[start : start + chunk_size]
-        scores = _batch_push(indptr, indices, degrees, thresholds, chunk_targets, alpha)
-        for row, target in enumerate(chunk_targets):
-            touched = np.flatnonzero(scores[row])
-            results[int(target)] = {
-                int(node): float(scores[row, node]) for node in touched
-            }
+    for target, nodes, values in _batch_results(
+        adjacency, targets, alpha, eps, chunk_size, kernel
+    ):
+        results[target] = {
+            int(node): float(score) for node, score in zip(nodes, values)
+        }
     return results
 
 
@@ -285,16 +566,17 @@ def batch_ppr_top_k(
     alpha: float = 0.25,
     eps: float = 2e-4,
     chunk_size: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> Dict[int, List[Tuple[int, float]]]:
     """Top-``k`` influence lists for *all* targets in one batched run.
 
     The vectorized equivalent of calling :func:`ppr_top_k` per target:
     returns ``target -> [(node, score), ...]`` with the target itself
     excluded, sorted by descending score with ties broken by node id.
-    Selections and scores match the scalar oracle exactly (the kernel
-    replays the same push schedule per target).  ``adjacency`` must be a
-    canonical CSR without duplicate column entries per row, and graphs
-    beyond :data:`DENSE_NODE_LIMIT` nodes take the scalar path — see
+    Selections and scores match the scalar oracle exactly (both kernels
+    replay the same push schedule per target).  ``adjacency`` must be a
+    canonical CSR without duplicate column entries per row; ``kernel``
+    picks the dense or sparse-frontier kernel as in
     :func:`batch_approximate_ppr`.
     """
     if not 0.0 < alpha <= 1.0:
@@ -304,28 +586,15 @@ def batch_ppr_top_k(
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     targets = np.asarray(list(targets), dtype=np.int64)
-    indptr, indices = adjacency.indptr, adjacency.indices
-    degrees = np.diff(indptr).astype(np.int64)
-    if len(degrees) > DENSE_NODE_LIMIT:
-        return {
-            int(target): ppr_top_k(adjacency, int(target), k, alpha=alpha, eps=eps)
-            for target in targets
-        }
-    thresholds = eps * np.maximum(degrees, 1)
-    if chunk_size is None:
-        chunk_size = _default_chunk_size(len(degrees))
-
     results: Dict[int, List[Tuple[int, float]]] = {}
-    for start in range(0, len(targets), chunk_size):
-        chunk_targets = targets[start : start + chunk_size]
-        scores = _batch_push(indptr, indices, degrees, thresholds, chunk_targets, alpha)
-        for row, target in enumerate(chunk_targets):
-            touched = np.flatnonzero(scores[row])
-            touched = touched[touched != target]
-            values = scores[row, touched]
-            order = np.lexsort((touched, -values))[:k]
-            results[int(target)] = [
-                (int(node), float(score))
-                for node, score in zip(touched[order], values[order])
-            ]
+    for target, nodes, values in _batch_results(
+        adjacency, targets, alpha, eps, chunk_size, kernel
+    ):
+        keep = nodes != target
+        nodes, values = nodes[keep], values[keep]
+        order = np.lexsort((nodes, -values))[:k]
+        results[target] = [
+            (int(node), float(score))
+            for node, score in zip(nodes[order], values[order])
+        ]
     return results

@@ -70,7 +70,9 @@ class RandomWalkEngine:
             degree = self.degrees[current]
             movable = degree > 0
             if np.any(movable):
-                offsets = (rng.random(int(np.count_nonzero(movable))) * degree[movable]).astype(np.int64)
+                offsets = (
+                    rng.random(int(np.count_nonzero(movable))) * degree[movable]
+                ).astype(np.int64)
                 next_nodes = self.indices[self.indptr[current[movable]] + offsets]
                 current = current.copy()
                 current[movable] = next_nodes

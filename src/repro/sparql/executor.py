@@ -93,10 +93,21 @@ class _Bindings:
 
 
 class QueryExecutor:
-    """Evaluates parsed queries against a :class:`KnowledgeGraph`."""
+    """Evaluates parsed queries against a :class:`KnowledgeGraph`.
 
-    def __init__(self, kg: KnowledgeGraph):
+    ``join_kernel`` selects how patterns with already-bound variables join:
+    ``"batch"`` (default) resolves all distinct key combinations with one
+    batched ``searchsorted`` per pattern (:meth:`Hexastore.batch_ranges`,
+    composite keys for multiple bound variables); ``"scalar"`` keeps the
+    per-key index-lookup loop — the reference oracle the batch kernel is
+    tested against, row-for-row.
+    """
+
+    def __init__(self, kg: KnowledgeGraph, join_kernel: str = "batch"):
+        if join_kernel not in ("batch", "scalar"):
+            raise ValueError(f"join_kernel must be 'batch' or 'scalar', got {join_kernel!r}")
         self.kg = kg
+        self.join_kernel = join_kernel
 
     # -- public API --
 
@@ -283,13 +294,30 @@ class QueryExecutor:
                 return bindings
             return _cross_join(bindings, new_cols)
 
-        if len(bound_vars) == 1:
-            return self._join_single_bound(
-                bindings, consts, bound_vars[0], free_vars, repeated_pairs, pattern_names
+        if self.join_kernel == "scalar":
+            return self._join_bound_vars_scalar(
+                bindings, consts, bound_vars, free_vars, repeated_pairs, pattern_names
             )
+        return self._join_bound_vars(
+            bindings, consts, bound_vars, free_vars, repeated_pairs, pattern_names
+        )
 
-        # Group rows by their distinct bound-value combinations so each
-        # distinct combination costs one index lookup.
+    def _join_bound_vars_scalar(
+        self,
+        bindings: _Bindings,
+        consts: Dict[str, int],
+        bound_vars: List[Tuple[str, str]],
+        free_vars: List[Tuple[str, str]],
+        repeated_pairs: List[Tuple[str, str]],
+        pattern_names: List[str],
+    ) -> _Bindings:
+        """Reference join: one hexastore lookup per distinct key combination.
+
+        Groups rows by their distinct bound-value combinations so each
+        distinct combination costs one index lookup.  Kept as the oracle the
+        vectorized :meth:`_join_bound_vars` must match row-for-row.
+        """
+        store = self.kg.triples
         key_columns = [bindings.columns[name] for _component, name in bound_vars]
         keys = np.stack(key_columns, axis=1)
         unique_keys, inverse = np.unique(keys, axis=0, return_inverse=True)
@@ -321,29 +349,41 @@ class QueryExecutor:
             columns[name] = getattr(store, component)[pos_rep]
         return _Bindings(columns, rows=len(row_rep))
 
-    def _join_single_bound(
+    def _join_bound_vars(
         self,
         bindings: _Bindings,
         consts: Dict[str, int],
-        bound_var: Tuple[str, str],
+        bound_vars: List[Tuple[str, str]],
         free_vars: List[Tuple[str, str]],
         repeated_pairs: List[Tuple[str, str]],
         pattern_names: List[str],
     ) -> _Bindings:
-        """Vectorized join for the common single-bound-variable pattern.
+        """Vectorized join for patterns with bound variables (any count).
 
-        Instead of one hexastore lookup per distinct key, all distinct keys
-        are resolved with one batched ``searchsorted`` over the sorted key
-        column of the ordering whose prefix is ``consts + bound component``
-        (:meth:`Hexastore.batch_ranges`).  Produces rows in exactly the
-        per-key order of the generic loop.
+        Instead of one hexastore lookup per distinct key combination, all
+        distinct combinations are resolved with one batched ``searchsorted``
+        over the ordering whose prefix is ``consts`` plus the bound
+        components — composite mixed-radix keys when more than one variable
+        is bound (:meth:`Hexastore.batch_ranges`).  Produces rows in exactly
+        the per-key order of the scalar reference loop.
         """
         store = self.kg.triples
-        component, name = bound_var
-        column = bindings.columns[name]
-        unique_keys, inverse = np.unique(column, return_inverse=True)
+        components = [component for component, _name in bound_vars]
+        if len(bound_vars) == 1:
+            column = bindings.columns[bound_vars[0][1]]
+            unique_keys, inverse = np.unique(column, return_inverse=True)
+            lookup_values: np.ndarray = unique_keys
+            lookup_component: object = components[0]
+        else:
+            key_columns = [bindings.columns[name] for _component, name in bound_vars]
+            keys = np.stack(key_columns, axis=1)
+            unique_keys, inverse = np.unique(keys, axis=0, return_inverse=True)
+            lookup_values = unique_keys
+            lookup_component = components
 
-        los, his, perm = self.kg.hexastore.batch_ranges(consts, component, unique_keys)
+        los, his, perm = self.kg.hexastore.batch_ranges(
+            consts, lookup_component, lookup_values
+        )
         counts = his - los
         pos_flat = perm[expand_ranges(los, counts)]
         if repeated_pairs and len(pos_flat):

@@ -13,7 +13,7 @@ Two projections are produced:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Literal, Optional
 
 import numpy as np

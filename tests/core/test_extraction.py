@@ -56,10 +56,20 @@ def test_ibs_includes_targets_and_influencers(toy_kg, toy_task):
 
 def test_ibs_workers_is_a_deprecated_noop(toy_kg, toy_task):
     default = InfluenceBasedSampler(toy_kg, top_k=3)
-    with pytest.warns(DeprecationWarning):
+    with pytest.warns(DeprecationWarning, match="workers") as record:
         legacy = InfluenceBasedSampler(toy_kg, top_k=3, workers=4)
+    # Exactly one warning per construction, not one per target/chunk.
+    assert len(record) == 1
     targets = toy_task.target_nodes
     assert default.influence_pairs(targets) == legacy.influence_pairs(targets)
+
+
+def test_ibs_without_workers_warns_nothing(toy_kg):
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        InfluenceBasedSampler(toy_kg, top_k=3)
 
 
 def test_ibs_chunking_is_invisible(toy_kg, toy_task):
@@ -87,11 +97,19 @@ def test_sparql_pagination_invariance(toy_kg, toy_task):
     sub_small, _, _ = small.extract(toy_task, GraphPattern(1, 1))
     sub_large, _, _ = large.extract(toy_task, GraphPattern(1, 1))
     triples_small = {
-        (sub_small.node_vocab.term(s), sub_small.relation_vocab.term(p), sub_small.node_vocab.term(o))
+        (
+            sub_small.node_vocab.term(s),
+            sub_small.relation_vocab.term(p),
+            sub_small.node_vocab.term(o),
+        )
         for s, p, o in sub_small.triples
     }
     triples_large = {
-        (sub_large.node_vocab.term(s), sub_large.relation_vocab.term(p), sub_large.node_vocab.term(o))
+        (
+            sub_large.node_vocab.term(s),
+            sub_large.relation_vocab.term(p),
+            sub_large.node_vocab.term(o),
+        )
         for s, p, o in sub_large.triples
     }
     assert triples_small == triples_large
@@ -106,7 +124,11 @@ def test_sparql_d1h1_equals_manual_expansion(toy_kg, toy_task):
     for s, p, o in toy_kg.triples:
         if toy_kg.node_types[s] == paper_class:
             expected.add(
-                (toy_kg.node_vocab.term(s), toy_kg.relation_vocab.term(p), toy_kg.node_vocab.term(o))
+                (
+                    toy_kg.node_vocab.term(s),
+                    toy_kg.relation_vocab.term(p),
+                    toy_kg.node_vocab.term(o),
+                )
             )
     got = {
         (subgraph.node_vocab.term(s), subgraph.relation_vocab.term(p), subgraph.node_vocab.term(o))

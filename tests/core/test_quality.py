@@ -10,7 +10,6 @@ from repro.core.quality import (
     multi_source_bfs_distances,
     neighbor_type_entropy,
 )
-from repro.core.tasks import remap_task
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.cache import artifacts_for
 

@@ -56,7 +56,13 @@ def _make_setup(node_types, triples, target_class):
 
 
 @settings(max_examples=60, deadline=None)
-@given(node_types_st, triples_st, st.integers(0, _NUM_CLASSES - 1), st.integers(1, 2), st.integers(1, 2))
+@given(
+    node_types_st,
+    triples_st,
+    st.integers(0, _NUM_CLASSES - 1),
+    st.integers(1, 2),
+    st.integers(1, 2),
+)
 def test_sparql_tosg_invariants(node_types, triples, target_class, direction, hops):
     setup = _make_setup(node_types, triples, target_class)
     if setup is None:

@@ -2,7 +2,7 @@
 
 import numpy as np
 
-from repro.kg.cache import GraphArtifacts, artifacts_for, clear_artifacts
+from repro.kg.cache import artifacts_for, clear_artifacts
 from repro.kg.graph import KnowledgeGraph
 from repro.transform.adjacency import build_csr
 

@@ -126,3 +126,58 @@ def test_match_agrees_with_bruteforce_property(triples, s, p, o, data):
     got = set(hexa.match(subject=qs, predicate=qp, obj=qo).tolist())
     assert got == _brute(triples, qs, qp, qo)
     assert hexa.count(subject=qs, predicate=qp, obj=qo) == len(got)
+
+
+def test_batch_ranges_composite_two_components():
+    triples = [(0, 1, 2), (0, 1, 3), (4, 1, 2), (0, 2, 2), (4, 2, 5), (4, 1, 3)]
+    hexa = Hexastore(TripleStore.from_triples(triples))
+    values = np.asarray([[0, 2], [0, 3], [4, 2], [4, 9], [7, 7]])
+    los, his, perm = hexa.batch_ranges({"p": 1}, ("s", "o"), values)
+    for (s, o), lo, hi in zip(values, los, his):
+        expected = set(hexa.match(subject=int(s), predicate=1, obj=int(o)).tolist())
+        assert set(perm[lo:hi].tolist()) == expected
+
+
+def test_batch_ranges_composite_without_constants():
+    triples = [(0, 1, 2), (0, 2, 2), (3, 1, 0), (3, 1, 2)]
+    hexa = Hexastore(TripleStore.from_triples(triples))
+    values = np.asarray([[0, 2], [3, 2], [3, 0], [1, 1]])
+    los, his, perm = hexa.batch_ranges({}, ("s", "o"), values)
+    for (s, o), lo, hi in zip(values, los, his):
+        expected = set(hexa.match(subject=int(s), obj=int(o)).tolist())
+        assert set(perm[lo:hi].tolist()) == expected
+
+
+def test_batch_ranges_composite_three_components():
+    triples = [(0, 1, 2), (0, 2, 2), (3, 1, 0), (3, 1, 2)]
+    hexa = Hexastore(TripleStore.from_triples(triples))
+    values = np.asarray([[0, 1, 2], [3, 1, 2], [3, 2, 2], [0, 1, 0]])
+    los, his, perm = hexa.batch_ranges({}, ("s", "p", "o"), values)
+    for (s, p, o), lo, hi in zip(values, los, his):
+        expected = set(hexa.match(subject=int(s), predicate=int(p), obj=int(o)).tolist())
+        assert set(perm[lo:hi].tolist()) == expected
+
+
+def test_batch_ranges_composite_empty_constant_window():
+    triples = [(0, 1, 2), (4, 1, 2)]
+    hexa = Hexastore(TripleStore.from_triples(triples))
+    los, his, _perm = hexa.batch_ranges({"p": 9}, ("s", "o"), np.asarray([[0, 2]]))
+    assert (los == his).all()
+
+
+def test_batch_ranges_composite_column_mismatch():
+    import pytest
+
+    hexa = Hexastore(TripleStore.from_triples([(0, 1, 2)]))
+    with pytest.raises(ValueError):
+        hexa.batch_ranges({}, ("s", "o"), np.asarray([[0, 1, 2]]))
+
+
+@settings(max_examples=40)
+@given(triple_lists, st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=8))
+def test_batch_ranges_composite_agrees_with_match_property(triples, pairs):
+    hexa = Hexastore(TripleStore.from_triples(triples))
+    values = np.asarray(pairs, dtype=np.int64).reshape(len(pairs), 2)
+    los, his, perm = hexa.batch_ranges({}, ("o", "s"), values)
+    for (o, s), lo, hi in zip(values, los, his):
+        assert set(perm[lo:hi].tolist()) == _brute(triples, s=int(s), o=int(o))

@@ -6,8 +6,12 @@ from repro.kg.io import load_kg, read_ntriples, save_kg, write_ntriples
 
 
 def _same_graph(a, b):
-    nodes_a = {(a.node_vocab.term(i), a.class_vocab.term(int(a.node_types[i]))) for i in range(a.num_nodes)}
-    nodes_b = {(b.node_vocab.term(i), b.class_vocab.term(int(b.node_types[i]))) for i in range(b.num_nodes)}
+    nodes_a = {
+        (a.node_vocab.term(i), a.class_vocab.term(int(a.node_types[i]))) for i in range(a.num_nodes)
+    }
+    nodes_b = {
+        (b.node_vocab.term(i), b.class_vocab.term(int(b.node_types[i]))) for i in range(b.num_nodes)
+    }
     triples_a = {
         (a.node_vocab.term(s), a.relation_vocab.term(p), a.node_vocab.term(o))
         for s, p, o in a.triples

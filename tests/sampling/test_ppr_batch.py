@@ -121,7 +121,9 @@ def test_parameter_validation():
         batch_approximate_ppr(adjacency, [0], eps=-1.0)
 
 
-def test_scalar_fallback_beyond_dense_node_limit(monkeypatch):
+def test_sparse_fallback_beyond_dense_node_limit(monkeypatch):
+    # Past DENSE_NODE_LIMIT the entry points switch to the sparse-frontier
+    # kernel (see test_ppr_sparse.py); results must be identical.
     import repro.sampling.ppr as ppr_module
 
     adjacency = _random_graph(25, 0.2, seed=11)

@@ -1,9 +1,8 @@
 """Endpoint: pagination, workers, accounting."""
 
-import numpy as np
 import pytest
 
-from repro.sparql.endpoint import SparqlEndpoint
+from repro.sparql.endpoint import EndpointStats, SparqlEndpoint
 from repro.sparql.parser import parse_query
 
 ALL = "select ?s ?p ?o where { ?s ?p ?o }"
@@ -75,3 +74,62 @@ def test_parsed_query_accepted(toy_kg):
     endpoint = SparqlEndpoint(toy_kg)
     parsed = parse_query(ALL)
     assert endpoint.query(parsed).num_rows == toy_kg.num_edges
+
+
+# -- edge cases: empty results, oversized pages, zero-byte accounting --
+
+EMPTY = "select ?v where { ?v a <NoClass> . }"
+
+
+def test_fetch_paginated_empty_result_returns_no_pages(toy_kg):
+    endpoint = SparqlEndpoint(toy_kg)
+    pages = endpoint.fetch_paginated(EMPTY, batch_size=5)
+    assert pages == []
+    # Only the count probe was issued; no page requests.
+    assert endpoint.stats.requests == 1
+    assert endpoint.stats.rows_returned == 0
+
+
+def test_fetch_paginated_known_zero_total_skips_count(toy_kg):
+    endpoint = SparqlEndpoint(toy_kg)
+    assert endpoint.fetch_paginated(EMPTY, batch_size=5, total=0) == []
+    assert endpoint.stats.requests == 0
+
+
+def test_fetch_paginated_page_size_larger_than_result(toy_kg):
+    endpoint = SparqlEndpoint(toy_kg)
+    pages = endpoint.fetch_paginated(ALL, batch_size=10_000)
+    assert len(pages) == 1
+    assert pages[0].num_rows == toy_kg.num_edges
+    # One count + one (single-page) fetch.
+    assert endpoint.stats.requests == 2
+
+
+def test_fetch_all_empty_result_keeps_projected_variables(toy_kg):
+    endpoint = SparqlEndpoint(toy_kg)
+    merged = endpoint.fetch_all(EMPTY, batch_size=4)
+    assert merged.num_rows == 0
+    assert merged.variables == ["v"]
+
+
+def test_fetch_all_single_oversized_page_matches_unpaged(toy_kg):
+    endpoint = SparqlEndpoint(toy_kg)
+    merged = endpoint.fetch_all(ALL, batch_size=10_000, workers=3)
+    unpaged = SparqlEndpoint(toy_kg).query(ALL)
+    assert merged.num_rows == unpaged.num_rows
+    for variable in merged.variables:
+        assert merged.columns[variable].tolist() == unpaged.columns[variable].tolist()
+
+
+def test_compression_ratio_with_zero_bytes_is_one(toy_kg):
+    # Fresh stats: nothing shipped yet, the ratio must not divide by zero.
+    assert EndpointStats().compression_ratio() == 1.0
+    endpoint = SparqlEndpoint(toy_kg, compression=True)
+    endpoint.query(EMPTY)  # zero-row page serializes to zero raw bytes
+    assert endpoint.stats.bytes_raw == 0
+    ratio = endpoint.stats.compression_ratio()
+    assert ratio >= 0.0  # coherent even though zlib adds header bytes
+    plain = SparqlEndpoint(toy_kg, compression=False)
+    plain.query(EMPTY)
+    assert plain.stats.bytes_shipped == 0
+    assert plain.stats.compression_ratio() == 1.0

@@ -141,3 +141,90 @@ def test_join_on_shared_variable_matches_bruteforce(toy_kg):
             if p1 == has_author and p2 == has_author and o1 == o2:
                 expected.add((o1, s1, s2))
     assert _rows(result) == expected
+
+
+# -- multi-bound-variable joins (vectorized vs the scalar reference) --
+
+
+def test_multi_bound_join_triangle(toy_kg):
+    # Joining the third pattern binds both ?a and ?c: the composite-key path.
+    executor = QueryExecutor(toy_kg)
+    query = parse_query(
+        "select ?a ?b ?c where { ?a <cites> ?b . ?b <hasAuthor> ?c . ?a <hasAuthor> ?c . }"
+    )
+    result = executor.evaluate(query)
+    expected = set()
+    triples = list(toy_kg.triples)
+    cites = toy_kg.relation_vocab.id("cites")
+    has_author = toy_kg.relation_vocab.id("hasAuthor")
+    for s1, p1, o1 in triples:
+        for s2, p2, o2 in triples:
+            for s3, p3, o3 in triples:
+                if p1 == cites and p2 == has_author and p3 == has_author:
+                    if o1 == s2 and s1 == s3 and o2 == o3:
+                        expected.add((s1, o1, o2))
+    assert _rows(result) == expected
+
+
+def test_join_kernel_validation(toy_kg):
+    with pytest.raises(ValueError):
+        QueryExecutor(toy_kg, join_kernel="vectorised")
+
+
+def test_batch_join_matches_scalar_reference_row_for_row(toy_kg):
+    queries = [
+        "select ?a ?b ?c where { ?a <cites> ?b . ?b <hasAuthor> ?c . ?a <hasAuthor> ?c . }",
+        "select ?a ?b where { ?a <hasAuthor> ?b . ?a <publishedIn> ?v . ?a <hasAuthor> ?b . }",
+        "select ?x ?y ?a where { ?x <hasAuthor> ?a . ?y <hasAuthor> ?a . ?x <cites> ?y . }",
+        "select ?s ?p ?o where { ?s ?p ?o . ?s ?p ?o . }",
+        "select ?v ?o where { ?v a <Paper> . ?v <cites> ?o . ?o a <Paper> . }",
+    ]
+    for text in queries:
+        query = parse_query(text)
+        batch = QueryExecutor(toy_kg, join_kernel="batch").evaluate(query)
+        scalar = QueryExecutor(toy_kg, join_kernel="scalar").evaluate(query)
+        assert batch.variables == scalar.variables
+        for variable in batch.variables:
+            assert np.array_equal(batch.columns[variable], scalar.columns[variable]), text
+
+
+def test_batch_join_matches_scalar_reference_random_graphs():
+    from repro.kg.graph import KnowledgeGraph
+    from repro.kg.triples import TripleStore
+    from repro.kg.vocabulary import Vocabulary
+
+    rng = np.random.default_rng(11)
+    num_nodes, num_relations = 12, 3
+    queries = [
+        "select ?a ?c where { ?a <r0> ?b . ?b <r1> ?c . ?a <r2> ?c . }",
+        "select ?a ?b where { ?a <r0> ?b . ?b <r0> ?a . }",
+        "select ?a ?b ?c where { ?a ?p ?b . ?b <r1> ?c . ?a ?q ?c . }",
+        "select ?a where { ?a <r0> ?b . ?c <r1> ?b . ?a <r2> ?c . }",
+    ]
+    for _trial in range(15):
+        count = int(rng.integers(5, 60))
+        triples = list(
+            {
+                (
+                    int(rng.integers(num_nodes)),
+                    int(rng.integers(num_relations)),
+                    int(rng.integers(num_nodes)),
+                )
+                for _ in range(count)
+            }
+        )
+        kg = KnowledgeGraph(
+            node_vocab=Vocabulary([f"n{i}" for i in range(num_nodes)]),
+            class_vocab=Vocabulary(["C0"]),
+            relation_vocab=Vocabulary([f"r{i}" for i in range(num_relations)]),
+            node_types=np.zeros(num_nodes, dtype=np.int64),
+            triples=TripleStore.from_triples(triples),
+        )
+        for text in queries:
+            query = parse_query(text)
+            batch = QueryExecutor(kg, join_kernel="batch").evaluate(query)
+            scalar = QueryExecutor(kg, join_kernel="scalar").evaluate(query)
+            for variable in batch.variables:
+                assert np.array_equal(
+                    batch.columns[variable], scalar.columns[variable]
+                ), text

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sparql.ast import BGP, IRI, RDF_TYPE, SelectQuery, Union, Var
+from repro.sparql.ast import BGP, IRI, RDF_TYPE, Union, Var
 from repro.sparql.parser import SparqlSyntaxError, parse_query
 
 

@@ -1,7 +1,6 @@
 """Triples → CSR transformation (the Figure 4 mandatory step)."""
 
 import numpy as np
-import pytest
 
 from repro.transform.adjacency import build_csr, build_hetero_adjacency
 from repro.transform.features import one_hot_type_features, xavier_features
