@@ -1,16 +1,25 @@
 #!/usr/bin/env python
-"""CI perf-guard: verify recorded batch-kernel speedups against their floors.
+"""CI perf-guard: verify recorded speedups against their floors.
 
-Reads ``benchmarks/reports/BENCH_sampling.json`` (written by
-``benchmarks/test_perf_sampling.py``, which records each benchmark's
-measured speedup *and* its regression floor) and exits non-zero if any
-speedup fell below its floor or the report is missing/incomplete.  Run it
-after the perf benchmarks:
+Reads the benchmark reports written under ``benchmarks/reports/`` — each
+benchmark records its measured speedup *and* its regression floor — and
+exits non-zero if any speedup fell below its floor or a report is
+missing/incomplete.  Guarded reports:
 
-    PYTHONPATH=src python -m pytest -q benchmarks/test_perf_sampling.py
-    python benchmarks/check_perf_floors.py
+* ``BENCH_sampling.json`` (``test_perf_sampling.py``): the batch kernels
+  vs their scalar reference loops.
+* ``BENCH_serving.json`` (``test_perf_serving.py``): the coalescing
+  scheduler vs the serial one-request-at-a-time serving baseline.
 
-Floors are maintained in ``FLOORS`` in ``test_perf_sampling.py`` — see
+Run after the perf benchmarks::
+
+    PYTHONPATH=src python -m pytest -q benchmarks/test_perf_sampling.py \
+        benchmarks/test_perf_serving.py
+    python benchmarks/check_perf_floors.py            # all reports
+    python benchmarks/check_perf_floors.py BENCH_serving.json   # one report
+
+Floors are maintained next to each benchmark (``FLOORS`` in
+``test_perf_sampling.py``, ``FLOOR`` in ``test_perf_serving.py``) — see
 ``docs/ci.md`` for the update policy.
 """
 
@@ -18,42 +27,58 @@ import json
 import os
 import sys
 
-EXPECTED = (
-    "ibs_influence_scoring",
-    "ppr_sparse_frontier",
-    "shadow_ego_bfs",
-    "sparql_multi_bound_join",
-)
+REPORTS = {
+    "BENCH_sampling.json": (
+        "ibs_influence_scoring",
+        "ppr_sparse_frontier",
+        "shadow_ego_bfs",
+        "sparql_multi_bound_join",
+    ),
+    "BENCH_serving.json": ("serving_coalesced_throughput",),
+}
 
-REPORT = os.path.join(os.path.dirname(__file__), "reports", "BENCH_sampling.json")
+REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
 
 
-def main() -> int:
-    if not os.path.exists(REPORT):
-        print(f"perf-guard: {REPORT} not found — run the perf benchmarks first")
-        return 1
-    with open(REPORT, "r", encoding="utf-8") as handle:
+def check_report(path: str, expected) -> list:
+    """Print one report's floor checks; return the failing benchmark names."""
+    if not os.path.exists(path):
+        print(f"perf-guard: {path} not found — run the perf benchmarks first")
+        return [f"{os.path.basename(path)} (missing)"]
+    with open(path, "r", encoding="utf-8") as handle:
         data = json.load(handle)
     benchmarks = data.get("benchmarks", {})
     failures = []
-    for name in EXPECTED:
+    for name in expected:
         entry = benchmarks.get(name)
         if entry is None:
-            print(f"{name:26s} MISSING from report")
+            print(f"{name:30s} MISSING from report")
             failures.append(name)
             continue
         speedup, floor = entry["speedup"], entry["floor"]
         ok = speedup >= floor
         status = "ok" if ok else "BELOW FLOOR"
-        print(f"{name:26s} speedup {speedup:6.2f}x  floor {floor:.2f}x  {status}")
+        print(f"{name:30s} speedup {speedup:6.2f}x  floor {floor:.2f}x  {status}")
         if not ok:
             failures.append(name)
+    return failures
+
+
+def main(argv=None) -> int:
+    selected = argv if argv else sorted(REPORTS)
+    failures = []
+    for report_name in selected:
+        expected = REPORTS.get(report_name)
+        if expected is None:
+            print(f"perf-guard: unknown report {report_name!r}; know {sorted(REPORTS)}")
+            return 2
+        failures.extend(check_report(os.path.join(REPORT_DIR, report_name), expected))
     if failures:
         print(f"perf-guard: {len(failures)} benchmark(s) regressed: {', '.join(failures)}")
         return 1
-    print("perf-guard: all batch-kernel speedups at or above their floors")
+    print("perf-guard: all recorded speedups at or above their floors")
     return 0
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(sys.argv[1:]))

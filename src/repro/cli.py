@@ -1,16 +1,21 @@
 """Command-line interface.
 
-Four subcommands cover the library's day-to-day uses::
+Six subcommands cover the library's day-to-day uses::
 
-    python -m repro stats    --dataset mag --scale small
-    python -m repro extract  --dataset mag --task PV --method sparql -d 1 -H 1 --out kgprime/
-    python -m repro train    --dataset mag --task PV --model GraphSAINT --tosa --epochs 10
-    python -m repro bench    --experiment table1 --scale tiny
+    python -m repro stats       --dataset mag --scale small
+    python -m repro extract     --dataset mag --task PV --method sparql -d 1 -H 1 --out kgprime/
+    python -m repro train       --dataset mag --task PV --model GraphSAINT --tosa --epochs 10
+    python -m repro bench       --experiment table1 --scale tiny
+    python -m repro serve       --dataset mag --scale small --port 7469
+    python -m repro bench-serve --dataset mag --scale small --concurrency 64
 
 ``stats`` prints the Table-I row of a benchmark KG; ``extract`` runs TOSG
 extraction and optionally saves KG′ as a TSV bundle; ``train`` runs one
 method on FG or KG′ and reports the paper's metrics; ``bench`` regenerates
-one paper artifact.
+one paper artifact; ``serve`` exposes the concurrent extraction service
+over newline-delimited-JSON TCP; ``bench-serve`` runs the closed-loop load
+generator against the serial and coalescing schedulers (see
+``docs/serving.md``).
 """
 
 from __future__ import annotations
@@ -143,6 +148,82 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ExtractionService, bound_port, serve_tcp
+
+    bundle = _load_bundle(args.dataset, args.scale, args.seed)
+
+    async def run() -> None:
+        service = ExtractionService(
+            max_pending=args.max_pending,
+            max_batch=args.max_batch,
+            max_delay=args.max_delay_ms / 1e3,
+            coalesce=not args.no_coalesce,
+        )
+        service.register(args.dataset, bundle.kg)
+        server = await serve_tcp(service, host=args.host, port=args.port)
+        mode = "serial" if args.no_coalesce else "coalescing"
+        print(
+            f"serving {bundle.kg.name} as graph {args.dataset!r} on "
+            f"{args.host}:{bound_port(server)} ({mode}, "
+            f"window {args.max_batch}x{args.max_delay_ms}ms, "
+            f"max {args.max_pending} in flight)",
+            flush=True,
+        )
+        async with server:
+            if args.duration is not None:
+                try:
+                    await asyncio.wait_for(server.serve_forever(), args.duration)
+                except asyncio.TimeoutError:
+                    pass
+            else:
+                await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.harness import render_table
+    from repro.serve import compare_serving_modes
+    from repro.serve.loadgen import ROW_HEADERS
+
+    bundle = _load_bundle(args.dataset, args.scale, args.seed)
+    task = bundle.task(args.task)
+    rng = np.random.default_rng(args.seed)
+    targets = rng.choice(task.target_nodes, size=args.requests, replace=True)
+    serial, coalesced, speedup = compare_serving_modes(
+        bundle.kg, targets, k=args.top_k, concurrency=args.concurrency,
+        max_batch=args.max_batch, max_delay=args.max_delay_ms / 1e3,
+    )
+    print(render_table(
+        ROW_HEADERS,
+        [serial.as_row(), coalesced.as_row()],
+        title=f"closed-loop serving, {bundle.kg.name} ({args.task})",
+    ))
+    print(f"coalescing speedup {speedup:.1f}x (results bit-identical to serial)")
+    if args.out:
+        payload = {
+            "graph": bundle.kg.name,
+            "task": args.task,
+            "speedup": speedup,
+            "serial": serial.as_json(),
+            "coalesced": coalesced.as_json(),
+            "metrics": coalesced.metrics,
+        }
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"[report saved to {args.out}]")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="KG-TOSA reproduction command-line interface"
@@ -187,6 +268,33 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--scale", default="tiny")
     bench.add_argument("--seed", type=int, default=7)
     bench.set_defaults(func=_cmd_bench)
+
+    serve = sub.add_parser("serve", help="serve concurrent extraction over TCP (ndjson)")
+    add_common(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7469, help="0 picks a free port")
+    serve.add_argument("--max-pending", type=int, default=256)
+    serve.add_argument("--max-batch", type=int, default=64)
+    serve.add_argument("--max-delay-ms", type=float, default=2.0)
+    serve.add_argument("--no-coalesce", action="store_true",
+                       help="serial per-request dispatch (baseline mode)")
+    serve.add_argument("--duration", type=float, default=None,
+                       help="stop after this many seconds (default: run forever)")
+    serve.set_defaults(func=_cmd_serve)
+
+    bench_serve = sub.add_parser(
+        "bench-serve", help="closed-loop load: serial vs coalescing scheduler"
+    )
+    add_common(bench_serve)
+    bench_serve.add_argument("--task", default="PV")
+    bench_serve.add_argument("--requests", type=int, default=256)
+    bench_serve.add_argument("--concurrency", type=int, default=64)
+    bench_serve.add_argument("--top-k", type=int, default=16)
+    bench_serve.add_argument("--max-batch", type=int, default=64)
+    bench_serve.add_argument("--max-delay-ms", type=float, default=2.0)
+    bench_serve.add_argument("--out", default=None,
+                             help="write the comparison + metrics dump as JSON")
+    bench_serve.set_defaults(func=_cmd_bench_serve)
     return parser
 
 

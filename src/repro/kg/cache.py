@@ -52,6 +52,11 @@ class GraphArtifacts:
         self._csr: Dict[str, sp.csr_matrix] = {}
         self._engines: Dict[str, "RandomWalkEngine"] = {}
         self._hetero: Dict[Tuple[bool, bool], "HeteroAdjacency"] = {}
+        # Observability counters (read by the serving metrics): how many
+        # getter calls found a warm artifact vs had to build one.  Guarded
+        # by the same lock as the artifacts themselves.
+        self.hits = 0
+        self.builds = 0
 
     # -- homogeneous projections --
 
@@ -64,6 +69,9 @@ class GraphArtifacts:
 
                 matrix = build_csr(self.kg, direction=direction)
                 self._csr[direction] = matrix
+                self.builds += 1
+            else:
+                self.hits += 1
             return matrix
 
     # -- indices --
@@ -86,6 +94,9 @@ class GraphArtifacts:
                     self.kg, direction=direction, adjacency=self.csr(direction)
                 )
                 self._engines[direction] = engine
+                self.builds += 1
+            else:
+                self.hits += 1
             return engine
 
     # -- heterogeneous stacks --
@@ -104,6 +115,9 @@ class GraphArtifacts:
                     self.kg, add_reverse=add_reverse, normalize=normalize
                 )
                 self._hetero[key] = stack
+                self.builds += 1
+            else:
+                self.hits += 1
             return stack
 
     # -- accounting --

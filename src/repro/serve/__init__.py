@@ -1,0 +1,32 @@
+"""Concurrent TOSG-extraction serving layer.
+
+The async front door over the batch-kernel program (see
+``docs/serving.md``): an admission-bounded :class:`ExtractionService`
+routes concurrent PPR / ego-scope / SPARQL requests per graph, a
+:class:`Coalescer` micro-batches compatible requests into single
+batch-kernel calls, and :class:`ServiceMetrics` exports latency, queue
+depth, batch occupancy and cache-hit counters as one dict.
+"""
+
+from repro.serve.coalesce import Coalescer
+from repro.serve.loadgen import LoadReport, compare_serving_modes, run_load
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.service import (
+    AsyncSparqlEndpoint,
+    ExtractionService,
+    ServiceOverloaded,
+)
+from repro.serve.tcp import bound_port, serve_tcp
+
+__all__ = [
+    "AsyncSparqlEndpoint",
+    "Coalescer",
+    "ExtractionService",
+    "LoadReport",
+    "ServiceMetrics",
+    "ServiceOverloaded",
+    "bound_port",
+    "compare_serving_modes",
+    "run_load",
+    "serve_tcp",
+]

@@ -1,0 +1,143 @@
+"""Micro-batching scheduler: live traffic in, batch-kernel calls out.
+
+The PR-1/2 batch kernels (:func:`repro.sampling.ppr.batch_ppr_top_k`,
+:func:`repro.models.shadowsaint.extract_ego_batch`) were built for
+benchmark loops that already hold a whole array of targets.  A service
+receives the same work one request at a time.  :class:`Coalescer` bridges
+the two: concurrent requests that share a *compatibility key* (same graph,
+same kernel parameters) are collected inside a small window — closed by
+whichever comes first, ``max_batch`` items or ``max_delay`` seconds — and
+dispatched as **one** batch-kernel call on a worker thread, with each
+result fanned back to its request's future.
+
+Because the batch kernels are bit-exact against their scalar oracles, a
+coalesced request returns *exactly* what a lone request would — the window
+only trades a bounded latency slack for kernel-side throughput.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Callable, Dict, Hashable, List, Optional, Set
+
+from repro.serve.metrics import ServiceMetrics
+
+# Default window: at most this many requests per dispatched batch ...
+MAX_BATCH = 64
+# ... or this many seconds after the first request opened the window.
+MAX_DELAY_SECONDS = 0.002
+
+# dispatch(key, items) -> results, one result per item, same order.
+DispatchFn = Callable[[Hashable, List[Any]], List[Any]]
+
+
+class _Window:
+    """One open batch: items waiting for the size or time trigger."""
+
+    __slots__ = ("items", "futures", "timer")
+
+    def __init__(self) -> None:
+        self.items: List[Any] = []
+        self.futures: List[asyncio.Future] = []
+        self.timer: Optional[asyncio.TimerHandle] = None
+
+
+class Coalescer:
+    """Collects per-key requests into windows and dispatches them batched.
+
+    Parameters
+    ----------
+    dispatch:
+        ``dispatch(key, items) -> results`` run on a worker thread
+        (``asyncio.to_thread``); must return one result per item in item
+        order.  Raising fails every request of the batch with the same
+        exception.
+    max_batch / max_delay:
+        The coalescing window: a batch is dispatched as soon as it holds
+        ``max_batch`` items, or ``max_delay`` seconds after its first item
+        arrived, whichever happens first.  ``max_batch=1`` degenerates to
+        per-request dispatch (the serial baseline).
+    metrics:
+        Optional :class:`ServiceMetrics` receiving batch size/duration.
+    """
+
+    def __init__(
+        self,
+        dispatch: DispatchFn,
+        max_batch: int = MAX_BATCH,
+        max_delay: float = MAX_DELAY_SECONDS,
+        metrics: Optional[ServiceMetrics] = None,
+    ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {max_delay}")
+        self._dispatch = dispatch
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self._metrics = metrics
+        self._windows: Dict[Hashable, _Window] = {}
+        self._inflight: Set[asyncio.Task] = set()
+
+    async def submit(self, key: Hashable, item: Any) -> Any:
+        """Queue ``item`` under ``key`` and await its individual result."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        window = self._windows.get(key)
+        if window is None:
+            window = _Window()
+            self._windows[key] = window
+            if self.max_batch > 1:
+                # call_later(0, ...) fires on the next loop pass, so a zero
+                # window still coalesces same-tick bursts and never hangs.
+                window.timer = loop.call_later(self.max_delay, self._close, key)
+        window.items.append(item)
+        window.futures.append(future)
+        if len(window.items) >= self.max_batch:
+            self._close(key)
+        return await future
+
+    def _close(self, key: Hashable) -> None:
+        """Close ``key``'s window (idempotent) and dispatch it."""
+        window = self._windows.pop(key, None)
+        if window is None:
+            return
+        if window.timer is not None:
+            window.timer.cancel()
+        task = asyncio.ensure_future(self._run(key, window))
+        # Keep a strong reference until done: the loop only holds weak ones.
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _run(self, key: Hashable, window: _Window) -> None:
+        start = time.perf_counter()
+        try:
+            results = await asyncio.to_thread(self._dispatch, key, window.items)
+            if len(results) != len(window.items):
+                raise RuntimeError(
+                    f"dispatch returned {len(results)} results "
+                    f"for {len(window.items)} items"
+                )
+        except BaseException as exc:  # noqa: BLE001 - fanned out to callers
+            for future in window.futures:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        if self._metrics is not None:
+            self._metrics.record_batch(len(window.items), time.perf_counter() - start)
+        for future, result in zip(window.futures, results):
+            if not future.done():
+                future.set_result(result)
+
+    async def flush(self) -> None:
+        """Dispatch every open window now and wait for all batches to land."""
+        for key in list(self._windows):
+            self._close(key)
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+
+    @property
+    def open_windows(self) -> int:
+        """Number of keys currently collecting a batch (introspection)."""
+        return len(self._windows)

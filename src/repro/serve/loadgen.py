@@ -1,0 +1,195 @@
+"""Closed-loop load generator for the extraction service.
+
+A fixed population of ``concurrency`` workers each keeps exactly one
+request in flight: issue, await, record latency, issue the next (the
+classic closed-loop model, which measures service capacity rather than
+open-loop queueing collapse).  Workers pull target nodes round-robin from
+the task's target set — the live-traffic version of the IBS benchmark
+loop.
+
+:func:`run_load` drives one :class:`ExtractionService` configuration and
+returns a :class:`LoadReport`; :func:`compare_serving_modes` runs the
+serial one-request-at-a-time baseline and the coalescing scheduler over
+the *same* request sequence, verifies the results are bit-identical, and
+reports the throughput ratio — the number guarded by
+``benchmarks/check_perf_floors.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.kg.graph import KnowledgeGraph
+from repro.serve.metrics import percentile
+from repro.serve.service import ExtractionService, ServiceOverloaded
+
+GRAPH_NAME = "load"
+
+
+ROW_HEADERS = [
+    "mode", "reqs", "conc", "wall(s)", "req/s", "p50(ms)", "p95(ms)", "occupancy",
+]
+
+
+@dataclass
+class LoadReport:
+    """One load run: configuration, wall-clock numbers, tail latency."""
+
+    mode: str
+    requests: int
+    concurrency: int
+    wall_seconds: float
+    throughput_rps: float
+    p50_ms: float
+    p95_ms: float
+    rejected: int
+    batch_occupancy: float
+    results: Dict[int, List[Tuple[int, float]]] = field(repr=False, default_factory=dict)
+    metrics: dict = field(repr=False, default_factory=dict)
+
+    def as_row(self) -> List[str]:
+        """Rendered cells matching :data:`ROW_HEADERS` (for render_table)."""
+        return [
+            self.mode,
+            str(self.requests),
+            str(self.concurrency),
+            f"{self.wall_seconds:.3f}",
+            f"{self.throughput_rps:.0f}",
+            f"{self.p50_ms:.2f}",
+            f"{self.p95_ms:.2f}",
+            f"{self.batch_occupancy:.1f}",
+        ]
+
+    def as_json(self) -> dict:
+        """The report minus the raw per-target results (for persistence)."""
+        return {
+            "mode": self.mode,
+            "requests": self.requests,
+            "concurrency": self.concurrency,
+            "wall_seconds": self.wall_seconds,
+            "throughput_rps": self.throughput_rps,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "rejected": self.rejected,
+            "batch_occupancy": self.batch_occupancy,
+        }
+
+
+async def _closed_loop(
+    service: ExtractionService,
+    targets: Sequence[int],
+    k: int,
+    concurrency: int,
+) -> Tuple[Dict[int, List[Tuple[int, float]]], List[float], int]:
+    """Run the request sequence with ``concurrency`` in-flight workers."""
+    next_index = 0
+    latencies: List[float] = []
+    rejected = 0
+    results: Dict[int, List[Tuple[int, float]]] = {}
+
+    async def worker() -> None:
+        nonlocal next_index, rejected
+        while True:
+            index = next_index
+            if index >= len(targets):
+                return
+            next_index = index + 1
+            target = int(targets[index])
+            start = time.perf_counter()
+            while True:
+                try:
+                    result = await service.ppr_top_k(GRAPH_NAME, target, k=k)
+                    break
+                except ServiceOverloaded as exc:
+                    # Closed-loop clients honour the backpressure contract:
+                    # back off for the hinted interval, then retry.
+                    rejected += 1
+                    await asyncio.sleep(exc.retry_after)
+            latencies.append(time.perf_counter() - start)
+            results[target] = result
+
+    await asyncio.gather(*(worker() for _ in range(concurrency)))
+    await service.drain()
+    return results, latencies, rejected
+
+
+def run_load(
+    kg: KnowledgeGraph,
+    targets: Sequence[int],
+    k: int = 16,
+    concurrency: int = 64,
+    coalesce: bool = True,
+    max_batch: int = 64,
+    max_delay: float = 0.002,
+    max_pending: Optional[int] = None,
+) -> LoadReport:
+    """Drive one service configuration with the closed-loop generator.
+
+    ``max_pending`` defaults to ``2 * concurrency`` so a healthy run is
+    never admission-limited; pass something smaller to exercise shedding.
+    """
+    service = ExtractionService(
+        max_pending=max_pending if max_pending is not None else 2 * concurrency,
+        max_batch=max_batch,
+        max_delay=max_delay,
+        coalesce=coalesce,
+    )
+    service.register(GRAPH_NAME, kg)
+
+    async def run():
+        start = time.perf_counter()
+        results, latencies, rejected = await _closed_loop(
+            service, targets, k, concurrency
+        )
+        return results, latencies, rejected, time.perf_counter() - start
+
+    results, latencies, rejected, wall = asyncio.run(run())
+    return LoadReport(
+        mode="coalesced" if coalesce else "serial",
+        requests=len(targets),
+        concurrency=concurrency,
+        wall_seconds=wall,
+        throughput_rps=len(targets) / max(wall, 1e-12),
+        p50_ms=percentile(latencies, 0.50) * 1e3,
+        p95_ms=percentile(latencies, 0.95) * 1e3,
+        rejected=rejected,
+        batch_occupancy=service.metrics.batch_occupancy(),
+        results=results,
+        metrics=service.metrics_snapshot(),
+    )
+
+
+def compare_serving_modes(
+    kg: KnowledgeGraph,
+    targets: Sequence[int],
+    k: int = 16,
+    concurrency: int = 64,
+    max_batch: int = 64,
+    max_delay: float = 0.002,
+) -> Tuple[LoadReport, LoadReport, float]:
+    """Serial baseline vs coalescing scheduler over one request sequence.
+
+    Returns ``(serial, coalesced, speedup)`` after asserting both modes
+    produced bit-identical results for every target — the coalesced path
+    must be a pure throughput win, never a different answer.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    serial = run_load(
+        kg, targets, k=k, concurrency=concurrency, coalesce=False,
+        max_batch=max_batch, max_delay=max_delay,
+    )
+    coalesced = run_load(
+        kg, targets, k=k, concurrency=concurrency, coalesce=True,
+        max_batch=max_batch, max_delay=max_delay,
+    )
+    if serial.results != coalesced.results:
+        raise AssertionError(
+            "coalesced serving diverged from the serial scalar baseline"
+        )
+    speedup = coalesced.throughput_rps / max(serial.throughput_rps, 1e-12)
+    return serial, coalesced, speedup

@@ -1,0 +1,352 @@
+"""The concurrent TOSG-extraction service.
+
+:class:`ExtractionService` is the asyncio front door over the batch-kernel
+program: callers issue *single* PPR-influence, ego-scope or SPARQL requests
+against registered graphs, and the service turns concurrent request
+streams into batched kernel calls via the per-graph
+:class:`~repro.serve.coalesce.Coalescer` router.
+
+Three contracts, in order of the request path:
+
+* **Admission** — at most ``max_pending`` requests are in flight at once.
+  Beyond that the service *rejects* with :class:`ServiceOverloaded`
+  carrying a ``retry_after`` hint (seconds), instead of queueing without
+  bound: a loaded service must shed, not buffer, the paper's
+  millions-of-users regime.
+* **Coalescing** — requests whose kernel parameters match (same graph,
+  same ``(k, alpha, eps)`` or ``(depth, fanout, salt)``) share one batch
+  kernel call per window.  Results are bit-identical to per-request scalar
+  extraction because the kernels are bit-exact against their oracles.
+* **Isolation** — kernel work runs on worker threads
+  (``asyncio.to_thread``); the event loop only routes, so slow extraction
+  never blocks admission, metrics or other graphs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, Hashable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.kg.cache import artifacts_for
+from repro.kg.graph import KnowledgeGraph
+from repro.models.shadowsaint import _EgoGraph, extract_ego, extract_ego_batch
+from repro.sampling.ppr import batch_ppr_top_k, ppr_top_k
+from repro.serve.coalesce import MAX_BATCH, MAX_DELAY_SECONDS, Coalescer
+from repro.serve.metrics import ServiceMetrics
+from repro.sparql.ast import SelectQuery
+from repro.sparql.endpoint import SparqlEndpoint
+from repro.sparql.executor import ResultSet
+
+# Default in-flight bound: enough to keep several full coalescing windows
+# busy without letting latency grow without limit under overload.
+MAX_PENDING = 256
+
+Query = Union[str, SelectQuery]
+
+
+class ServiceOverloaded(RuntimeError):
+    """Admission rejected: the in-flight bound is reached.
+
+    ``retry_after`` estimates (in seconds) when capacity is likely to free
+    up — the current queue drained at the recent per-request service rate.
+    HTTP front ends should map this to ``429`` + ``Retry-After``.
+    """
+
+    def __init__(self, retry_after: float):
+        super().__init__(
+            f"service overloaded, retry in {retry_after:.3f}s"
+        )
+        self.retry_after = retry_after
+
+
+class AsyncSparqlEndpoint:
+    """Async façade over :class:`~repro.sparql.endpoint.SparqlEndpoint`.
+
+    Every call runs the synchronous endpoint on a worker thread, so SPARQL
+    requests coexist with extraction traffic on one event loop.  The
+    wrapped endpoint's stats stay correct under this concurrency — its
+    counters are guarded by the endpoint's own lock.
+    """
+
+    def __init__(self, endpoint: SparqlEndpoint):
+        self.endpoint = endpoint
+
+    @property
+    def stats(self):
+        return self.endpoint.stats
+
+    async def query(self, query: Query) -> ResultSet:
+        return await asyncio.to_thread(self.endpoint.query, query)
+
+    async def count(self, query: Query) -> int:
+        return await asyncio.to_thread(self.endpoint.count, query)
+
+    async def fetch_all(
+        self, query: Query, batch_size: int, workers: int = 1
+    ) -> ResultSet:
+        return await asyncio.to_thread(
+            self.endpoint.fetch_all, query, batch_size, workers
+        )
+
+
+class _RegisteredGraph:
+    """Per-graph routing state: the graph, its endpoint, warm artifacts."""
+
+    __slots__ = ("kg", "endpoint", "async_endpoint")
+
+    def __init__(self, kg: KnowledgeGraph, compression: bool):
+        self.kg = kg
+        self.endpoint = SparqlEndpoint(kg, compression=compression)
+        self.async_endpoint = AsyncSparqlEndpoint(self.endpoint)
+
+
+class ExtractionService:
+    """Admission gate + per-graph request router over the batch kernels.
+
+    Parameters
+    ----------
+    max_pending:
+        In-flight request bound (the admission queue size).  Requests
+        arriving beyond it raise :class:`ServiceOverloaded`.
+    max_batch / max_delay:
+        Coalescing window passed to both schedulers (PPR and ego); see
+        :class:`~repro.serve.coalesce.Coalescer`.
+    coalesce:
+        ``False`` switches to the serial one-request-at-a-time baseline:
+        every request runs the *scalar* kernel alone, serialized per
+        service.  Exists for benchmarking the coalescing win and as the
+        ground truth the batched path must match bit-for-bit.
+    compression:
+        Passed through to each graph's :class:`SparqlEndpoint`.
+    """
+
+    def __init__(
+        self,
+        max_pending: int = MAX_PENDING,
+        max_batch: int = MAX_BATCH,
+        max_delay: float = MAX_DELAY_SECONDS,
+        coalesce: bool = True,
+        compression: bool = True,
+        metrics: Optional[ServiceMetrics] = None,
+    ):
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.max_pending = max_pending
+        self.coalesce = coalesce
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self._compression = compression
+        self._graphs: Dict[str, _RegisteredGraph] = {}
+        self._pending = 0
+        self._serial_lock = asyncio.Lock()
+        self._ppr = Coalescer(
+            self._dispatch_ppr,
+            max_batch=max_batch,
+            max_delay=max_delay,
+            metrics=self.metrics,
+        )
+        self._ego = Coalescer(
+            self._dispatch_ego,
+            max_batch=max_batch,
+            max_delay=max_delay,
+            metrics=self.metrics,
+        )
+
+    # -- registry --
+
+    def register(self, name: str, kg: KnowledgeGraph, warm: bool = True) -> None:
+        """Register ``kg`` under ``name``; ``warm`` prebuilds the CSR.
+
+        Warming at registration keeps the first request's latency in line
+        with steady state — artifact construction is the one cost that is
+        *not* graph-size independent.
+        """
+        if name in self._graphs:
+            raise ValueError(f"graph {name!r} already registered")
+        self._graphs[name] = _RegisteredGraph(kg, self._compression)
+        if warm:
+            artifacts_for(kg).csr("both")
+
+    def graphs(self) -> List[str]:
+        return sorted(self._graphs)
+
+    def _graph(self, name: str) -> _RegisteredGraph:
+        entry = self._graphs.get(name)
+        if entry is None:
+            raise KeyError(
+                f"unknown graph {name!r}; registered: {self.graphs()}"
+            )
+        return entry
+
+    # -- admission gate --
+
+    def _admit(self) -> None:
+        if self._pending >= self.max_pending:
+            self.metrics.record_rejected()
+            raise ServiceOverloaded(retry_after=self._retry_after())
+        self._pending += 1
+        self.metrics.record_admitted()
+
+    def _retry_after(self) -> float:
+        # Drain estimate: the whole queue served at the recent smoothed
+        # per-request rate, floored at one coalescing window.  Under
+        # coalescing, up to max_batch requests complete per batch service
+        # time, so the serial product would overestimate by that factor.
+        per_request = self.metrics.ewma_request_seconds(default=self._ppr.max_delay)
+        drain = self._pending * per_request
+        if self.coalesce:
+            drain /= self._ppr.max_batch
+        return max(drain, self._ppr.max_delay)
+
+    async def _serve(self, kind: str, start_request) -> object:
+        """Admission + latency accounting around one request.
+
+        ``start_request`` is a zero-argument callable returning the request
+        coroutine; it is only invoked *after* admission succeeds, so a
+        rejected request never touches the schedulers.
+        """
+        self._admit()
+        start = time.perf_counter()
+        try:
+            result = await start_request()
+        except BaseException:
+            self.metrics.record_completed(
+                kind, time.perf_counter() - start, error=True
+            )
+            raise
+        finally:
+            self._pending -= 1
+            self.metrics.record_departed()
+        self.metrics.record_completed(kind, time.perf_counter() - start)
+        return result
+
+    # -- request kinds --
+
+    async def ppr_top_k(
+        self,
+        graph: str,
+        target: int,
+        k: int = 16,
+        alpha: float = 0.25,
+        eps: float = 2e-4,
+    ) -> List[Tuple[int, float]]:
+        """Top-``k`` influence list of ``target`` (IBS's per-target unit)."""
+        self._graph(graph)  # fail fast before entering the queue
+
+        def start():
+            if self.coalesce:
+                return self._ppr.submit((graph, k, alpha, eps), int(target))
+            return self._serial_ppr(graph, int(target), k, alpha, eps)
+
+        return await self._serve("ppr", start)
+
+    async def extract_ego(
+        self,
+        graph: str,
+        root: int,
+        depth: int = 2,
+        fanout: int = 8,
+        salt: int = 0,
+    ) -> _EgoGraph:
+        """One ShaDowSAINT ego scope around ``root``."""
+        self._graph(graph)
+
+        def start():
+            if self.coalesce:
+                return self._ego.submit((graph, depth, fanout, salt), int(root))
+            return self._serial_ego(graph, int(root), depth, fanout, salt)
+
+        return await self._serve("ego", start)
+
+    async def sparql(self, graph: str, query: Query) -> ResultSet:
+        """One SPARQL request through the graph's async endpoint façade."""
+        entry = self._graph(graph)
+        return await self._serve("sparql", lambda: entry.async_endpoint.query(query))
+
+    async def count(self, graph: str, query: Query) -> int:
+        """``getGraphSize`` for ``query`` (Algorithm 3's cardinality probe)."""
+        entry = self._graph(graph)
+        return await self._serve("sparql", lambda: entry.async_endpoint.count(query))
+
+    # -- batched dispatchers (worker-thread side) --
+
+    def _dispatch_ppr(self, key: Hashable, targets: List[int]) -> List[list]:
+        graph, k, alpha, eps = key
+        kg = self._graphs[graph].kg
+        adjacency = artifacts_for(kg).csr("both")
+        table = batch_ppr_top_k(
+            adjacency, np.asarray(targets, dtype=np.int64), k, alpha=alpha, eps=eps
+        )
+        return [table[int(target)] for target in targets]
+
+    def _dispatch_ego(self, key: Hashable, roots: List[int]) -> List[_EgoGraph]:
+        graph, depth, fanout, salt = key
+        kg = self._graphs[graph].kg
+        return extract_ego_batch(
+            kg,
+            np.asarray(roots, dtype=np.int64),
+            depth=depth,
+            fanout=fanout,
+            salt=salt,
+        )
+
+    # -- serial baseline (scalar oracle, one request at a time) --
+
+    async def _serial_ppr(
+        self, graph: str, target: int, k: int, alpha: float, eps: float
+    ) -> List[Tuple[int, float]]:
+        kg = self._graphs[graph].kg
+        async with self._serial_lock:
+            adjacency = artifacts_for(kg).csr("both")
+            return await asyncio.to_thread(
+                ppr_top_k, adjacency, target, k, alpha, eps
+            )
+
+    async def _serial_ego(
+        self, graph: str, root: int, depth: int, fanout: int, salt: int
+    ) -> _EgoGraph:
+        kg = self._graphs[graph].kg
+        async with self._serial_lock:
+            return await asyncio.to_thread(
+                extract_ego, kg, root, depth, fanout, salt
+            )
+
+    # -- lifecycle / observability --
+
+    async def drain(self) -> None:
+        """Flush open coalescing windows and wait for their batches."""
+        await self._ppr.flush()
+        await self._ego.flush()
+
+    def metrics_snapshot(self) -> dict:
+        """Service + per-graph metrics as one JSON-serializable dict."""
+        snapshot = self.metrics.snapshot()
+        graphs = {}
+        for name, entry in self._graphs.items():
+            artifacts = artifacts_for(entry.kg)
+            stats = entry.endpoint.stats
+            graphs[name] = {
+                "num_nodes": entry.kg.num_nodes,
+                "num_edges": entry.kg.num_edges,
+                "artifact_cache": {
+                    "hits": artifacts.hits,
+                    "builds": artifacts.builds,
+                    "nbytes": artifacts.nbytes(),
+                },
+                "endpoint": {
+                    "requests": stats.requests,
+                    "rows_returned": stats.rows_returned,
+                    "bytes_shipped": stats.bytes_shipped,
+                    "compression_ratio": stats.compression_ratio(),
+                },
+            }
+        snapshot["graphs"] = graphs
+        snapshot["config"] = {
+            "max_pending": self.max_pending,
+            "max_batch": self._ppr.max_batch,
+            "max_delay_ms": self._ppr.max_delay * 1e3,
+            "coalesce": self.coalesce,
+        }
+        return snapshot

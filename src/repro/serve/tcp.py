@@ -1,0 +1,181 @@
+"""Newline-delimited-JSON TCP front end for :class:`ExtractionService`.
+
+The paper's Algorithm 3 talks to the RDF engine over HTTP; this module is
+the reproduction's equivalent wire layer, kept dependency-free with
+``asyncio.start_server``.  One JSON object per line in, one per line out:
+
+Request::
+
+    {"op": "ppr",    "graph": "mag", "target": 17, "k": 16}
+    {"op": "ego",    "graph": "mag", "root": 17, "depth": 2, "fanout": 8}
+    {"op": "sparql", "graph": "mag", "query": "select ?s ?p ?o where ..."}
+    {"op": "count",  "graph": "mag", "query": "..."}
+    {"op": "metrics"}
+    {"op": "ping"}
+
+Response::
+
+    {"ok": true,  "result": ...}
+    {"ok": false, "error": "...", "retry_after": 0.25}   # overload only
+
+Overload maps to ``ok: false`` with a ``retry_after`` hint — the TCP
+analogue of HTTP 429 — so closed-loop clients can back off without
+guessing.  Malformed requests also answer ``ok: false`` (no retry hint)
+instead of killing the connection: one bad line must not break pipelined
+requests behind it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+
+from repro.serve.service import ExtractionService, ServiceOverloaded
+from repro.sparql.executor import ResultSet
+
+# One request line is bounded (queries are short); a huge line is a client
+# bug, not a reason to buffer without limit.
+MAX_LINE_BYTES = 1 << 20
+
+# Requests a single connection may have in flight at once.  Pipelined
+# requests are handled concurrently — so they can share coalescing windows
+# and a slow op does not stall the ones behind it — while responses are
+# written back in request order (the ndjson contract).
+PIPELINE_DEPTH = 256
+
+
+def _result_payload(result) -> object:
+    """JSON-encode one op's result."""
+    if isinstance(result, ResultSet):
+        return {
+            "variables": list(result.variables),
+            "columns": {
+                variable: [int(v) for v in result.columns[variable]]
+                for variable in result.variables
+            },
+            "num_rows": int(result.num_rows),
+        }
+    if hasattr(result, "nodes") and hasattr(result, "rel"):  # _EgoGraph
+        return {
+            "nodes": [int(v) for v in result.nodes],
+            "src": [int(v) for v in result.src],
+            "dst": [int(v) for v in result.dst],
+            "rel": [int(v) for v in result.rel],
+        }
+    if isinstance(result, list):  # ppr top-k [(node, score), ...]
+        return [[int(node), float(score)] for node, score in result]
+    return result
+
+
+async def _handle_request(service: ExtractionService, request: dict) -> dict:
+    op = request.get("op")
+    if op == "ping":
+        return {"ok": True, "result": "pong"}
+    if op == "metrics":
+        return {"ok": True, "result": service.metrics_snapshot()}
+    if op == "graphs":
+        return {"ok": True, "result": service.graphs()}
+    if op == "ppr":
+        result = await service.ppr_top_k(
+            request["graph"],
+            int(request["target"]),
+            k=int(request.get("k", 16)),
+            alpha=float(request.get("alpha", 0.25)),
+            eps=float(request.get("eps", 2e-4)),
+        )
+    elif op == "ego":
+        result = await service.extract_ego(
+            request["graph"],
+            int(request["root"]),
+            depth=int(request.get("depth", 2)),
+            fanout=int(request.get("fanout", 8)),
+            salt=int(request.get("salt", 0)),
+        )
+    elif op == "sparql":
+        result = await service.sparql(request["graph"], request["query"])
+    elif op == "count":
+        result = await service.count(request["graph"], request["query"])
+    else:
+        return {"ok": False, "error": f"unknown op {op!r}"}
+    return {"ok": True, "result": _result_payload(result)}
+
+
+async def _respond(service: ExtractionService, line: bytes) -> dict:
+    """One request line to one response dict; never raises."""
+    try:
+        request = json.loads(line)
+        return await _handle_request(service, request)
+    except ServiceOverloaded as exc:
+        return {"ok": False, "error": "overloaded", "retry_after": exc.retry_after}
+    except Exception as exc:  # noqa: BLE001 - reported to the client
+        return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+
+async def _serve_connection(
+    service: ExtractionService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    # Bounded pipeline: the reader spawns one task per line and the writer
+    # drains them in order.  The writer consumes the queue even after the
+    # peer stops reading, so the reader's put() can never deadlock.
+    responses: asyncio.Queue = asyncio.Queue(maxsize=PIPELINE_DEPTH)
+
+    async def write_responses() -> None:
+        alive = True
+        while True:
+            task = await responses.get()
+            if task is None:
+                return
+            response = await task
+            if not alive:
+                continue
+            try:
+                writer.write(json.dumps(response).encode("utf-8") + b"\n")
+                await writer.drain()
+            except ConnectionError:
+                alive = False  # peer stopped reading; finish quietly
+
+    writer_task = asyncio.ensure_future(write_responses())
+    try:
+        while True:
+            try:
+                line = await reader.readline()
+            except (ValueError, ConnectionError):
+                break  # oversized line or peer reset
+            if not line:
+                break
+            await responses.put(asyncio.ensure_future(_respond(service, line)))
+        await responses.put(None)
+        await writer_task
+    finally:
+        if not writer_task.done():
+            writer_task.cancel()
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:  # pragma: no cover - peer already gone
+            pass
+
+
+async def serve_tcp(
+    service: ExtractionService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> asyncio.AbstractServer:
+    """Start serving ``service`` over TCP; ``port=0`` picks a free port."""
+
+    async def handler(reader, writer):
+        await _serve_connection(service, reader, writer)
+
+    return await asyncio.start_server(
+        handler, host, port, limit=MAX_LINE_BYTES
+    )
+
+
+def bound_port(server: asyncio.AbstractServer) -> Optional[int]:
+    """The port the server actually bound (after ``port=0``)."""
+    for socket in server.sockets:
+        return socket.getsockname()[1]
+    return None

@@ -12,25 +12,45 @@ from __future__ import annotations
 
 import threading
 import zlib
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Union as TypingUnion
+from typing import Deque, Iterable, Optional, Union as TypingUnion
 
 from repro.kg.graph import KnowledgeGraph
 from repro.sparql.ast import SelectQuery
 from repro.sparql.executor import QueryExecutor, ResultSet
 from repro.sparql.parser import parse_query
 
+# How many query strings the log retains by default.  The scalar counters
+# (requests, rows, bytes) are always exact over the endpoint's lifetime; the
+# log is a debugging window, and an unbounded list would grow without limit
+# in a long-running service.  Pass ``query_log=None`` for opt-in full
+# retention (tests, short-lived cost-model experiments).
+QUERY_LOG_LIMIT = 256
+
 
 @dataclass
 class EndpointStats:
-    """Counters accumulated across requests (thread-safe via endpoint lock)."""
+    """Counters accumulated across requests (thread-safe via endpoint lock).
+
+    ``queries`` is a bounded ring of the most recent query strings
+    (:data:`QUERY_LOG_LIMIT` by default); construct with
+    ``EndpointStats.with_query_log(None)`` to retain every query.
+    """
 
     requests: int = 0
     rows_returned: int = 0
     bytes_raw: int = 0
     bytes_shipped: int = 0
-    queries: List[str] = field(default_factory=list)
+    queries: Deque[str] = field(
+        default_factory=lambda: deque(maxlen=QUERY_LOG_LIMIT)
+    )
+
+    @classmethod
+    def with_query_log(cls, limit: Optional[int]) -> "EndpointStats":
+        """Stats whose query log keeps ``limit`` entries (``None``: all)."""
+        return cls(queries=deque(maxlen=limit))
 
     def compression_ratio(self) -> float:
         """Raw/shipped byte ratio (1.0 when compression is off or no data)."""
@@ -49,13 +69,23 @@ class SparqlEndpoint:
     compression:
         When True (paper default), shipped bytes are modeled as the
         zlib-compressed size of the serialized result page.
+    query_log:
+        How many recent query strings ``stats.queries`` retains
+        (default :data:`QUERY_LOG_LIMIT`); ``None`` keeps every query —
+        opt into that only for short-lived endpoints, a long-running
+        service would leak memory under sustained traffic.
     """
 
-    def __init__(self, kg: KnowledgeGraph, compression: bool = True):
+    def __init__(
+        self,
+        kg: KnowledgeGraph,
+        compression: bool = True,
+        query_log: Optional[int] = QUERY_LOG_LIMIT,
+    ):
         self.kg = kg
         self.executor = QueryExecutor(kg)
         self.compression = compression
-        self.stats = EndpointStats()
+        self.stats = EndpointStats.with_query_log(query_log)
         self._lock = threading.Lock()
 
     # -- core request handling --

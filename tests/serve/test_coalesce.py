@@ -1,0 +1,192 @@
+"""Coalescer: window semantics, fan-out, failure propagation."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.coalesce import Coalescer
+from repro.serve.metrics import ServiceMetrics
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def test_size_trigger_forms_one_batch():
+    batches = []
+
+    def dispatch(key, items):
+        batches.append((key, list(items)))
+        return [item * 10 for item in items]
+
+    async def scenario():
+        coalescer = Coalescer(dispatch, max_batch=4, max_delay=60.0)
+        results = await asyncio.gather(*(coalescer.submit("g", i) for i in range(4)))
+        return results
+
+    assert run(scenario()) == [0, 10, 20, 30]
+    # max_delay was effectively infinite, so only the size trigger fired.
+    assert batches == [("g", [0, 1, 2, 3])]
+
+
+def test_time_trigger_flushes_partial_batch():
+    batches = []
+
+    def dispatch(key, items):
+        batches.append(list(items))
+        return list(items)
+
+    async def scenario():
+        coalescer = Coalescer(dispatch, max_batch=100, max_delay=0.005)
+        return await asyncio.gather(coalescer.submit("g", 1), coalescer.submit("g", 2))
+
+    assert run(scenario()) == [1, 2]
+    assert batches == [[1, 2]]  # dispatched by the timer, well under max_batch
+
+
+def test_keys_do_not_share_windows():
+    batches = []
+
+    def dispatch(key, items):
+        batches.append((key, list(items)))
+        return list(items)
+
+    async def scenario():
+        coalescer = Coalescer(dispatch, max_batch=2, max_delay=60.0)
+        return await asyncio.gather(
+            coalescer.submit(("g", 16), 1),
+            coalescer.submit(("g", 32), 2),  # different k: must not merge
+            coalescer.submit(("g", 16), 3),
+            coalescer.submit(("g", 32), 4),
+        )
+
+    assert run(scenario()) == [1, 2, 3, 4]
+    assert sorted(batches) == [(("g", 16), [1, 3]), (("g", 32), [2, 4])]
+
+
+def test_oversubmission_rolls_into_next_window():
+    batches = []
+
+    def dispatch(key, items):
+        batches.append(list(items))
+        return list(items)
+
+    async def scenario():
+        coalescer = Coalescer(dispatch, max_batch=3, max_delay=0.005)
+        return await asyncio.gather(*(coalescer.submit("g", i) for i in range(7)))
+
+    assert run(scenario()) == list(range(7))
+    assert [len(batch) for batch in batches] == [3, 3, 1]
+
+
+def test_dispatch_error_fails_every_request_of_the_batch():
+    def dispatch(key, items):
+        raise RuntimeError("kernel exploded")
+
+    async def scenario():
+        coalescer = Coalescer(dispatch, max_batch=2, max_delay=60.0)
+        return await asyncio.gather(
+            coalescer.submit("g", 1),
+            coalescer.submit("g", 2),
+            return_exceptions=True,
+        )
+
+    first, second = run(scenario())
+    assert isinstance(first, RuntimeError) and isinstance(second, RuntimeError)
+
+
+def test_wrong_result_cardinality_is_an_error():
+    def dispatch(key, items):
+        return [1]  # one result for two items
+
+    async def scenario():
+        coalescer = Coalescer(dispatch, max_batch=2, max_delay=60.0)
+        return await asyncio.gather(
+            coalescer.submit("g", 1),
+            coalescer.submit("g", 2),
+            return_exceptions=True,
+        )
+
+    results = run(scenario())
+    assert all(isinstance(r, RuntimeError) for r in results)
+
+
+def test_max_batch_one_degenerates_to_per_request_dispatch():
+    batches = []
+
+    def dispatch(key, items):
+        batches.append(list(items))
+        return list(items)
+
+    async def scenario():
+        coalescer = Coalescer(dispatch, max_batch=1, max_delay=60.0)
+        return await asyncio.gather(*(coalescer.submit("g", i) for i in range(3)))
+
+    assert run(scenario()) == [0, 1, 2]
+    assert [len(batch) for batch in batches] == [1, 1, 1]
+
+
+def test_flush_dispatches_open_windows():
+    batches = []
+
+    def dispatch(key, items):
+        batches.append(list(items))
+        return list(items)
+
+    async def scenario():
+        coalescer = Coalescer(dispatch, max_batch=100, max_delay=60.0)
+        pending = asyncio.ensure_future(coalescer.submit("g", 5))
+        await asyncio.sleep(0)  # let submit open its window
+        assert coalescer.open_windows == 1
+        await coalescer.flush()
+        assert coalescer.open_windows == 0
+        return await pending
+
+    assert run(scenario()) == 5
+    assert batches == [[5]]
+
+
+def test_metrics_record_batch_occupancy():
+    metrics = ServiceMetrics()
+
+    def dispatch(key, items):
+        return list(items)
+
+    async def scenario():
+        coalescer = Coalescer(dispatch, max_batch=4, max_delay=0.005, metrics=metrics)
+        await asyncio.gather(*(coalescer.submit("g", i) for i in range(8)))
+
+    run(scenario())
+    assert metrics.batches == 2
+    assert metrics.batched_items == 8
+    assert metrics.batch_occupancy() == 4.0
+    assert metrics.batch_size_peak == 4
+
+
+def test_zero_delay_window_never_hangs():
+    """Regression: max_delay=0 must still close partially filled windows."""
+    batches = []
+
+    def dispatch(key, items):
+        batches.append(list(items))
+        return list(items)
+
+    async def scenario():
+        coalescer = Coalescer(dispatch, max_batch=64, max_delay=0.0)
+        # Far fewer submissions than max_batch: only the (next-tick) timer
+        # can close this window.
+        return await asyncio.wait_for(
+            asyncio.gather(*(coalescer.submit("g", i) for i in range(3))),
+            timeout=5.0,
+        )
+
+    assert run(scenario()) == [0, 1, 2]
+    # Same-tick submissions still coalesced into one batch.
+    assert batches == [[0, 1, 2]]
+
+
+def test_invalid_window_parameters_rejected():
+    with pytest.raises(ValueError):
+        Coalescer(lambda key, items: items, max_batch=0)
+    with pytest.raises(ValueError):
+        Coalescer(lambda key, items: items, max_delay=-1.0)

@@ -121,6 +121,43 @@ def test_fetch_all_single_oversized_page_matches_unpaged(toy_kg):
         assert merged.columns[variable].tolist() == unpaged.columns[variable].tolist()
 
 
+# -- query-log retention: bounded by default, opt-in full history --
+
+
+def test_query_log_is_bounded_under_sustained_traffic(toy_kg):
+    """Regression: the per-request query log must not grow without bound."""
+    from repro.sparql.endpoint import QUERY_LOG_LIMIT
+
+    endpoint = SparqlEndpoint(toy_kg)
+    total = QUERY_LOG_LIMIT + 50
+    for _ in range(total):
+        endpoint.count(ALL)
+    # Counters stay exact over the whole lifetime ...
+    assert endpoint.stats.requests == total
+    # ... while the log is a ring of only the most recent queries.
+    assert len(endpoint.stats.queries) == QUERY_LOG_LIMIT
+    assert endpoint.stats.queries.maxlen == QUERY_LOG_LIMIT
+
+
+def test_query_log_keeps_most_recent_entries(toy_kg):
+    endpoint = SparqlEndpoint(toy_kg, query_log=3)
+    endpoint.count(ALL)
+    for _ in range(3):
+        endpoint.query(ALL)
+    assert len(endpoint.stats.queries) == 3
+    assert all(not q.startswith("COUNT") for q in endpoint.stats.queries)
+
+
+def test_query_log_opt_in_full_retention(toy_kg):
+    endpoint = SparqlEndpoint(toy_kg, query_log=None)
+    from repro.sparql.endpoint import QUERY_LOG_LIMIT
+
+    total = QUERY_LOG_LIMIT + 10
+    for _ in range(total):
+        endpoint.count(ALL)
+    assert len(endpoint.stats.queries) == total
+
+
 def test_compression_ratio_with_zero_bytes_is_one(toy_kg):
     # Fresh stats: nothing shipped yet, the ratio must not divide by zero.
     assert EndpointStats().compression_ratio() == 1.0

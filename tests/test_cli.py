@@ -70,3 +70,30 @@ def test_bench_table1(capsys):
 def test_bench_unknown_experiment():
     with pytest.raises(SystemExit):
         main(["bench", "--experiment", "fig99"])
+
+
+def test_serve_command_binds_and_stops(capsys):
+    assert main([
+        "serve", "--dataset", "mag", "--scale", "tiny",
+        "--port", "0", "--duration", "0.2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "serving MAG-tiny" in out and "coalescing" in out
+
+
+def test_bench_serve_command_writes_report(tmp_path, capsys):
+    out_path = str(tmp_path / "BENCH_serving.json")
+    assert main([
+        "bench-serve", "--dataset", "mag", "--scale", "tiny", "--task", "PV",
+        "--requests", "32", "--concurrency", "8", "--out", out_path,
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "coalescing speedup" in out and "bit-identical" in out
+    import json
+
+    with open(out_path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert payload["serial"]["mode"] == "serial"
+    assert payload["coalesced"]["mode"] == "coalesced"
+    assert payload["speedup"] > 0
+    assert "admission" in payload["metrics"]
