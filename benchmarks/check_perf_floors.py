@@ -9,7 +9,9 @@ missing/incomplete.  Guarded reports:
 * ``BENCH_sampling.json`` (``test_perf_sampling.py``): the batch kernels
   vs their scalar reference loops.
 * ``BENCH_serving.json`` (``test_perf_serving.py``): the coalescing
-  scheduler vs the serial one-request-at-a-time serving baseline.
+  scheduler vs the serial one-request-at-a-time serving baseline, and
+  the HTTP/SPARQL front end vs the same serial baseline (the coalescing
+  win must survive the wire).
 
 Run after the perf benchmarks::
 
@@ -34,7 +36,10 @@ REPORTS = {
         "shadow_ego_bfs",
         "sparql_multi_bound_join",
     ),
-    "BENCH_serving.json": ("serving_coalesced_throughput",),
+    "BENCH_serving.json": (
+        "serving_coalesced_throughput",
+        "serving_http_throughput",
+    ),
 }
 
 REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")

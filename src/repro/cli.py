@@ -7,13 +7,15 @@ Six subcommands cover the library's day-to-day uses::
     python -m repro train       --dataset mag --task PV --model GraphSAINT --tosa --epochs 10
     python -m repro bench       --experiment table1 --scale tiny
     python -m repro serve       --dataset mag --scale small --port 7469
+    python -m repro serve       --dataset mag --protocol http --port 8080
     python -m repro bench-serve --dataset mag --scale small --concurrency 64
 
 ``stats`` prints the Table-I row of a benchmark KG; ``extract`` runs TOSG
 extraction and optionally saves KG′ as a TSV bundle; ``train`` runs one
 method on FG or KG′ and reports the paper's metrics; ``bench`` regenerates
 one paper artifact; ``serve`` exposes the concurrent extraction service
-over newline-delimited-JSON TCP; ``bench-serve`` runs the closed-loop load
+over newline-delimited-JSON TCP or the HTTP/SPARQL-protocol front end
+(``--protocol http``); ``bench-serve`` runs the closed-loop load
 generator against the serial and coalescing schedulers (see
 ``docs/serving.md``).
 """
@@ -151,9 +153,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
-    from repro.serve import ExtractionService, bound_port, serve_tcp
+    from repro.serve import ExtractionService, bound_port, serve_http, serve_tcp
 
     bundle = _load_bundle(args.dataset, args.scale, args.seed)
+    serve_protocol = serve_http if args.protocol == "http" else serve_tcp
 
     async def run() -> None:
         service = ExtractionService(
@@ -163,11 +166,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             coalesce=not args.no_coalesce,
         )
         service.register(args.dataset, bundle.kg)
-        server = await serve_tcp(service, host=args.host, port=args.port)
+        server = await serve_protocol(service, host=args.host, port=args.port)
         mode = "serial" if args.no_coalesce else "coalescing"
         print(
             f"serving {bundle.kg.name} as graph {args.dataset!r} on "
-            f"{args.host}:{bound_port(server)} ({mode}, "
+            f"{args.host}:{bound_port(server)} via {args.protocol} ({mode}, "
             f"window {args.max_batch}x{args.max_delay_ms}ms, "
             f"max {args.max_pending} in flight)",
             flush=True,
@@ -269,8 +272,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=7)
     bench.set_defaults(func=_cmd_bench)
 
-    serve = sub.add_parser("serve", help="serve concurrent extraction over TCP (ndjson)")
+    serve = sub.add_parser(
+        "serve", help="serve concurrent extraction over HTTP/SPARQL or TCP (ndjson)"
+    )
     add_common(serve)
+    serve.add_argument("--protocol", default="tcp", choices=("tcp", "http"),
+                       help="wire protocol: ndjson TCP or the HTTP/SPARQL front end")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=7469, help="0 picks a free port")
     serve.add_argument("--max-pending", type=int, default=256)

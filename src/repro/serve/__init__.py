@@ -5,28 +5,45 @@ The async front door over the batch-kernel program (see
 routes concurrent PPR / ego-scope / SPARQL requests per graph, a
 :class:`Coalescer` micro-batches compatible requests into single
 batch-kernel calls, and :class:`ServiceMetrics` exports latency, queue
-depth, batch occupancy and cache-hit counters as one dict.
+depth, batch occupancy and cache-hit counters as one dict.  Two wire
+front ends share one validation/pipelining core (``serve/wire.py``):
+newline-delimited JSON over TCP (:func:`serve_tcp`) and the
+HTTP/SPARQL-protocol server with streaming pagination
+(:func:`serve_http`).
 """
 
 from repro.serve.coalesce import Coalescer
-from repro.serve.loadgen import LoadReport, compare_serving_modes, run_load
+from repro.serve.http import serve_http
+from repro.serve.loadgen import (
+    LoadReport,
+    compare_http_serving,
+    compare_serving_modes,
+    run_http_load,
+    run_load,
+)
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.service import (
     AsyncSparqlEndpoint,
     ExtractionService,
     ServiceOverloaded,
 )
-from repro.serve.tcp import bound_port, serve_tcp
+from repro.serve.tcp import serve_tcp
+from repro.serve.wire import BadRequest, UnknownGraph, bound_port
 
 __all__ = [
     "AsyncSparqlEndpoint",
+    "BadRequest",
     "Coalescer",
     "ExtractionService",
     "LoadReport",
     "ServiceMetrics",
     "ServiceOverloaded",
+    "UnknownGraph",
     "bound_port",
+    "compare_http_serving",
     "compare_serving_modes",
+    "run_http_load",
     "run_load",
+    "serve_http",
     "serve_tcp",
 ]

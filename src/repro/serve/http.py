@@ -1,0 +1,497 @@
+"""HTTP/1.1 SPARQL-protocol front end for :class:`ExtractionService`.
+
+The paper's Algorithm 3 talks to the RDF engine over HTTP, and that is
+also how standard SPARQL clients and GNN-serving pipelines expect to
+connect.  This module implements the slice of the SPARQL Protocol the
+engine supports — plus JSON endpoints for the extraction ops — directly
+on ``asyncio`` streams, dependency-free:
+
+``GET /sparql?query=...``  /  ``POST /sparql``
+    The SPARQL Protocol query operation.  POST bodies may be
+    ``application/x-www-form-urlencoded`` (``query=...``) or raw
+    ``application/sparql-query``.  Responses are
+    ``application/sparql-results+json`` with **streaming pagination**:
+    the result is written as chunked transfer-encoding pages of
+    ``page_rows`` rows (default :data:`DEFAULT_PAGE_ROWS`, override with
+    the ``page_rows`` parameter), cut lazily by the endpoint's
+    LIMIT/OFFSET planner (:meth:`SparqlEndpoint.stream_pages`), so a
+    multi-million-row SELECT ships without the service ever holding its
+    serialized body — and TCP flow control paces the producer to the
+    consumer.  Binding values are typed integer literals indexing the
+    graph's node/relation/class vocabularies.
+    ``graph`` selects the registered graph (defaults to the only one).
+
+``GET|POST /ppr``, ``GET|POST /ego``
+    The extraction ops, mirroring the ndjson protocol's fields
+    (``graph``, ``target``/``root``, ``k``/``depth``/``fanout``/...) as
+    URL parameters or a JSON body; responses are the same payloads the
+    TCP front end ships, as ``application/json``.
+
+``GET /metrics``, ``GET /graphs``, ``GET /ping``
+    Observability endpoints.
+
+Error contract (shared with the TCP front end via ``serve/wire.py``):
+missing/malformed fields and unparseable queries answer **400** with a
+structured JSON body ``{"error": "bad_request", "detail": ...}``; an
+unregistered graph answers **404** (``unknown_graph``); admission
+rejection answers **503** with a ``Retry-After`` header (whole seconds,
+per RFC 9110) *and* the precise float hint in the JSON body — the HTTP
+face of the service's backpressure contract.
+
+Connections are persistent (HTTP/1.1 keep-alive) and pipelined through
+the same in-order response core as the TCP front end, so pipelined
+requests share coalescing windows.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+from dataclasses import dataclass, field
+from typing import AsyncIterator, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.serve.service import ExtractionService, ServiceOverloaded
+from repro.serve.wire import (
+    MAX_LINE_BYTES,
+    BadRequest,
+    UnknownGraph,
+    bound_port,
+    perform_op,
+    result_payload,
+    serve_pipelined,
+)
+from repro.sparql.endpoint import PageStream
+from repro.sparql.executor import ResultSet
+from repro.sparql.parser import SparqlSyntaxError
+
+__all__ = ["serve_http", "bound_port", "DEFAULT_PAGE_ROWS"]
+
+#: Rows per chunked page of a streamed SPARQL result.  Each chunk holds at
+#: most this many serialized rows, which bounds the per-chunk memory no
+#: matter how large the full result is.
+DEFAULT_PAGE_ROWS = 4096
+
+# A request body larger than this is a client bug (queries are short).
+MAX_BODY_BYTES = MAX_LINE_BYTES
+
+# Total header-section budget per request: individual lines are bounded by
+# the stream limit, but an endless sequence of small header lines must not
+# grow the headers dict without bound.
+MAX_HEADER_BYTES = 64 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    411: "Length Required",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Datatype IRI attached to the integer-id literals in result bindings.
+XSD_INTEGER = "http://www.w3.org/2001/XMLSchema#integer"
+
+
+# -- request/response frames --------------------------------------------------
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request, or a framing error that must close the link."""
+
+    method: str = ""
+    path: str = ""
+    params: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    last: bool = False  # stop reading after this request (Connection: close)
+    error: Optional[Tuple[int, str]] = None  # (status, detail) framing error
+
+
+@dataclass
+class HttpResponse:
+    """One response: fixed body (Content-Length) or a chunked stream."""
+
+    status: int
+    headers: List[Tuple[str, str]] = field(default_factory=list)
+    body: Optional[bytes] = None
+    stream: Optional[AsyncIterator[bytes]] = None
+    close: bool = False
+
+
+def _json_response(status: int, payload: object, **kwargs) -> HttpResponse:
+    return HttpResponse(
+        status,
+        headers=[("Content-Type", "application/json")],
+        body=(json.dumps(payload) + "\n").encode("utf-8"),
+        **kwargs,
+    )
+
+
+def _error_response(status: int, error: str, detail: str, **kwargs) -> HttpResponse:
+    return _json_response(status, {"error": error, "detail": detail}, **kwargs)
+
+
+def _overloaded_response(exc: ServiceOverloaded) -> HttpResponse:
+    response = _json_response(
+        503, {"error": "overloaded", "retry_after": exc.retry_after}
+    )
+    # The header is whole seconds per RFC 9110; the body carries the
+    # precise float for clients that can use sub-second hints.
+    response.headers.append(("Retry-After", str(max(math.ceil(exc.retry_after), 1))))
+    return response
+
+
+# -- request parsing ----------------------------------------------------------
+
+
+async def _read_request(reader: asyncio.StreamReader) -> Optional[HttpRequest]:
+    """Read one HTTP/1.1 request; None at EOF; error frames close the link."""
+    request_line = await reader.readline()
+    if not request_line:
+        return None
+    try:
+        method, target, version = request_line.decode("latin-1").split()
+    except ValueError:
+        return HttpRequest(
+            error=(400, f"malformed request line {request_line!r}"), last=True
+        )
+    headers: Dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        line = await reader.readline()
+        if line == b"":
+            return None  # peer died mid-headers: drop, don't dispatch
+        if line in (b"\r\n", b"\n"):
+            break
+        header_bytes += len(line)
+        if header_bytes > MAX_HEADER_BYTES:
+            return HttpRequest(
+                error=(400, f"header section exceeds {MAX_HEADER_BYTES} bytes"),
+                last=True,
+            )
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+        except ValueError:
+            length = -1
+        if length < 0:
+            return HttpRequest(
+                error=(400, f"malformed Content-Length {length_header!r}"), last=True
+            )
+        if length > MAX_BODY_BYTES:
+            return HttpRequest(
+                error=(413, f"request body of {length} bytes exceeds "
+                            f"{MAX_BODY_BYTES}"),
+                last=True,
+            )
+        body = await reader.readexactly(length)
+    elif headers.get("transfer-encoding", "").lower() == "chunked":
+        return HttpRequest(
+            error=(411, "chunked request bodies are not supported; "
+                        "send Content-Length"),
+            last=True,
+        )
+
+    split = urlsplit(target)
+    params = {
+        name: values[0] for name, values in parse_qs(split.query).items() if values
+    }
+    connection = headers.get("connection", "").lower()
+    if version == "HTTP/1.0":
+        keep_alive = connection == "keep-alive"
+    else:
+        keep_alive = connection != "close"
+    return HttpRequest(
+        method=method.upper(),
+        path=split.path,
+        params=params,
+        headers=headers,
+        body=body,
+        last=not keep_alive,
+    )
+
+
+# -- SPARQL results+json streaming --------------------------------------------
+
+
+def _results_json_head(variables: List[str]) -> bytes:
+    return (
+        '{"head":{"vars":' + json.dumps(list(variables)) + '},'
+        '"results":{"bindings":['
+    ).encode("utf-8")
+
+
+def _encode_page(page: ResultSet, first: bool) -> bytes:
+    """Serialize one page of bindings, comma-joined across page boundaries."""
+    variables = page.variables
+    # One bulk tolist() per column, not one numpy scalar read per cell:
+    # this loop is the hot path the serving_http_throughput floor guards.
+    columns = [page.columns[variable].tolist() for variable in variables]
+    rows = []
+    for values in zip(*columns):
+        binding = {
+            variable: {
+                "type": "literal",
+                "datatype": XSD_INTEGER,
+                "value": str(value),
+            }
+            for variable, value in zip(variables, values)
+        }
+        rows.append(json.dumps(binding, separators=(",", ":")))
+    text = ",".join(rows)
+    if not first and text:
+        text = "," + text
+    return text.encode("utf-8")
+
+
+async def _stream_results(stream: PageStream) -> AsyncIterator[bytes]:
+    """Chunk generator: head, one chunk per page, tail.
+
+    Pages are pulled and serialized on a worker thread as the writer
+    drains — the consumer paces the producer (writer backpressure), and
+    at most one serialized page exists at a time.
+    """
+    yield _results_json_head(stream.variables)
+    first = True
+    iterator = stream.pages
+    while True:
+        chunk = await asyncio.to_thread(_next_page_chunk, iterator, first)
+        if chunk is None:
+            break
+        first = False
+        yield chunk
+    yield b"]}}"
+
+
+def _next_page_chunk(iterator, first: bool) -> Optional[bytes]:
+    page = next(iterator, None)
+    if page is None:
+        return None
+    return _encode_page(page, first)
+
+
+# -- routing ------------------------------------------------------------------
+
+
+def _single_graph_default(service: ExtractionService) -> Optional[str]:
+    graphs = service.graphs()
+    return graphs[0] if len(graphs) == 1 else None
+
+
+async def _handle_sparql(service: ExtractionService, request: HttpRequest) -> HttpResponse:
+    params = dict(request.params)
+    query: Optional[str] = params.get("query")
+    if request.method == "POST":
+        content_type = request.headers.get("content-type", "").split(";")[0].strip()
+        if content_type == "application/x-www-form-urlencoded":
+            form = {
+                name: values[0]
+                for name, values in parse_qs(request.body.decode("utf-8")).items()
+                if values
+            }
+            params.update(form)
+            query = params.get("query")
+        elif content_type == "application/sparql-query":
+            query = request.body.decode("utf-8")
+        elif request.body:
+            return _error_response(
+                400, "bad_request",
+                f"unsupported Content-Type {content_type!r}; use "
+                "application/x-www-form-urlencoded or application/sparql-query",
+            )
+    if not query:
+        return _error_response(400, "bad_request", "missing 'query' parameter")
+
+    graph = params.get("graph") or _single_graph_default(service)
+    if graph is None:
+        graphs = service.graphs()
+        if not graphs:
+            return _error_response(
+                404, "unknown_graph", "no graphs are registered"
+            )
+        return _error_response(
+            400, "bad_request",
+            f"several graphs are registered ({graphs}); pass ?graph=<name>",
+        )
+    if not service.has_graph(graph):
+        return _error_response(
+            404, "unknown_graph",
+            f"unknown graph {graph!r}; registered: {service.graphs()}",
+        )
+    try:
+        page_rows = int(params.get("page_rows", DEFAULT_PAGE_ROWS))
+        if page_rows <= 0:
+            raise ValueError
+    except ValueError:
+        return _error_response(
+            400, "bad_request",
+            f"page_rows must be a positive integer, got {params.get('page_rows')!r}",
+        )
+
+    try:
+        stream = await service.sparql_stream(graph, query, page_rows=page_rows)
+    except ServiceOverloaded as exc:
+        return _overloaded_response(exc)
+    except SparqlSyntaxError as exc:
+        return _error_response(400, "bad_request", f"invalid SPARQL: {exc}")
+    except KeyError as exc:
+        # Evaluation-time query errors (e.g. projecting an unbound
+        # variable) are the client's fault, not a server failure.
+        return _error_response(400, "bad_request", f"invalid query: {exc}")
+    return HttpResponse(
+        200,
+        headers=[("Content-Type", "application/sparql-results+json")],
+        stream=_stream_results(stream),
+    )
+
+
+async def _handle_op(
+    service: ExtractionService, op: str, request: HttpRequest
+) -> HttpResponse:
+    fields: Dict[str, object] = {"op": op, **request.params}
+    if request.method == "POST" and request.body:
+        content_type = request.headers.get("content-type", "").split(";")[0].strip()
+        if content_type not in ("application/json", ""):
+            return _error_response(
+                400, "bad_request",
+                f"unsupported Content-Type {content_type!r}; use application/json",
+            )
+        try:
+            body = json.loads(request.body)
+        except ValueError as exc:
+            return _error_response(400, "bad_request", f"invalid JSON body: {exc}")
+        if not isinstance(body, dict):
+            return _error_response(400, "bad_request", "JSON body must be an object")
+        fields.update(body)
+        fields["op"] = op  # the route decides the op; a body key cannot
+    try:
+        result = await perform_op(service, fields)
+    except ServiceOverloaded as exc:
+        return _overloaded_response(exc)
+    except UnknownGraph as exc:
+        return _error_response(404, "unknown_graph", exc.detail)
+    except BadRequest as exc:
+        return _error_response(400, "bad_request", exc.detail)
+    except SparqlSyntaxError as exc:
+        return _error_response(400, "bad_request", f"invalid SPARQL: {exc}")
+    except ValueError as exc:
+        # Out-of-range parameters rejected by the kernels (alpha, eps, k,
+        # ...) are client errors, not server faults.
+        return _error_response(400, "bad_request", str(exc))
+    except Exception as exc:  # noqa: BLE001 - reported to the client
+        return _error_response(500, "internal_error", f"{type(exc).__name__}: {exc}")
+    return _json_response(200, result_payload(result))
+
+
+#: path -> (allowed methods, op passed to the shared dispatcher).
+_OP_ROUTES = {
+    "/ppr": (("GET", "POST"), "ppr"),
+    "/ego": (("GET", "POST"), "ego"),
+    "/metrics": (("GET",), "metrics"),
+    "/graphs": (("GET",), "graphs"),
+    "/ping": (("GET",), "ping"),
+}
+
+
+async def _respond(service: ExtractionService, request: HttpRequest) -> HttpResponse:
+    """One request to one response; never raises."""
+    if request.error is not None:
+        status, detail = request.error
+        return _error_response(status, "bad_request", detail, close=True)
+    try:
+        if request.path == "/sparql":
+            if request.method not in ("GET", "POST"):
+                return _error_response(
+                    405, "method_not_allowed", f"{request.method} /sparql"
+                )
+            response = await _handle_sparql(service, request)
+        elif request.path in _OP_ROUTES:
+            methods, op = _OP_ROUTES[request.path]
+            if request.method not in methods:
+                return _error_response(
+                    405, "method_not_allowed", f"{request.method} {request.path}"
+                )
+            response = await _handle_op(service, op, request)
+        else:
+            response = _error_response(
+                404, "not_found",
+                f"no route for {request.path!r}; endpoints: /sparql "
+                f"{' '.join(sorted(_OP_ROUTES))}",
+            )
+    except Exception as exc:  # noqa: BLE001 - reported to the client
+        response = _error_response(
+            500, "internal_error", f"{type(exc).__name__}: {exc}"
+        )
+    if request.last:
+        response.close = True
+    return response
+
+
+# -- response writing ---------------------------------------------------------
+
+
+async def _write_response(writer: asyncio.StreamWriter, response: HttpResponse) -> None:
+    reason = _REASONS.get(response.status, "Unknown")
+    headers = list(response.headers)
+    if response.stream is None:
+        body = response.body if response.body is not None else b""
+        headers.append(("Content-Length", str(len(body))))
+    else:
+        headers.append(("Transfer-Encoding", "chunked"))
+    if response.close:
+        headers.append(("Connection", "close"))
+    head = [f"HTTP/1.1 {response.status} {reason}"]
+    head.extend(f"{name}: {value}" for name, value in headers)
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+
+    if response.stream is None:
+        if response.body:
+            writer.write(response.body)
+        await writer.drain()
+        return
+    try:
+        async for chunk in response.stream:
+            if not chunk:
+                continue  # a zero-size chunk would terminate the body
+            writer.write(f"{len(chunk):x}\r\n".encode("latin-1") + chunk + b"\r\n")
+            await writer.drain()  # consumer-paced: block while the peer is slow
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+    except ConnectionError:
+        raise
+    except Exception:
+        # The status line already went out; the only honest signal left is
+        # an abrupt close, which chunked framing lets the client detect.
+        writer.close()
+        raise ConnectionError("response stream failed mid-body") from None
+
+
+async def serve_http(
+    service: ExtractionService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> asyncio.AbstractServer:
+    """Start serving ``service`` over HTTP; ``port=0`` picks a free port."""
+
+    async def handler(reader, writer):
+        await serve_pipelined(
+            reader,
+            writer,
+            read_frame=_read_request,
+            respond=lambda request: _respond(service, request),
+            write_response=_write_response,
+        )
+
+    return await asyncio.start_server(
+        handler, host, port, limit=MAX_LINE_BYTES
+    )

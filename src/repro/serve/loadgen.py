@@ -18,6 +18,7 @@ reports the throughput ratio — the number guarded by
 from __future__ import annotations
 
 import asyncio
+import json
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -25,8 +26,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.kg.graph import KnowledgeGraph
+from repro.serve.http import serve_http
 from repro.serve.metrics import percentile
 from repro.serve.service import ExtractionService, ServiceOverloaded
+from repro.serve.wire import bound_port
 
 GRAPH_NAME = "load"
 
@@ -162,6 +165,189 @@ def run_load(
         results=results,
         metrics=service.metrics_snapshot(),
     )
+
+
+# -- HTTP closed loop ---------------------------------------------------------
+
+
+async def read_http_response(
+    reader: asyncio.StreamReader,
+) -> Tuple[int, Dict[str, str], bytes, int]:
+    """Parse one HTTP/1.1 response: (status, headers, body, chunk count).
+
+    Decodes both Content-Length and chunked-transfer-encoded bodies; the
+    chunk count lets callers assert streaming actually happened.  This is
+    the one minimal client parser in the repo — the protocol tests import
+    it too, so the load generator and the tests can never disagree about
+    what the server sent.
+    """
+    status_line = await reader.readline()
+    if not status_line:
+        raise ConnectionError("server closed the connection")
+    status = int(status_line.split()[1])
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    chunks = 0
+    if headers.get("transfer-encoding", "").lower() == "chunked":
+        body = bytearray()
+        while True:
+            size = int((await reader.readline()).strip(), 16)
+            if size == 0:
+                await reader.readline()  # trailing CRLF
+                break
+            body += await reader.readexactly(size)
+            await reader.readexactly(2)  # chunk CRLF
+            chunks += 1
+        return status, headers, bytes(body), chunks
+    body = await reader.readexactly(int(headers.get("content-length", "0")))
+    return status, headers, body, chunks
+
+
+async def _http_request(
+    reader: asyncio.StreamReader, writer: asyncio.StreamWriter, path: str
+) -> Tuple[int, object]:
+    """One keep-alive GET on an open connection; returns (status, JSON body)."""
+    writer.write(f"GET {path} HTTP/1.1\r\nHost: loadgen\r\n\r\n".encode("latin-1"))
+    await writer.drain()
+    status, _headers, body, _chunks = await read_http_response(reader)
+    return status, json.loads(body) if body else None
+
+
+async def _http_closed_loop(
+    port: int,
+    targets: Sequence[int],
+    k: int,
+    concurrency: int,
+) -> Tuple[Dict[int, List[Tuple[int, float]]], List[float], int]:
+    """The closed loop over the wire: one keep-alive connection per worker."""
+    next_index = 0
+    latencies: List[float] = []
+    rejected = 0
+    results: Dict[int, List[Tuple[int, float]]] = {}
+
+    async def worker() -> None:
+        nonlocal next_index, rejected
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        try:
+            while True:
+                index = next_index
+                if index >= len(targets):
+                    return
+                next_index = index + 1
+                target = int(targets[index])
+                path = f"/ppr?graph={GRAPH_NAME}&target={target}&k={k}"
+                start = time.perf_counter()
+                while True:
+                    status, payload = await _http_request(reader, writer, path)
+                    if status == 200:
+                        break
+                    if status == 503:
+                        # 503 + retry_after is the HTTP face of the
+                        # backpressure contract; honour the hint.
+                        rejected += 1
+                        await asyncio.sleep(float(payload["retry_after"]))
+                        continue
+                    raise RuntimeError(f"unexpected HTTP {status}: {payload!r}")
+                latencies.append(time.perf_counter() - start)
+                results[target] = [(int(node), float(score)) for node, score in payload]
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - peer already gone
+                pass
+
+    await asyncio.gather(*(worker() for _ in range(concurrency)))
+    return results, latencies, rejected
+
+
+def run_http_load(
+    kg: KnowledgeGraph,
+    targets: Sequence[int],
+    k: int = 16,
+    concurrency: int = 64,
+    coalesce: bool = True,
+    max_batch: int = 64,
+    max_delay: float = 0.002,
+    max_pending: Optional[int] = None,
+) -> LoadReport:
+    """Drive the **HTTP front end** with the closed-loop generator.
+
+    Same request sequence and worker model as :func:`run_load`, but every
+    request crosses a real socket through ``serve/http.py`` — the number
+    this produces is the wire-level serving capacity, parsing and
+    serialization included.
+    """
+    service = ExtractionService(
+        max_pending=max_pending if max_pending is not None else 2 * concurrency,
+        max_batch=max_batch,
+        max_delay=max_delay,
+        coalesce=coalesce,
+    )
+    service.register(GRAPH_NAME, kg)
+
+    async def run():
+        server = await serve_http(service, port=0)
+        async with server:
+            start = time.perf_counter()
+            results, latencies, rejected = await _http_closed_loop(
+                bound_port(server), targets, k, concurrency
+            )
+            wall = time.perf_counter() - start
+            await service.drain()
+        return results, latencies, rejected, wall
+
+    results, latencies, rejected, wall = asyncio.run(run())
+    return LoadReport(
+        mode="http",
+        requests=len(targets),
+        concurrency=concurrency,
+        wall_seconds=wall,
+        throughput_rps=len(targets) / max(wall, 1e-12),
+        p50_ms=percentile(latencies, 0.50) * 1e3,
+        p95_ms=percentile(latencies, 0.95) * 1e3,
+        rejected=rejected,
+        batch_occupancy=service.metrics.batch_occupancy(),
+        results=results,
+        metrics=service.metrics_snapshot(),
+    )
+
+
+def compare_http_serving(
+    kg: KnowledgeGraph,
+    targets: Sequence[int],
+    k: int = 16,
+    concurrency: int = 64,
+    max_batch: int = 64,
+    max_delay: float = 0.002,
+) -> Tuple[LoadReport, LoadReport, float]:
+    """In-process serial baseline vs the HTTP front end, same sequence.
+
+    Returns ``(serial, http, speedup)`` after asserting the HTTP path
+    produced bit-identical results — crossing the wire (HTTP parsing,
+    JSON round-trip) must never change an answer, and the coalescing win
+    must survive the protocol overhead.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    serial = run_load(
+        kg, targets, k=k, concurrency=concurrency, coalesce=False,
+        max_batch=max_batch, max_delay=max_delay,
+    )
+    over_http = run_http_load(
+        kg, targets, k=k, concurrency=concurrency, coalesce=True,
+        max_batch=max_batch, max_delay=max_delay,
+    )
+    if serial.results != over_http.results:
+        raise AssertionError(
+            "HTTP serving diverged from the serial scalar baseline"
+        )
+    speedup = over_http.throughput_rps / max(serial.throughput_rps, 1e-12)
+    return serial, over_http, speedup
 
 
 def compare_serving_modes(

@@ -41,14 +41,25 @@ def percentile(samples: Iterable[float], q: float) -> float:
 
 
 class _KindStats:
-    """Per-request-kind counters plus a sliding latency window."""
+    """Per-request-kind counters plus sliding latency windows.
 
-    __slots__ = ("completed", "errors", "latencies")
+    Success and error latencies are tracked in *separate* windows: error
+    completions are typically fast-fails (rejected shapes, unknown graphs,
+    parse errors), and folding them into the success window would skew
+    p50/p95 — and the EWMA that feeds the ``retry_after`` backpressure
+    hint — downward during error bursts.
+    """
+
+    __slots__ = ("completed", "errors", "latencies", "error_latencies", "ewma")
 
     def __init__(self, window: int):
         self.completed = 0
         self.errors = 0
         self.latencies: Deque[float] = deque(maxlen=window)
+        self.error_latencies: Deque[float] = deque(maxlen=window)
+        # Smoothed per-request service time of *successful* completions of
+        # this kind; the per-kind basis of the retry_after estimate.
+        self.ewma: Optional[float] = None
 
 
 class ServiceMetrics:
@@ -96,10 +107,18 @@ class ServiceMetrics:
             if stats is None:
                 stats = self._kinds[kind] = _KindStats(self._window)
             if error:
+                # Error completions (typically fast-fails) stay out of the
+                # success window and both EWMAs so they cannot drag the
+                # p50/p95 readings or the retry_after hint downward.
                 stats.errors += 1
-            else:
-                stats.completed += 1
+                stats.error_latencies.append(seconds)
+                return
+            stats.completed += 1
             stats.latencies.append(seconds)
+            if stats.ewma is None:
+                stats.ewma = seconds
+            else:
+                stats.ewma += 0.05 * (seconds - stats.ewma)
             if self._ewma_request_seconds is None:
                 self._ewma_request_seconds = seconds
             else:
@@ -116,10 +135,22 @@ class ServiceMetrics:
 
     # -- derived readings --
 
-    def ewma_request_seconds(self, default: float = 0.0) -> float:
-        """Smoothed recent per-request service time (the retry-after basis)."""
+    def ewma_request_seconds(
+        self, default: float = 0.0, kind: Optional[str] = None
+    ) -> float:
+        """Smoothed recent per-request service time (the retry-after basis).
+
+        With ``kind`` the estimate is specific to that request kind's
+        successful completions — the right basis when the backpressure
+        hint must answer "when will capacity free for *this* request".
+        Without it, the aggregate EWMA across all kinds is returned.
+        """
         with self._lock:
-            value = self._ewma_request_seconds
+            if kind is not None:
+                stats = self._kinds.get(kind)
+                value = stats.ewma if stats is not None else None
+            else:
+                value = self._ewma_request_seconds
         return default if value is None else value
 
     def batch_occupancy(self) -> float:
@@ -135,12 +166,16 @@ class ServiceMetrics:
             kinds = {}
             for kind, stats in self._kinds.items():
                 window: List[float] = list(stats.latencies)
+                error_window: List[float] = list(stats.error_latencies)
                 kinds[kind] = {
                     "completed": stats.completed,
                     "errors": stats.errors,
                     "p50_ms": percentile(window, 0.50) * 1e3,
                     "p95_ms": percentile(window, 0.95) * 1e3,
                     "window": len(window),
+                    "error_p50_ms": percentile(error_window, 0.50) * 1e3,
+                    "error_p95_ms": percentile(error_window, 0.95) * 1e3,
+                    "error_window": len(error_window),
                 }
             batch_window = list(self._batch_seconds)
             occupancy = self.batched_items / self.batches if self.batches else 0.0

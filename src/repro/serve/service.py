@@ -51,8 +51,9 @@ class ServiceOverloaded(RuntimeError):
     """Admission rejected: the in-flight bound is reached.
 
     ``retry_after`` estimates (in seconds) when capacity is likely to free
-    up — the current queue drained at the recent per-request service rate.
-    HTTP front ends should map this to ``429`` + ``Retry-After``.
+    up — the current queue drained at the recent per-request service rate
+    of the rejected request's *kind*.  HTTP front ends map this to
+    ``503`` + ``Retry-After``.
     """
 
     def __init__(self, retry_after: float):
@@ -172,6 +173,9 @@ class ExtractionService:
     def graphs(self) -> List[str]:
         return sorted(self._graphs)
 
+    def has_graph(self, name: str) -> bool:
+        return name in self._graphs
+
     def _graph(self, name: str) -> _RegisteredGraph:
         entry = self._graphs.get(name)
         if entry is None:
@@ -182,23 +186,40 @@ class ExtractionService:
 
     # -- admission gate --
 
-    def _admit(self) -> None:
+    #: Request kinds that route through a coalescing scheduler; only their
+    #: drain estimates may be divided by a batch factor.
+    COALESCED_KINDS = ("ppr", "ego")
+
+    def _admit(self, kind: str) -> None:
         if self._pending >= self.max_pending:
             self.metrics.record_rejected()
-            raise ServiceOverloaded(retry_after=self._retry_after())
+            raise ServiceOverloaded(retry_after=self._retry_after(kind))
         self._pending += 1
         self.metrics.record_admitted()
 
-    def _retry_after(self) -> float:
+    def _retry_after(self, kind: str) -> float:
         # Drain estimate: the whole queue served at the recent smoothed
-        # per-request rate, floored at one coalescing window.  Under
-        # coalescing, up to max_batch requests complete per batch service
-        # time, so the serial product would overestimate by that factor.
-        per_request = self.metrics.ewma_request_seconds(default=self._ppr.max_delay)
+        # per-request rate of *this request's kind* (an ego/sparql reject
+        # must not inherit the PPR rate).  Only coalesced kinds divide by
+        # a batch factor — and by the *observed* batch occupancy, not the
+        # configured max_batch: under light coalescing, dividing by the
+        # full window size would underestimate the drain time.
+        per_request = self.metrics.ewma_request_seconds(kind=kind, default=0.0)
+        if per_request == 0.0:
+            # No completions of this kind yet: fall back to the aggregate
+            # rate, then to one coalescing window.
+            per_request = self.metrics.ewma_request_seconds(default=self._ppr.max_delay)
         drain = self._pending * per_request
-        if self.coalesce:
-            drain /= self._ppr.max_batch
-        return max(drain, self._ppr.max_delay)
+        if self.coalesce and kind in self.COALESCED_KINDS:
+            occupancy = self.metrics.batch_occupancy()
+            batch_factor = min(max(occupancy, 1.0), float(self._ppr.max_batch))
+            drain /= batch_factor
+            # Floored at one coalescing window: capacity cannot free up
+            # before the currently open window closes.
+            return max(drain, self._ppr.max_delay)
+        # Non-coalesced kinds: capacity frees when one in-flight request
+        # of this kind completes, so the floor is one service time.
+        return max(drain, per_request)
 
     async def _serve(self, kind: str, start_request) -> object:
         """Admission + latency accounting around one request.
@@ -207,7 +228,7 @@ class ExtractionService:
         coroutine; it is only invoked *after* admission succeeds, so a
         rejected request never touches the schedulers.
         """
-        self._admit()
+        self._admit(kind)
         start = time.perf_counter()
         try:
             result = await start_request()
@@ -269,6 +290,21 @@ class ExtractionService:
         """``getGraphSize`` for ``query`` (Algorithm 3's cardinality probe)."""
         entry = self._graph(graph)
         return await self._serve("sparql", lambda: entry.async_endpoint.count(query))
+
+    async def sparql_stream(self, graph: str, query: Query, page_rows: int = 4096):
+        """Plan ``query`` as a stream of LIMIT/OFFSET pages.
+
+        Returns a :class:`~repro.sparql.endpoint.PageStream`: the query is
+        evaluated once under admission/latency accounting (it holds the
+        expensive columnar work), and the pages are then cut lazily as the
+        wire layer pulls them — the consumer-paced half of the HTTP front
+        end's chunked streaming.
+        """
+        entry = self._graph(graph)
+        return await self._serve(
+            "sparql",
+            lambda: asyncio.to_thread(entry.endpoint.stream_pages, query, page_rows),
+        )
 
     # -- batched dispatchers (worker-thread side) --
 

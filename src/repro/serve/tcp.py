@@ -1,7 +1,8 @@
 """Newline-delimited-JSON TCP front end for :class:`ExtractionService`.
 
 The paper's Algorithm 3 talks to the RDF engine over HTTP; this module is
-the reproduction's equivalent wire layer, kept dependency-free with
+the reproduction's low-overhead wire layer (the HTTP/SPARQL-protocol
+front end lives in ``serve/http.py``), kept dependency-free with
 ``asyncio.start_server``.  One JSON object per line in, one per line out:
 
 Request::
@@ -16,147 +17,71 @@ Request::
 Response::
 
     {"ok": true,  "result": ...}
-    {"ok": false, "error": "...", "retry_after": 0.25}   # overload only
+    {"ok": false, "error": "overloaded", "retry_after": 0.25}
+    {"ok": false, "error": "bad_request", "detail": "..."}
+    {"ok": false, "error": "unknown_graph", "detail": "..."}
 
 Overload maps to ``ok: false`` with a ``retry_after`` hint — the TCP
-analogue of HTTP 429 — so closed-loop clients can back off without
-guessing.  Malformed requests also answer ``ok: false`` (no retry hint)
-instead of killing the connection: one bad line must not break pipelined
-requests behind it.
+analogue of HTTP 503 + ``Retry-After`` — so closed-loop clients can back
+off without guessing.  Malformed requests (unparseable JSON, missing or
+mistyped fields, unknown ops) answer a structured ``bad_request`` error
+(no retry hint) instead of an opaque server error or a dropped
+connection: one bad line must not break pipelined requests behind it.
+
+Request validation, result encoding and the pipelined connection loop are
+shared with the HTTP front end (``serve/wire.py``).
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
-from typing import Optional
 
 from repro.serve.service import ExtractionService, ServiceOverloaded
-from repro.sparql.executor import ResultSet
+from repro.serve.wire import (
+    MAX_LINE_BYTES,
+    BadRequest,
+    UnknownGraph,
+    bound_port,
+    perform_op,
+    result_payload,
+    serve_pipelined,
+)
 
-# One request line is bounded (queries are short); a huge line is a client
-# bug, not a reason to buffer without limit.
-MAX_LINE_BYTES = 1 << 20
-
-# Requests a single connection may have in flight at once.  Pipelined
-# requests are handled concurrently — so they can share coalescing windows
-# and a slow op does not stall the ones behind it — while responses are
-# written back in request order (the ndjson contract).
-PIPELINE_DEPTH = 256
-
-
-def _result_payload(result) -> object:
-    """JSON-encode one op's result."""
-    if isinstance(result, ResultSet):
-        return {
-            "variables": list(result.variables),
-            "columns": {
-                variable: [int(v) for v in result.columns[variable]]
-                for variable in result.variables
-            },
-            "num_rows": int(result.num_rows),
-        }
-    if hasattr(result, "nodes") and hasattr(result, "rel"):  # _EgoGraph
-        return {
-            "nodes": [int(v) for v in result.nodes],
-            "src": [int(v) for v in result.src],
-            "dst": [int(v) for v in result.dst],
-            "rel": [int(v) for v in result.rel],
-        }
-    if isinstance(result, list):  # ppr top-k [(node, score), ...]
-        return [[int(node), float(score)] for node, score in result]
-    return result
-
-
-async def _handle_request(service: ExtractionService, request: dict) -> dict:
-    op = request.get("op")
-    if op == "ping":
-        return {"ok": True, "result": "pong"}
-    if op == "metrics":
-        return {"ok": True, "result": service.metrics_snapshot()}
-    if op == "graphs":
-        return {"ok": True, "result": service.graphs()}
-    if op == "ppr":
-        result = await service.ppr_top_k(
-            request["graph"],
-            int(request["target"]),
-            k=int(request.get("k", 16)),
-            alpha=float(request.get("alpha", 0.25)),
-            eps=float(request.get("eps", 2e-4)),
-        )
-    elif op == "ego":
-        result = await service.extract_ego(
-            request["graph"],
-            int(request["root"]),
-            depth=int(request.get("depth", 2)),
-            fanout=int(request.get("fanout", 8)),
-            salt=int(request.get("salt", 0)),
-        )
-    elif op == "sparql":
-        result = await service.sparql(request["graph"], request["query"])
-    elif op == "count":
-        result = await service.count(request["graph"], request["query"])
-    else:
-        return {"ok": False, "error": f"unknown op {op!r}"}
-    return {"ok": True, "result": _result_payload(result)}
+__all__ = ["serve_tcp", "bound_port"]
 
 
 async def _respond(service: ExtractionService, line: bytes) -> dict:
     """One request line to one response dict; never raises."""
     try:
         request = json.loads(line)
-        return await _handle_request(service, request)
+    except ValueError as exc:
+        return {"ok": False, "error": "bad_request", "detail": f"invalid JSON: {exc}"}
+    try:
+        result = await perform_op(service, request)
     except ServiceOverloaded as exc:
         return {"ok": False, "error": "overloaded", "retry_after": exc.retry_after}
+    except UnknownGraph as exc:
+        return {"ok": False, "error": "unknown_graph", "detail": exc.detail}
+    except BadRequest as exc:
+        return {"ok": False, "error": "bad_request", "detail": exc.detail}
+    except ValueError as exc:
+        # Out-of-range parameters rejected by the kernels (alpha, eps, k,
+        # ...) are the client's fault, same as a mistyped field.
+        return {"ok": False, "error": "bad_request", "detail": str(exc)}
     except Exception as exc:  # noqa: BLE001 - reported to the client
         return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+    return {"ok": True, "result": result_payload(result)}
 
 
-async def _serve_connection(
-    service: ExtractionService,
-    reader: asyncio.StreamReader,
-    writer: asyncio.StreamWriter,
-) -> None:
-    # Bounded pipeline: the reader spawns one task per line and the writer
-    # drains them in order.  The writer consumes the queue even after the
-    # peer stops reading, so the reader's put() can never deadlock.
-    responses: asyncio.Queue = asyncio.Queue(maxsize=PIPELINE_DEPTH)
+async def _read_line(reader: asyncio.StreamReader):
+    line = await reader.readline()
+    return line if line else None
 
-    async def write_responses() -> None:
-        alive = True
-        while True:
-            task = await responses.get()
-            if task is None:
-                return
-            response = await task
-            if not alive:
-                continue
-            try:
-                writer.write(json.dumps(response).encode("utf-8") + b"\n")
-                await writer.drain()
-            except ConnectionError:
-                alive = False  # peer stopped reading; finish quietly
 
-    writer_task = asyncio.ensure_future(write_responses())
-    try:
-        while True:
-            try:
-                line = await reader.readline()
-            except (ValueError, ConnectionError):
-                break  # oversized line or peer reset
-            if not line:
-                break
-            await responses.put(asyncio.ensure_future(_respond(service, line)))
-        await responses.put(None)
-        await writer_task
-    finally:
-        if not writer_task.done():
-            writer_task.cancel()
-        writer.close()
-        try:
-            await writer.wait_closed()
-        except ConnectionError:  # pragma: no cover - peer already gone
-            pass
+async def _write_json_line(writer: asyncio.StreamWriter, response: dict) -> None:
+    writer.write(json.dumps(response).encode("utf-8") + b"\n")
+    await writer.drain()
 
 
 async def serve_tcp(
@@ -167,15 +92,14 @@ async def serve_tcp(
     """Start serving ``service`` over TCP; ``port=0`` picks a free port."""
 
     async def handler(reader, writer):
-        await _serve_connection(service, reader, writer)
+        await serve_pipelined(
+            reader,
+            writer,
+            read_frame=_read_line,
+            respond=lambda line: _respond(service, line),
+            write_response=_write_json_line,
+        )
 
     return await asyncio.start_server(
         handler, host, port, limit=MAX_LINE_BYTES
     )
-
-
-def bound_port(server: asyncio.AbstractServer) -> Optional[int]:
-    """The port the server actually bound (after ``port=0``)."""
-    for socket in server.sockets:
-        return socket.getsockname()[1]
-    return None

@@ -15,7 +15,7 @@ import zlib
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Deque, Iterable, Optional, Union as TypingUnion
+from typing import Deque, Iterable, Iterator, List, Optional, Union as TypingUnion
 
 from repro.kg.graph import KnowledgeGraph
 from repro.sparql.ast import SelectQuery
@@ -57,6 +57,26 @@ class EndpointStats:
         if self.bytes_shipped == 0:
             return 1.0
         return self.bytes_raw / self.bytes_shipped
+
+
+@dataclass
+class PageStream:
+    """A planned streaming read: head metadata + a lazy page iterator.
+
+    ``variables`` and ``total_rows`` are known before the first page is
+    pulled (response heads need them); ``pages`` yields
+    :class:`ResultSet` slices of ``page_rows`` rows each, in order, and
+    accounts endpoint stats as each page ships.
+    """
+
+    variables: List[str]
+    total_rows: int
+    page_rows: int
+    pages: Iterator[ResultSet]
+
+    @property
+    def num_pages(self) -> int:
+        return -(-self.total_rows // self.page_rows) if self.total_rows else 0
 
 
 class SparqlEndpoint:
@@ -115,6 +135,58 @@ class SparqlEndpoint:
             self.stats.bytes_raw += raw_size
             self.stats.bytes_shipped += shipped
             self.stats.queries.append(str(parsed))
+
+    # -- streaming pagination (the wire-facing LIMIT/OFFSET planner) --
+
+    def stream_pages(
+        self,
+        query: TypingUnion[str, SelectQuery],
+        page_rows: int,
+    ) -> "PageStream":
+        """Plan ``query`` as a stream of LIMIT/OFFSET pages.
+
+        The query is evaluated **once** (honouring its own LIMIT/OFFSET)
+        into the compact columnar result; pages are then cut lazily with
+        :meth:`ResultSet.page` as the consumer pulls them, so the wire
+        representation of a huge SELECT is never materialized whole — only
+        one page's worth of serialized rows exists at a time.  Each page
+        is accounted to :attr:`stats` (rows returned, modeled raw/shipped
+        bytes) as it is shipped; the request itself counts once.
+
+        Returns a :class:`PageStream` carrying the output variables and
+        total row count up front (for response heads) plus the lazy page
+        iterator.  Concatenating the pages is bit-exact with :meth:`query`
+        on the same query.
+        """
+        if page_rows <= 0:
+            raise ValueError(f"page_rows must be positive, got {page_rows}")
+        parsed = parse_query(query) if isinstance(query, str) else query
+        result = self.executor.evaluate(parsed)
+        with self._lock:
+            self.stats.requests += 1
+            self.stats.queries.append(f"STREAM({parsed})")
+
+        def pages() -> Iterator[ResultSet]:
+            for page in result.iter_pages(page_rows):
+                self._account_page(page)
+                yield page
+
+        return PageStream(
+            variables=list(result.variables),
+            total_rows=result.num_rows,
+            page_rows=page_rows,
+            pages=pages(),
+        )
+
+    def _account_page(self, page: ResultSet) -> None:
+        """Account one shipped page's rows/bytes (request already counted)."""
+        payload = _serialize(page)
+        raw_size = len(payload)
+        shipped = len(zlib.compress(payload)) if self.compression else raw_size
+        with self._lock:
+            self.stats.rows_returned += page.num_rows
+            self.stats.bytes_raw += raw_size
+            self.stats.bytes_shipped += shipped
 
     # -- paginated parallel fetch (the request-handler workers of Alg. 3) --
 

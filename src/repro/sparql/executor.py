@@ -12,7 +12,7 @@ answered from the KG's ``node_types`` array instead of materialised triples.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -44,13 +44,34 @@ class ResultSet:
         return cls(variables, {v: np.empty(0, dtype=np.int64) for v in variables})
 
     def page(self, offset: Optional[int], limit: Optional[int]) -> "ResultSet":
-        """Apply OFFSET then LIMIT (SPARQL solution-modifier order)."""
-        start = offset or 0
-        stop = None if limit is None else start + limit
+        """Apply OFFSET then LIMIT (SPARQL solution-modifier order).
+
+        SPARQL solution modifiers are non-negative integers; negative
+        values are clamped to 0 (OFFSET -n skips nothing, LIMIT -n keeps
+        nothing) instead of falling through to Python slice semantics,
+        which would wrap from the *end* of the result and silently return
+        wrong pages.  The parser rejects negative literals outright; the
+        clamp guards programmatic construction (``with_page`` etc.).
+        """
+        start = max(int(offset), 0) if offset is not None else 0
+        stop = None if limit is None else start + max(int(limit), 0)
         return ResultSet(
             list(self.variables),
             {v: self.columns[v][start:stop] for v in self.variables},
         )
+
+    def iter_pages(self, page_rows: int) -> Iterator["ResultSet"]:
+        """Yield this result in OFFSET/LIMIT slices of ``page_rows`` rows.
+
+        Concatenating the pages reproduces the result bit-exactly; an
+        empty result yields no pages.  This is the slicing step behind the
+        endpoint's streaming planner and the HTTP front end's chunked
+        pagination.
+        """
+        if page_rows <= 0:
+            raise ValueError(f"page_rows must be positive, got {page_rows}")
+        for offset in range(0, self.num_rows, page_rows):
+            yield self.page(offset, page_rows)
 
     def concat(self, other: "ResultSet") -> "ResultSet":
         """Row-concatenate two results over the same variables."""

@@ -46,6 +46,7 @@ _TOKEN_RE = re.compile(
   | (?P<RPAREN>\))
   | (?P<DOT>\.)
   | (?P<STAR>\*)
+  | (?P<MINUS>-)
   | (?P<INT>\d+)
   | (?P<WORD>[A-Za-z_][A-Za-z0-9_:\-]*)
     """,
@@ -125,10 +126,26 @@ class _Parser:
         self.expect_kind("RBRACE")
         limit = offset = None
         if self.accept_word("limit"):
-            limit = int(self.expect_kind("INT"))
+            limit = self.parse_modifier_int("LIMIT")
         if self.accept_word("offset"):
-            offset = int(self.expect_kind("INT"))
+            offset = self.parse_modifier_int("OFFSET")
         return SelectQuery(tuple(projections), body, limit=limit, offset=offset)
+
+    def parse_modifier_int(self, keyword: str) -> int:
+        """A LIMIT/OFFSET operand: a *non-negative* integer.
+
+        SPARQL solution modifiers take unsigned integers; a negative value
+        is rejected here with a targeted message rather than slipping
+        through to Python slice semantics downstream (which would wrap
+        from the end of the result).
+        """
+        if self.accept_kind("MINUS"):
+            token = self.peek()
+            value = f"-{token[1]}" if token is not None and token[0] == "INT" else "-"
+            raise SparqlSyntaxError(
+                f"{keyword} must be a non-negative integer, got {value}"
+            )
+        return int(self.expect_kind("INT"))
 
     def parse_projection(self) -> List[Projection]:
         if self.accept_kind("STAR"):

@@ -77,19 +77,79 @@ def test_sparql_and_count_over_the_wire(toy_kg):
     assert responses[1] == {"ok": True, "result": toy_kg.num_edges}
 
 
-def test_bad_requests_answer_errors_without_closing(toy_kg):
+def test_bad_requests_answer_structured_errors_without_closing(toy_kg):
     responses = serve_and_send(
         toy_kg,
         [
             {"op": "warp"},
             {"op": "ppr", "graph": "missing", "target": 0},
             {"op": "ppr", "graph": "toy"},  # no target
+            {"op": "ppr", "graph": "toy", "target": "eleventy"},  # mistyped
+            {"op": "sparql", "graph": "toy"},  # no query
+            {"op": "ego", "graph": "toy"},  # no root
             {"op": "ping"},  # connection must still be alive
         ],
     )
-    assert [r["ok"] for r in responses] == [False, False, False, True]
-    assert "unknown op" in responses[0]["error"]
-    assert "KeyError" in responses[1]["error"]
+    assert [r["ok"] for r in responses] == [False] * 6 + [True]
+    assert responses[0]["error"] == "bad_request"
+    assert "unknown op" in responses[0]["detail"]
+    # A missing graph is a structured unknown_graph error, not a KeyError
+    # server error.
+    assert responses[1]["error"] == "unknown_graph"
+    assert "missing" in responses[1]["detail"]
+    # A missing/mistyped field is a structured bad_request naming the
+    # field, not an opaque KeyError.
+    assert responses[2]["error"] == "bad_request"
+    assert "'target'" in responses[2]["detail"]
+    assert responses[3]["error"] == "bad_request"
+    assert "'target'" in responses[3]["detail"]
+    assert responses[4]["error"] == "bad_request"
+    assert "'query'" in responses[4]["detail"]
+    assert responses[5]["error"] == "bad_request"
+    assert "'root'" in responses[5]["detail"]
+    for response in responses[:6]:
+        assert "KeyError" not in json.dumps(response)
+
+
+def test_boolean_field_values_answer_bad_request(toy_kg):
+    """JSON true must not cast to target=1 and return a wrong answer."""
+    [response] = serve_and_send(
+        toy_kg, [{"op": "ppr", "graph": "toy", "target": True}]
+    )
+    assert response["ok"] is False
+    assert response["error"] == "bad_request"
+    assert "'target'" in response["detail"]
+
+
+def test_out_of_range_kernel_parameter_answers_bad_request(toy_kg, toy_task):
+    target = int(toy_task.target_nodes[0])
+    [response] = serve_and_send(
+        toy_kg, [{"op": "ppr", "graph": "toy", "target": target, "alpha": 7}]
+    )
+    assert response["ok"] is False
+    assert response["error"] == "bad_request"
+
+
+def test_non_object_request_line_answers_bad_request(toy_kg):
+    async def scenario():
+        service = ExtractionService()
+        service.register("toy", toy_kg)
+        server = await serve_tcp(service, port=0)
+        async with server:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", bound_port(server)
+            )
+            writer.write(b"[1, 2, 3]\n")
+            await writer.drain()
+            response = json.loads(await reader.readline())
+            writer.close()
+            await writer.wait_closed()
+            return response
+
+    response = asyncio.run(scenario())
+    assert response["ok"] is False
+    assert response["error"] == "bad_request"
+    assert "JSON object" in response["detail"]
 
 
 def test_unparseable_line_answers_error(toy_kg):

@@ -170,3 +170,74 @@ def test_compression_ratio_with_zero_bytes_is_one(toy_kg):
     plain.query(EMPTY)
     assert plain.stats.bytes_shipped == 0
     assert plain.stats.compression_ratio() == 1.0
+
+
+def test_stream_pages_concatenates_bit_exact(toy_kg):
+    endpoint = SparqlEndpoint(toy_kg)
+    query = "select ?s ?p ?o where { ?s ?p ?o }"
+    expected = SparqlEndpoint(toy_kg).query(query)
+
+    stream = endpoint.stream_pages(query, page_rows=4)
+    assert stream.variables == list(expected.variables)
+    assert stream.total_rows == expected.num_rows
+    assert stream.num_pages == -(-expected.num_rows // 4)
+
+    pages = list(stream.pages)
+    assert len(pages) == stream.num_pages
+    assert all(page.num_rows <= 4 for page in pages)
+    merged = pages[0]
+    for page in pages[1:]:
+        merged = merged.concat(page)
+    for v in expected.variables:
+        assert merged.columns[v].tolist() == expected.columns[v].tolist()
+
+
+def test_stream_pages_accounts_stats_per_shipped_page(toy_kg):
+    endpoint = SparqlEndpoint(toy_kg, compression=False)
+    query = "select ?s ?p ?o where { ?s ?p ?o }"
+    stream = endpoint.stream_pages(query, page_rows=5)
+    # The request is counted at plan time; rows/bytes only as pages ship.
+    assert endpoint.stats.requests == 1
+    assert endpoint.stats.rows_returned == 0
+
+    iterator = stream.pages
+    first = next(iterator)
+    assert endpoint.stats.rows_returned == first.num_rows
+    assert endpoint.stats.bytes_raw > 0
+    for _page in iterator:
+        pass
+    assert endpoint.stats.rows_returned == stream.total_rows
+    assert any(q.startswith("STREAM(") for q in endpoint.stats.queries)
+
+
+def test_stream_pages_honours_query_pagination(toy_kg):
+    endpoint = SparqlEndpoint(toy_kg)
+    stream = endpoint.stream_pages(
+        "select ?s ?p ?o where { ?s ?p ?o } limit 6 offset 2", page_rows=4
+    )
+    expected = SparqlEndpoint(toy_kg).query(
+        "select ?s ?p ?o where { ?s ?p ?o } limit 6 offset 2"
+    )
+    pages = list(stream.pages)
+    merged = pages[0]
+    for page in pages[1:]:
+        merged = merged.concat(page)
+    assert merged.num_rows == expected.num_rows == 6
+    for v in expected.variables:
+        assert merged.columns[v].tolist() == expected.columns[v].tolist()
+
+
+def test_stream_pages_empty_result(toy_kg):
+    endpoint = SparqlEndpoint(toy_kg)
+    stream = endpoint.stream_pages(
+        "select ?s ?o where { ?s <noSuchRelation> ?o }", page_rows=4
+    )
+    assert stream.total_rows == 0
+    assert stream.num_pages == 0
+    assert list(stream.pages) == []
+
+
+def test_stream_pages_rejects_non_positive_page_rows(toy_kg):
+    endpoint = SparqlEndpoint(toy_kg)
+    with pytest.raises(ValueError):
+        endpoint.stream_pages("select ?s ?p ?o where { ?s ?p ?o }", page_rows=0)

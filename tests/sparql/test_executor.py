@@ -228,3 +228,60 @@ def test_batch_join_matches_scalar_reference_random_graphs():
                 assert np.array_equal(
                     batch.columns[variable], scalar.columns[variable]
                 ), text
+
+
+def test_page_clamps_negative_offset_and_limit(toy_kg):
+    """Regression: negatives must not fall through to Python slice wrap.
+
+    ``page(-3, None)`` used to slice from the *end* of the result (the
+    last three rows); SPARQL solution modifiers are non-negative, so a
+    negative offset skips nothing and a negative limit keeps nothing.
+    """
+    executor = QueryExecutor(toy_kg)
+    full = executor.evaluate(parse_query("select ?s ?p ?o where { ?s ?p ?o }"))
+    assert full.num_rows > 3
+
+    negative_offset = full.page(-3, None)
+    assert negative_offset.num_rows == full.num_rows  # not the last 3 rows
+    for v in full.variables:
+        np.testing.assert_array_equal(
+            negative_offset.columns[v], full.columns[v]
+        )
+
+    assert full.page(-3, 2).num_rows == 2  # OFFSET clamps to 0, LIMIT holds
+    np.testing.assert_array_equal(
+        full.page(-3, 2).columns["s"], full.page(0, 2).columns["s"]
+    )
+    assert full.page(0, -1).num_rows == 0  # negative LIMIT keeps nothing
+    assert full.page(None, -5).num_rows == 0
+    assert full.page(2, -1).num_rows == 0
+
+
+def test_iter_pages_concatenates_bit_exact(toy_kg):
+    executor = QueryExecutor(toy_kg)
+    full = executor.evaluate(parse_query("select ?s ?p ?o where { ?s ?p ?o }"))
+    for page_rows in (1, 3, full.num_rows, full.num_rows + 10):
+        pages = list(full.iter_pages(page_rows))
+        assert len(pages) == -(-full.num_rows // page_rows)
+        merged = pages[0]
+        for page in pages[1:]:
+            merged = merged.concat(page)
+        for v in full.variables:
+            np.testing.assert_array_equal(merged.columns[v], full.columns[v])
+
+
+def test_iter_pages_empty_result_yields_nothing(toy_kg):
+    executor = QueryExecutor(toy_kg)
+    empty = executor.evaluate(
+        parse_query("select ?s ?o where { ?s <noSuchRelation> ?o }")
+    )
+    assert list(empty.iter_pages(4)) == []
+
+
+def test_iter_pages_rejects_non_positive_page_rows(toy_kg):
+    executor = QueryExecutor(toy_kg)
+    full = executor.evaluate(parse_query("select ?s ?p ?o where { ?s ?p ?o }"))
+    with pytest.raises(ValueError):
+        list(full.iter_pages(0))
+    with pytest.raises(ValueError):
+        list(full.iter_pages(-2))

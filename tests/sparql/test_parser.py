@@ -110,3 +110,24 @@ def test_query_str_roundtrips_through_parser():
     )
     reparsed = parse_query(str(original))
     assert reparsed == original
+
+
+def test_negative_limit_rejected():
+    with pytest.raises(SparqlSyntaxError, match="LIMIT must be a non-negative integer"):
+        parse_query("select ?s ?p ?o where { ?s ?p ?o } limit -1")
+
+
+def test_negative_offset_rejected():
+    with pytest.raises(SparqlSyntaxError, match="OFFSET must be a non-negative integer"):
+        parse_query("select ?s ?p ?o where { ?s ?p ?o } limit 5 offset -3")
+
+
+def test_zero_modifiers_still_parse():
+    query = parse_query("select ?s ?p ?o where { ?s ?p ?o } limit 0 offset 0")
+    assert query.limit == 0
+    assert query.offset == 0
+
+
+def test_stray_minus_in_pattern_rejected():
+    with pytest.raises(SparqlSyntaxError):
+        parse_query("select ?s where { ?s - ?o }")

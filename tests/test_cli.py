@@ -97,3 +97,58 @@ def test_bench_serve_command_writes_report(tmp_path, capsys):
     assert payload["coalesced"]["mode"] == "coalesced"
     assert payload["speedup"] > 0
     assert "admission" in payload["metrics"]
+
+
+def test_serve_http_command_binds_and_stops(capsys):
+    assert main([
+        "serve", "--dataset", "mag", "--scale", "tiny",
+        "--protocol", "http", "--port", "0", "--duration", "0.2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "serving MAG-tiny" in out and "via http" in out
+
+
+def test_serve_http_end_to_end_over_a_real_socket():
+    """`repro serve --protocol http` + a plain HTTP client (curl stand-in)."""
+    import http.client
+    import json
+    import re
+    import subprocess
+    import sys
+    from urllib.parse import quote
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--dataset", "mag", "--scale", "tiny",
+            "--protocol", "http", "--port", "0", "--duration", "30",
+        ],
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        env=env,
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        banner = process.stdout.readline()
+        match = re.search(r"on 127\.0\.0\.1:(\d+) via http", banner)
+        assert match, f"unexpected banner: {banner!r}"
+        port = int(match.group(1))
+
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        query = "select ?s ?p ?o where { ?s ?p ?o } limit 10"
+        conn.request("GET", f"/sparql?query={quote(query)}&page_rows=4")
+        response = conn.getresponse()
+        assert response.status == 200
+        assert response.getheader("Content-Type") == "application/sparql-results+json"
+        payload = json.loads(response.read())
+        assert payload["head"]["vars"] == ["s", "p", "o"]
+        assert len(payload["results"]["bindings"]) == 10
+
+        conn.request("GET", "/graphs")
+        assert json.loads(conn.getresponse().read()) == ["mag"]
+        conn.close()
+    finally:
+        process.terminate()
+        process.wait(timeout=10)
