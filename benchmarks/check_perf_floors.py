@@ -9,9 +9,10 @@ missing/incomplete.  Guarded reports:
 * ``BENCH_sampling.json`` (``test_perf_sampling.py``): the batch kernels
   vs their scalar reference loops.
 * ``BENCH_serving.json`` (``test_perf_serving.py``): the coalescing
-  scheduler vs the serial one-request-at-a-time serving baseline, and
-  the HTTP/SPARQL front end vs the same serial baseline (the coalescing
-  win must survive the wire).
+  scheduler vs the serial one-request-at-a-time serving baseline, the
+  HTTP/SPARQL front end vs the same serial baseline (the coalescing win
+  must survive the wire), and the multi-process sharded worker pool vs
+  the same serial baseline (the win must survive the process boundary).
 
 Run after the perf benchmarks::
 
@@ -39,6 +40,7 @@ REPORTS = {
     "BENCH_serving.json": (
         "serving_coalesced_throughput",
         "serving_http_throughput",
+        "serving_pool_throughput",
     ),
 }
 

@@ -15,8 +15,13 @@ Results must be *bit-identical* between the two modes (enforced inside
 scalar oracles, so coalescing is a pure throughput win).  A second
 benchmark drives the same request sequence through the **HTTP front end**
 (``serve/http.py``) over real sockets and checks the coalescing win
-survives the wire.  The measured throughput ratios and their regression
-floors are recorded in ``reports/BENCH_serving.json`` and re-checked by
+survives the wire; a third runs the coalesced batches on the
+**multi-process worker pool** (``serve/pool.py``) and checks the win
+survives the process boundary (pickled parameters out, numpy result
+buffers back).  All three ratios share the same serial single-process
+baseline, so they are directly comparable.  The measured throughput
+ratios and their regression floors are recorded in
+``reports/BENCH_serving.json`` and re-checked by
 ``check_perf_floors.py`` in the CI ``serve`` job; the full metrics
 snapshot (queue depth, batch occupancy, tail latency, cache hits) is
 dumped to ``reports/serving_metrics.json`` as a CI artifact.
@@ -29,7 +34,12 @@ import numpy as np
 
 from repro.bench.harness import render_table
 from repro.datasets import catalog
-from repro.serve import compare_http_serving, compare_serving_modes, run_load
+from repro.serve import (
+    compare_http_serving,
+    compare_pool_serving,
+    compare_serving_modes,
+    run_load,
+)
 from repro.serve.loadgen import ROW_HEADERS
 
 # Acceptance regime: >= 64 requests in flight on a catalog graph.
@@ -51,6 +61,16 @@ FLOOR = 2.0
 # serialization per request).  Observed ~3-3.5x on mag "small"; half per
 # the same policy.
 HTTP_FLOOR = 1.5
+
+# Floor for the multi-process worker pool vs the same in-process serial
+# baseline: the coalescing win must survive the process boundary (request
+# parameters pickled out, numpy result buffers pickled back).  Observed
+# ~4x on a single-core host — where the pool can only preserve the
+# batching win, not add parallelism; multi-core hosts scale further with
+# POOL_WORKERS.  Half-ish per the docs/ci.md policy, aligned with the
+# HTTP floor so the three serving ratios stay comparable.
+POOL_FLOOR = 1.5
+POOL_WORKERS = 2
 
 _REPORT_NAME = "BENCH_serving.json"
 _METRICS_NAME = "serving_metrics.json"
@@ -190,5 +210,78 @@ def test_perf_serving_http_front_end(benchmark, report, report_dir):
             "floor": HTTP_FLOOR,
             "serial": serial.as_json(),
             "http": over_http.as_json(),
+        },
+    )
+
+
+def test_perf_serving_worker_pool(benchmark, report, report_dir):
+    """The sharded worker pool must retain the coalescing win across processes.
+
+    The serial baseline is the same single-process scalar-oracle service
+    the other two serving benchmarks use, so `serving_pool_throughput`
+    is directly comparable with `serving_coalesced_throughput` and
+    `serving_http_throughput`.  Pool startup and the one-time graph
+    shipment happen outside the timed windows (see compare_pool_serving).
+    """
+    bundle = catalog.mag("small", 7)
+    task = bundle.task("PV")
+    rng = np.random.default_rng(7)
+    targets = rng.choice(task.target_nodes, size=REQUESTS, replace=True)
+
+    # Warm the in-process paths outside the measured runs (the pooled
+    # path warms inside compare_pool_serving, before its timed window).
+    run_load(bundle.kg, targets[:CONCURRENCY], k=TOP_K, concurrency=CONCURRENCY)
+
+    def measure():
+        return compare_pool_serving(
+            bundle.kg,
+            targets,
+            k=TOP_K,
+            concurrency=CONCURRENCY,
+            workers=POOL_WORKERS,
+            max_batch=MAX_BATCH,
+            max_delay=MAX_DELAY,
+        )
+
+    serial, pooled, speedup = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    report(
+        "perf_serving_pool",
+        render_table(
+            ROW_HEADERS,
+            [serial.as_row(), pooled.as_row()],
+            title=(
+                f"closed-loop pooled serving on {bundle.kg.name}: "
+                f"{POOL_WORKERS} workers, {CONCURRENCY} in flight "
+                f"-> {speedup:.1f}x over single-process serial"
+            ),
+        ),
+    )
+
+    # The pooled loop really coalesced across the process boundary and
+    # nothing was shed.
+    assert pooled.batch_occupancy > 1.0
+    assert serial.rejected == 0 and pooled.rejected == 0
+    assert speedup >= POOL_FLOOR, (
+        f"worker pool only {speedup:.2f}x over the single-process serial "
+        f"baseline (floor {POOL_FLOOR}x)"
+    )
+
+    _merge_benchmark(
+        report_dir,
+        "serving_pool_throughput",
+        {
+            "graph": bundle.kg.name,
+            "task": "PV",
+            "top_k": TOP_K,
+            "concurrency": CONCURRENCY,
+            "requests": REQUESTS,
+            "workers": POOL_WORKERS,
+            "max_batch": MAX_BATCH,
+            "max_delay_ms": MAX_DELAY * 1e3,
+            "speedup": speedup,
+            "floor": POOL_FLOOR,
+            "serial": serial.as_json(),
+            "pooled": pooled.as_json(),
         },
     )

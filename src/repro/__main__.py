@@ -1,7 +1,14 @@
-"""``python -m repro`` dispatches to the CLI."""
+"""``python -m repro`` dispatches to the CLI.
+
+The ``__main__`` guard is load-bearing: multiprocessing's spawn and
+forkserver start methods re-import the main module in every child (under
+``__mp_main__``), so an unguarded ``main()`` here would recursively
+re-run the CLI inside each serving-pool worker.
+"""
 
 import sys
 
 from repro.cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    sys.exit(main())

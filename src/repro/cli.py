@@ -7,17 +7,22 @@ Six subcommands cover the library's day-to-day uses::
     python -m repro train       --dataset mag --task PV --model GraphSAINT --tosa --epochs 10
     python -m repro bench       --experiment table1 --scale tiny
     python -m repro serve       --dataset mag --scale small --port 7469
-    python -m repro serve       --dataset mag --protocol http --port 8080
-    python -m repro bench-serve --dataset mag --scale small --concurrency 64
+    python -m repro serve       --dataset mag --protocol http --port 8080 --workers 4
+    python -m repro bench-serve --dataset mag --scale small --concurrency 64 --workers 2
 
 ``stats`` prints the Table-I row of a benchmark KG; ``extract`` runs TOSG
 extraction and optionally saves KG′ as a TSV bundle; ``train`` runs one
 method on FG or KG′ and reports the paper's metrics; ``bench`` regenerates
 one paper artifact; ``serve`` exposes the concurrent extraction service
 over newline-delimited-JSON TCP or the HTTP/SPARQL-protocol front end
-(``--protocol http``); ``bench-serve`` runs the closed-loop load
-generator against the serial and coalescing schedulers (see
-``docs/serving.md``).
+(``--protocol http``), in-process or on a multi-process sharded worker
+pool (``--workers N``); ``bench-serve`` runs the closed-loop load
+generator against the serial baseline and either the in-process
+coalescing scheduler or the worker pool (see ``docs/serving.md``).
+
+The argparse help text is the contract: every flag documented in
+``docs/serving.md`` must appear verbatim in ``repro serve --help`` /
+``repro bench-serve --help`` (``tests/test_cli.py`` enforces this).
 """
 
 from __future__ import annotations
@@ -153,10 +158,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
-    from repro.serve import ExtractionService, bound_port, serve_http, serve_tcp
+    from repro.serve import ExtractionService, WorkerPool, bound_port, serve_http, serve_tcp
 
     bundle = _load_bundle(args.dataset, args.scale, args.seed)
     serve_protocol = serve_http if args.protocol == "http" else serve_tcp
+    if args.workers and args.no_coalesce:
+        raise SystemExit("--workers requires the coalescing scheduler (drop --no-coalesce)")
+    pool = None
+    if args.workers:
+        pool = WorkerPool(
+            workers=args.workers,
+            replicas=args.replicas if args.replicas else None,
+        )
 
     async def run() -> None:
         service = ExtractionService(
@@ -164,10 +177,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_batch=args.max_batch,
             max_delay=args.max_delay_ms / 1e3,
             coalesce=not args.no_coalesce,
+            pool=pool,
         )
         service.register(args.dataset, bundle.kg)
         server = await serve_protocol(service, host=args.host, port=args.port)
-        mode = "serial" if args.no_coalesce else "coalescing"
+        if pool is not None:
+            # Read back from the pool: it normalizes (clamps) the replica
+            # count, so the banner can never advertise a placement that
+            # does not exist.
+            replicas = pool.replicas if pool.replicas else pool.num_workers
+            mode = f"pool of {args.workers} workers, {replicas} replica(s)/graph"
+        else:
+            mode = "serial" if args.no_coalesce else "coalescing"
         print(
             f"serving {bundle.kg.name} as graph {args.dataset!r} on "
             f"{args.host}:{bound_port(server)} via {args.protocol} ({mode}, "
@@ -188,6 +209,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(run())
     except KeyboardInterrupt:  # pragma: no cover - interactive stop
         pass
+    finally:
+        if pool is not None:
+            pool.close()
     return 0
 
 
@@ -195,31 +219,40 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     import json
 
     from repro.bench.harness import render_table
-    from repro.serve import compare_serving_modes
+    from repro.serve import compare_pool_serving, compare_serving_modes
     from repro.serve.loadgen import ROW_HEADERS
 
     bundle = _load_bundle(args.dataset, args.scale, args.seed)
     task = bundle.task(args.task)
     rng = np.random.default_rng(args.seed)
     targets = rng.choice(task.target_nodes, size=args.requests, replace=True)
-    serial, coalesced, speedup = compare_serving_modes(
-        bundle.kg, targets, k=args.top_k, concurrency=args.concurrency,
-        max_batch=args.max_batch, max_delay=args.max_delay_ms / 1e3,
-    )
+    if args.workers:
+        serial, fast, speedup = compare_pool_serving(
+            bundle.kg, targets, k=args.top_k, concurrency=args.concurrency,
+            workers=args.workers,
+            max_batch=args.max_batch, max_delay=args.max_delay_ms / 1e3,
+        )
+        label = f"pool ({args.workers} workers) speedup"
+    else:
+        serial, fast, speedup = compare_serving_modes(
+            bundle.kg, targets, k=args.top_k, concurrency=args.concurrency,
+            max_batch=args.max_batch, max_delay=args.max_delay_ms / 1e3,
+        )
+        label = "coalescing speedup"
     print(render_table(
         ROW_HEADERS,
-        [serial.as_row(), coalesced.as_row()],
+        [serial.as_row(), fast.as_row()],
         title=f"closed-loop serving, {bundle.kg.name} ({args.task})",
     ))
-    print(f"coalescing speedup {speedup:.1f}x (results bit-identical to serial)")
+    print(f"{label} {speedup:.1f}x (results bit-identical to serial)")
     if args.out:
         payload = {
             "graph": bundle.kg.name,
             "task": args.task,
             "speedup": speedup,
             "serial": serial.as_json(),
-            "coalesced": coalesced.as_json(),
-            "metrics": coalesced.metrics,
+            fast.mode: fast.as_json(),
+            "metrics": fast.metrics,
         }
         with open(args.out, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
@@ -236,7 +269,7 @@ def build_parser() -> argparse.ArgumentParser:
     def add_common(p):
         p.add_argument("--dataset", default="mag", help=f"one of {_DATASETS}")
         p.add_argument("--scale", default="small", help="tiny | small | medium | float")
-        p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--seed", type=int, default=7, help="generator / sampling seed")
 
     stats = sub.add_parser("stats", help="print Table-I statistics of a benchmark KG")
     add_common(stats)
@@ -273,16 +306,27 @@ def build_parser() -> argparse.ArgumentParser:
     bench.set_defaults(func=_cmd_bench)
 
     serve = sub.add_parser(
-        "serve", help="serve concurrent extraction over HTTP/SPARQL or TCP (ndjson)"
+        "serve",
+        help="serve concurrent extraction over HTTP/SPARQL or TCP (ndjson), "
+             "in-process or on a multi-process worker pool (--workers)",
     )
     add_common(serve)
     serve.add_argument("--protocol", default="tcp", choices=("tcp", "http"),
                        help="wire protocol: ndjson TCP or the HTTP/SPARQL front end")
-    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--host", default="127.0.0.1", help="interface to bind")
     serve.add_argument("--port", type=int, default=7469, help="0 picks a free port")
-    serve.add_argument("--max-pending", type=int, default=256)
-    serve.add_argument("--max-batch", type=int, default=64)
-    serve.add_argument("--max-delay-ms", type=float, default=2.0)
+    serve.add_argument("--workers", type=int, default=0,
+                       help="worker processes for sharded multi-process serving "
+                            "(0: in-process dispatch)")
+    serve.add_argument("--replicas", type=int, default=0,
+                       help="workers serving each graph (0: all --workers; "
+                            "1: pure sharding, one owner per graph)")
+    serve.add_argument("--max-pending", type=int, default=256,
+                       help="admission bound: in-flight requests before 503/Retry-After")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="coalescing window: max requests per batch-kernel call")
+    serve.add_argument("--max-delay-ms", type=float, default=2.0,
+                       help="coalescing window: max ms a request waits to batch")
     serve.add_argument("--no-coalesce", action="store_true",
                        help="serial per-request dispatch (baseline mode)")
     serve.add_argument("--duration", type=float, default=None,
@@ -290,15 +334,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve.set_defaults(func=_cmd_serve)
 
     bench_serve = sub.add_parser(
-        "bench-serve", help="closed-loop load: serial vs coalescing scheduler"
+        "bench-serve",
+        help="closed-loop load: serial baseline vs coalescing scheduler "
+             "or worker pool (--workers)",
     )
     add_common(bench_serve)
-    bench_serve.add_argument("--task", default="PV")
-    bench_serve.add_argument("--requests", type=int, default=256)
-    bench_serve.add_argument("--concurrency", type=int, default=64)
-    bench_serve.add_argument("--top-k", type=int, default=16)
-    bench_serve.add_argument("--max-batch", type=int, default=64)
-    bench_serve.add_argument("--max-delay-ms", type=float, default=2.0)
+    bench_serve.add_argument("--task", default="PV", help="task whose targets drive the load")
+    bench_serve.add_argument("--requests", type=int, default=256,
+                             help="total requests in the closed loop")
+    bench_serve.add_argument("--concurrency", type=int, default=64,
+                             help="closed-loop workers (requests in flight)")
+    bench_serve.add_argument("--top-k", type=int, default=16,
+                             help="PPR top-k per request")
+    bench_serve.add_argument("--workers", type=int, default=0,
+                             help="compare against a pool of this many worker "
+                                  "processes (0: in-process coalescing)")
+    bench_serve.add_argument("--max-batch", type=int, default=64,
+                             help="coalescing window: max requests per batch-kernel call")
+    bench_serve.add_argument("--max-delay-ms", type=float, default=2.0,
+                             help="coalescing window: max ms a request waits to batch")
     bench_serve.add_argument("--out", default=None,
                              help="write the comparison + metrics dump as JSON")
     bench_serve.set_defaults(func=_cmd_bench_serve)

@@ -20,6 +20,18 @@ cache entry.  Artifacts live on the graph object itself (a plain reference
 cycle the garbage collector handles), so they die with their graph and
 throwaway subgraphs do not accumulate.  See ``docs/performance.md`` for the
 full contract.
+
+Process locality (sharded serving)
+----------------------------------
+The cache is strictly **process-local**: artifacts are never pickled —
+``KnowledgeGraph.__getstate__`` strips the attached cache (and every other
+derived structure) before a graph ships to a serving pool worker, and each
+worker rebuilds its own shard of artifacts on arrival via
+:meth:`GraphArtifacts.warm`, the registration-time warm-up hook.  Under
+multi-process serving (``repro/serve/pool.py``) there is consequently one
+cache per (graph, owning worker) pair, built exactly once each; the
+``hits``/``builds`` counters a worker reports are therefore per-process
+numbers, summed across owners by the pool's metrics.
 """
 
 from __future__ import annotations
@@ -119,6 +131,35 @@ class GraphArtifacts:
             else:
                 self.hits += 1
             return stack
+
+    # -- warm-up hook (serving registration / pool workers) --
+
+    #: Artifact kinds :meth:`warm` understands.
+    WARM_KINDS = ("csr", "walk", "hexastore", "hetero")
+
+    def warm(self, kinds: Tuple[str, ...] = ("csr",)) -> None:
+        """Build the named artifacts now instead of on the first request.
+
+        The serving layer calls this at graph-registration time (in pool
+        mode: inside the owning worker processes) so the first request's
+        latency matches steady state.  ``kinds`` is a subset of
+        :data:`WARM_KINDS`; ``"hexastore"`` constructs the index object —
+        its individual orderings still build on first use, which is the
+        documented lazy contract.
+        """
+        for kind in kinds:
+            if kind == "csr":
+                self.csr("both")
+            elif kind == "walk":
+                self.walk_engine("both")
+            elif kind == "hexastore":
+                self.hexastore  # noqa: B018 - lazy property, touch to build
+            elif kind == "hetero":
+                self.hetero()
+            else:
+                raise ValueError(
+                    f"unknown artifact kind {kind!r}; choose from {self.WARM_KINDS}"
+                )
 
     # -- accounting --
 

@@ -137,6 +137,33 @@ class KnowledgeGraph:
             f"|T|={self.num_edges}, |C|={self.num_node_types}, |R|={self.num_edge_types})"
         )
 
+    # -- pickling (shipping a graph to a pool worker) --
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle only the raw graph, never its derived state.
+
+        Locks are unpicklable, and every cache — the hexastore, degree
+        arrays, ``nodes_of_type`` buckets, and the attached
+        :class:`~repro.kg.cache.GraphArtifacts` — is process-local by
+        contract: the receiving process (a serving pool worker) rebuilds
+        its own shard of artifacts exactly once via ``artifacts_for``.
+        Stripping them keeps a one-time graph shipment at the size of the
+        triple arrays plus vocabularies.
+        """
+        state = self.__dict__.copy()
+        state["_hexastore"] = None
+        state["_hexastore_lock"] = None
+        state["_nodes_by_type"] = None
+        state["_out_degree"] = None
+        state["_in_degree"] = None
+        # Attached lazily by repro.kg.cache.artifacts_for; holds an RLock.
+        state.pop("_graph_artifacts", None)
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._hexastore_lock = threading.Lock()
+
     # -- indices --
 
     @property

@@ -1,11 +1,16 @@
 """Concurrent TOSG-extraction serving layer.
 
 The async front door over the batch-kernel program (see
-``docs/serving.md``): an admission-bounded :class:`ExtractionService`
-routes concurrent PPR / ego-scope / SPARQL requests per graph, a
-:class:`Coalescer` micro-batches compatible requests into single
-batch-kernel calls, and :class:`ServiceMetrics` exports latency, queue
-depth, batch occupancy and cache-hit counters as one dict.  Two wire
+``docs/serving.md`` and ``docs/architecture.md``): an admission-bounded
+:class:`ExtractionService` routes concurrent PPR / ego-scope / SPARQL
+requests per graph, a :class:`Coalescer` micro-batches compatible
+requests into single batch-kernel calls, and :class:`ServiceMetrics`
+exports latency, queue depth, batch occupancy and cache-hit counters as
+one dict.  Kernel work runs either in-process (``asyncio.to_thread``) or
+— with ``ExtractionService(pool=WorkerPool(...))`` — in a multi-process
+sharded :class:`WorkerPool` where each worker owns a shard of the
+per-graph artifact cache, removing the single-interpreter throughput
+cap while staying bit-identical to in-process extraction.  Two wire
 front ends share one validation/pipelining core (``serve/wire.py``):
 newline-delimited JSON over TCP (:func:`serve_tcp`) and the
 HTTP/SPARQL-protocol server with streaming pagination
@@ -17,11 +22,13 @@ from repro.serve.http import serve_http
 from repro.serve.loadgen import (
     LoadReport,
     compare_http_serving,
+    compare_pool_serving,
     compare_serving_modes,
     run_http_load,
     run_load,
 )
 from repro.serve.metrics import ServiceMetrics
+from repro.serve.pool import WorkerCrashed, WorkerError, WorkerPool, shard_for
 from repro.serve.service import (
     AsyncSparqlEndpoint,
     ExtractionService,
@@ -39,11 +46,16 @@ __all__ = [
     "ServiceMetrics",
     "ServiceOverloaded",
     "UnknownGraph",
+    "WorkerCrashed",
+    "WorkerError",
+    "WorkerPool",
     "bound_port",
     "compare_http_serving",
+    "compare_pool_serving",
     "compare_serving_modes",
     "run_http_load",
     "run_load",
     "serve_http",
     "serve_tcp",
+    "shard_for",
 ]

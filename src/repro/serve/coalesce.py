@@ -12,7 +12,11 @@ result fanned back to its request's future.
 
 Because the batch kernels are bit-exact against their scalar oracles, a
 coalesced request returns *exactly* what a lone request would — the window
-only trades a bounded latency slack for kernel-side throughput.
+only trades a bounded latency slack for kernel-side throughput.  The
+scheduler does not care where ``dispatch`` executes: in-process it runs
+the kernel directly, in pool mode it ships the batch to the owning
+worker process (``serve/pool.py``) — window semantics and results are
+identical either way.
 """
 
 from __future__ import annotations

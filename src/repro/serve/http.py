@@ -41,6 +41,14 @@ face of the service's backpressure contract.
 Connections are persistent (HTTP/1.1 keep-alive) and pipelined through
 the same in-order response core as the TCP front end, so pipelined
 requests share coalescing windows.
+
+Like the TCP front end, this module is agnostic to where kernels
+execute: with ``ExtractionService(pool=...)`` (``repro serve --protocol
+http --workers N``) the coalesced batches run in sharded worker
+processes, and every response — including streamed ``/sparql`` pages —
+is byte-identical to in-process serving.  A crashed worker surfaces as a
+structured ``500 internal_error`` for its in-flight requests while the
+pool respawns it.
 """
 
 from __future__ import annotations

@@ -1,0 +1,55 @@
+"""The single definition of a dispatched extraction batch.
+
+Both serving modes execute coalesced windows through these helpers: the
+in-process service (``service.py``, on ``asyncio.to_thread``) and the
+pool workers (``pool.py``, in their own processes).  The bit-exactness
+contract — pooled answers identical to in-process answers — reduces to
+these functions being the *only* place the batch kernels are invoked
+with serving parameters, so a future signature or artifact change cannot
+silently diverge the two modes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.kg.cache import artifacts_for
+from repro.kg.graph import KnowledgeGraph
+
+
+def run_ppr_batch(
+    kg: KnowledgeGraph,
+    targets: Sequence[int],
+    k: int,
+    alpha: float,
+    eps: float,
+) -> List[List[Tuple[int, float]]]:
+    """One coalesced PPR window: top-``k`` list per target, target order."""
+    from repro.sampling.ppr import batch_ppr_top_k
+
+    target_array = np.asarray(targets, dtype=np.int64)
+    table = batch_ppr_top_k(
+        artifacts_for(kg).csr("both"), target_array, k, alpha=alpha, eps=eps
+    )
+    return [table[int(target)] for target in target_array]
+
+
+def run_ego_batch(
+    kg: KnowledgeGraph,
+    roots: Sequence[int],
+    depth: int,
+    fanout: int,
+    salt: int,
+) -> list:
+    """One coalesced ego window: one ``_EgoGraph`` per root, root order."""
+    from repro.models.shadowsaint import extract_ego_batch
+
+    return extract_ego_batch(
+        kg,
+        np.asarray(roots, dtype=np.int64),
+        depth=depth,
+        fanout=fanout,
+        salt=salt,
+    )

@@ -7,12 +7,16 @@ open-loop queueing collapse).  Workers pull target nodes round-robin from
 the task's target set — the live-traffic version of the IBS benchmark
 loop.
 
-:func:`run_load` drives one :class:`ExtractionService` configuration and
-returns a :class:`LoadReport`; :func:`compare_serving_modes` runs the
-serial one-request-at-a-time baseline and the coalescing scheduler over
-the *same* request sequence, verifies the results are bit-identical, and
-reports the throughput ratio — the number guarded by
-``benchmarks/check_perf_floors.py``.
+:func:`run_load` drives one :class:`ExtractionService` configuration
+(in-process, or multi-process via ``pool=``) and returns a
+:class:`LoadReport`; the ``compare_*`` entry points each run the serial
+one-request-at-a-time baseline and one serving configuration over the
+*same* request sequence, verify the results are bit-identical, and
+report the throughput ratio — the numbers guarded by
+``benchmarks/check_perf_floors.py``: :func:`compare_serving_modes` (the
+in-process coalescing scheduler), :func:`compare_http_serving` (the HTTP
+front end over real sockets) and :func:`compare_pool_serving` (the
+multi-process sharded worker pool).
 """
 
 from __future__ import annotations
@@ -28,6 +32,7 @@ import numpy as np
 from repro.kg.graph import KnowledgeGraph
 from repro.serve.http import serve_http
 from repro.serve.metrics import percentile
+from repro.serve.pool import WorkerPool
 from repro.serve.service import ExtractionService, ServiceOverloaded
 from repro.serve.wire import bound_port
 
@@ -130,17 +135,22 @@ def run_load(
     max_batch: int = 64,
     max_delay: float = 0.002,
     max_pending: Optional[int] = None,
+    pool: Optional[WorkerPool] = None,
 ) -> LoadReport:
     """Drive one service configuration with the closed-loop generator.
 
     ``max_pending`` defaults to ``2 * concurrency`` so a healthy run is
     never admission-limited; pass something smaller to exercise shedding.
+    ``pool`` switches kernel dispatch to the multi-process worker pool
+    (the caller owns the pool's lifecycle; registration of the load graph
+    on the pool is idempotent, so one pool can back several runs).
     """
     service = ExtractionService(
         max_pending=max_pending if max_pending is not None else 2 * concurrency,
         max_batch=max_batch,
         max_delay=max_delay,
         coalesce=coalesce,
+        pool=pool,
     )
     service.register(GRAPH_NAME, kg)
 
@@ -153,7 +163,7 @@ def run_load(
 
     results, latencies, rejected, wall = asyncio.run(run())
     return LoadReport(
-        mode="coalesced" if coalesce else "serial",
+        mode="pooled" if pool is not None else ("coalesced" if coalesce else "serial"),
         requests=len(targets),
         concurrency=concurrency,
         wall_seconds=wall,
@@ -348,6 +358,64 @@ def compare_http_serving(
         )
     speedup = over_http.throughput_rps / max(serial.throughput_rps, 1e-12)
     return serial, over_http, speedup
+
+
+def compare_pool_serving(
+    kg: KnowledgeGraph,
+    targets: Sequence[int],
+    k: int = 16,
+    concurrency: int = 64,
+    workers: int = 2,
+    max_batch: int = 64,
+    max_delay: float = 0.002,
+    pool: Optional[WorkerPool] = None,
+) -> Tuple[LoadReport, LoadReport, float]:
+    """Single-process serial baseline vs the multi-process worker pool.
+
+    Returns ``(serial, pooled, speedup)`` after asserting the pooled path
+    produced bit-identical results — crossing a process boundary (pickled
+    parameters out, numpy result buffers back) must never change an
+    answer.  The serial baseline is the same single-process scalar-oracle
+    service the other two serving ratios use, so all three recorded
+    numbers (`serving_coalesced_throughput`, `serving_http_throughput`,
+    `serving_pool_throughput`) are directly comparable; on multi-core
+    hosts the pool additionally scales with worker count.
+
+    A caller-provided ``pool`` is reused (and left running); otherwise a
+    ``workers``-wide pool is created for the comparison and closed before
+    returning.  Pool startup and graph shipment happen outside the timed
+    windows — they are one-time costs, not serving throughput.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    owned = pool is None
+    if pool is None:
+        pool = WorkerPool(workers=workers)
+    try:
+        # Warm the pooled path outside the timed run: first-touch costs
+        # (worker-side artifact builds, pickle code paths) are startup,
+        # not capacity.
+        run_load(
+            kg, targets[: min(len(targets), concurrency)], k=k,
+            concurrency=concurrency, pool=pool,
+            max_batch=max_batch, max_delay=max_delay,
+        )
+        serial = run_load(
+            kg, targets, k=k, concurrency=concurrency, coalesce=False,
+            max_batch=max_batch, max_delay=max_delay,
+        )
+        pooled = run_load(
+            kg, targets, k=k, concurrency=concurrency, pool=pool,
+            max_batch=max_batch, max_delay=max_delay,
+        )
+    finally:
+        if owned:
+            pool.close()
+    if serial.results != pooled.results:
+        raise AssertionError(
+            "pooled serving diverged from the serial scalar baseline"
+        )
+    speedup = pooled.throughput_rps / max(serial.throughput_rps, 1e-12)
+    return serial, pooled, speedup
 
 
 def compare_serving_modes(

@@ -11,6 +11,14 @@ The whole state exports as one JSON-serializable dict via
 :meth:`snapshot`, which is what ``repro bench-serve`` prints, the serving
 benchmark persists next to ``BENCH_serving.json``, and the CI ``serve``
 job uploads as an artifact.
+
+Bounded and process-local by contract: every window is a fixed-size ring
+(:data:`LATENCY_WINDOW`), so a long-running service reports recent state
+at constant memory; and one :class:`ServiceMetrics` lives in the serving
+(parent) process — under pool mode the worker-side artifact-cache and
+endpoint counters are *not* recorded here but piggybacked on pool
+responses and merged into the snapshot by
+:meth:`ExtractionService.metrics_snapshot`.
 """
 
 from __future__ import annotations

@@ -1,0 +1,695 @@
+"""Multi-process sharded worker pool over the per-graph artifact cache.
+
+One Python interpreter caps extraction throughput no matter how many
+cores the box has: the in-process :class:`ExtractionService` runs every
+batch kernel on ``asyncio.to_thread``, and the GIL serializes the
+Python-level parts of those kernels.  :class:`WorkerPool` removes that
+bottleneck the way DGL-KE partitions KG state across processes: each
+**worker process owns a shard of the artifact cache** — graphs are pinned
+to workers by the deterministic :func:`shard_for` map, so CSR projections,
+hexastore orderings and walk engines are built **exactly once per owning
+worker** and never cross a process boundary — and the parent ships only
+request parameters out and numpy result buffers back.
+
+Contracts:
+
+* **Deterministic placement** — :func:`shard_for` is a stable
+  (process- and run-independent) hash of the graph *name*; the same graph
+  always lands on the same home shard.  A graph is served by ``replicas``
+  consecutive workers starting at its home shard (default: all workers,
+  the "per-graph worker pool" regime for few-graph/high-traffic serving;
+  ``replicas=1`` is the memory-tight pure-sharding regime for many
+  graphs).  Batches round-robin over the replica set.
+* **Ship parameters, not state** — a graph is pickled to each owning
+  worker once at registration (locks, lazy indices and the attached
+  artifact cache are stripped by ``KnowledgeGraph.__getstate__``); every
+  later message is request parameters (a few ints/strings, one int64
+  target array per batch) or results (top-k pairs, ego-graph arrays,
+  SPARQL result columns).
+* **Bit-exactness** — workers run the same batch kernels against their
+  own :func:`~repro.kg.cache.artifacts_for` cache; the kernels are
+  bit-exact against their scalar oracles and content-addressed, so which
+  process runs a batch can never change an answer
+  (``tests/serve/test_pool.py`` asserts pooled == in-process).
+* **Crash containment** — a dead worker fails only its in-flight
+  requests, each with a structured :class:`WorkerCrashed`; the pool
+  respawns the worker, replays its graph registrations, and later
+  requests are served normally.  Worker-side ``ValueError`` /
+  ``KeyError`` / SPARQL syntax errors re-raise as the same type in the
+  parent so the front ends' 400/404 mapping is identical in both modes.
+
+The pool is synchronous and thread-safe; :class:`ExtractionService`
+drives it from ``asyncio.to_thread`` exactly like the in-process kernels,
+so admission, coalescing windows, retry-after hints and metrics behave
+identically in both modes.  See ``docs/serving.md`` for the operator
+surface (choosing ``--workers``, reading ``/metrics``).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import hashlib
+import itertools
+import multiprocessing
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.kg.graph import KnowledgeGraph
+
+__all__ = [
+    "WorkerCrashed",
+    "WorkerError",
+    "WorkerPool",
+    "replica_shards",
+    "shard_for",
+]
+
+#: Seconds a request waits for a crashed worker slot to finish respawning
+#: before giving up with :class:`WorkerCrashed`.
+RESPAWN_WAIT_SECONDS = 60.0
+
+#: Seconds ``close()`` gives a worker to exit cleanly before terminating it.
+SHUTDOWN_GRACE_SECONDS = 5.0
+
+
+# -- deterministic graph -> shard map -----------------------------------------
+
+
+def shard_for(name: str, num_shards: int) -> int:
+    """Home shard of graph ``name`` in a pool of ``num_shards`` workers.
+
+    Stable across processes, runs and machines (``blake2b`` of the name,
+    *not* Python's per-process-seeded ``hash``), so the parent, every
+    worker, and a restarted service all agree where a graph lives — the
+    precondition for building its artifacts exactly once per owner.
+
+    >>> shard_for("mag", 4) == shard_for("mag", 4)
+    True
+    >>> 0 <= shard_for("anything", 3) < 3
+    True
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    digest = hashlib.blake2b(name.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % num_shards
+
+
+def replica_shards(name: str, num_shards: int, replicas: Optional[int] = None) -> List[int]:
+    """The worker indices serving graph ``name`` (home shard first).
+
+    ``replicas=None`` (default) means every worker serves the graph — the
+    per-graph worker pool regime.  Smaller values walk consecutively from
+    the home shard, so shrinking ``replicas`` never moves the home.
+    """
+    count = num_shards if replicas is None else min(max(replicas, 1), num_shards)
+    home = shard_for(name, num_shards)
+    return [(home + offset) % num_shards for offset in range(count)]
+
+
+# -- errors -------------------------------------------------------------------
+
+
+class WorkerCrashed(RuntimeError):
+    """A worker process died with this request in flight (or respawning).
+
+    The pool respawns the worker and replays its registrations; the
+    *request* is not retried — retrying is the caller's decision, exactly
+    like :class:`~repro.serve.service.ServiceOverloaded` rejections.
+    """
+
+
+class WorkerError(RuntimeError):
+    """A worker-side failure that is not a client error (server fault)."""
+
+
+#: Worker-side exception types re-raised as the same type in the parent so
+#: the front ends map them to the same status codes as in-process serving
+#: (ValueError/KeyError -> 400/404, SparqlSyntaxError -> 400 invalid SPARQL).
+_CLIENT_ERRORS = {"ValueError": ValueError, "TypeError": TypeError, "KeyError": KeyError}
+
+
+def _reraise(type_name: str, message: str) -> Exception:
+    if type_name == "SparqlSyntaxError":
+        from repro.sparql.parser import SparqlSyntaxError
+
+        return SparqlSyntaxError(message)
+    client_type = _CLIENT_ERRORS.get(type_name)
+    if client_type is not None:
+        return client_type(message)
+    return WorkerError(f"{type_name}: {message}")
+
+
+# -- worker process side ------------------------------------------------------
+
+
+def _worker_graph_stats(entry: dict) -> dict:
+    """The piggybacked per-graph stats: artifact cache + endpoint counters."""
+    from repro.kg.cache import artifacts_for
+
+    artifacts = artifacts_for(entry["kg"])
+    stats = entry["endpoint"].stats
+    return {
+        "artifact_cache": {
+            "hits": artifacts.hits,
+            "builds": artifacts.builds,
+            "nbytes": artifacts.nbytes(),
+        },
+        "endpoint": {
+            "requests": stats.requests,
+            "rows_returned": stats.rows_returned,
+            "bytes_raw": stats.bytes_raw,
+            "bytes_shipped": stats.bytes_shipped,
+        },
+    }
+
+
+def _execute_op(graphs: Dict[str, dict], op: str, payload: dict) -> Any:
+    """Run one op against this worker's shard of graphs."""
+    from repro.kg.cache import artifacts_for
+
+    if op == "ping":
+        return "pong"
+    if op == "sleep":  # diagnostics/tests: hold the worker busy
+        time.sleep(float(payload["seconds"]))
+        return None
+    if op == "register":
+        name = payload["name"]
+        entry = graphs.get(name)
+        if entry is None:
+            from repro.sparql.endpoint import SparqlEndpoint
+
+            kg = payload["kg"]
+            graphs[name] = entry = {
+                "kg": kg,
+                "endpoint": SparqlEndpoint(kg, compression=payload["compression"]),
+            }
+        if payload.get("warm"):
+            artifacts_for(entry["kg"]).warm(payload.get("warm_kinds", ("csr",)))
+        return sorted(graphs)
+
+    entry = graphs.get(payload["graph"])
+    if entry is None:
+        raise KeyError(f"graph {payload['graph']!r} is not registered on this worker")
+    kg = entry["kg"]
+    if op == "ppr":
+        # Shared with the in-process dispatch path (serve/kernels.py), so
+        # the two serving modes cannot drift apart.
+        from repro.serve.kernels import run_ppr_batch
+
+        return run_ppr_batch(
+            kg, payload["targets"], payload["k"], payload["alpha"], payload["eps"]
+        )
+    if op == "ego":
+        from repro.serve.kernels import run_ego_batch
+
+        return run_ego_batch(
+            kg, payload["roots"], payload["depth"], payload["fanout"], payload["salt"]
+        )
+    if op == "sparql":
+        result = entry["endpoint"].query(payload["query"])
+        return {
+            "variables": list(result.variables),
+            "columns": {v: result.columns[v] for v in result.variables},
+        }
+    if op == "count":
+        return entry["endpoint"].count(payload["query"])
+    raise ValueError(f"unknown pool op {op!r}")
+
+
+def _worker_main(conn, worker_index: int) -> None:
+    """Entry point of one worker process: a serial recv/execute/send loop.
+
+    One request at a time per worker by design — a worker is a shard, and
+    intra-worker parallelism would reintroduce the GIL contention the
+    pool exists to remove.  Parallelism comes from the number of workers.
+    """
+    graphs: Dict[str, dict] = {}
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break  # parent is gone; daemonic exit
+        request_id, op, payload = message
+        if op == "shutdown":
+            try:
+                conn.send((request_id, "ok", None, None))
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+            break
+        try:
+            result = _execute_op(graphs, op, payload)
+            graph_name = payload.get("graph") or payload.get("name")
+            stats = None
+            if graph_name in graphs:
+                stats = {"graph": graph_name, **_worker_graph_stats(graphs[graph_name])}
+            response = (request_id, "ok", result, stats)
+        except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+            response = (request_id, "error", (type(exc).__name__, str(exc)), None)
+        try:
+            conn.send(response)
+        except (BrokenPipeError, OSError):  # pragma: no cover - parent died
+            break
+    conn.close()
+
+
+# -- parent side --------------------------------------------------------------
+
+
+class _WorkerHandle:
+    """Parent-side state of one worker slot: process, pipe, in-flight map.
+
+    A dedicated reader thread blocks on the pipe and resolves
+    :class:`concurrent.futures.Future` objects, so the pool works from
+    plain threads (``asyncio.to_thread``) and from synchronous code
+    (registration, CLI startup) without needing an event loop.
+    """
+
+    def __init__(self, pool: "WorkerPool", index: int):
+        self.pool = pool
+        self.index = index
+        self.lock = threading.Lock()
+        self.ready = threading.Event()  # cleared while (re)spawning
+        self.process = None
+        self.conn = None
+        self.reader: Optional[threading.Thread] = None
+        self.inflight: Dict[int, concurrent.futures.Future] = {}
+        self.request_ids = itertools.count()
+        self.respawns = 0
+        self.spawn_failure: Optional[str] = None
+        self.closed = False
+
+    # -- lifecycle --
+
+    def spawn(self) -> None:
+        """Start (or restart) the worker process and its reader thread."""
+        ctx = self.pool._ctx
+        parent_conn, child_conn = ctx.Pipe()
+        process = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self.index),
+            name=f"tosg-pool-worker-{self.index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        with self.lock:
+            self.process = process
+            self.conn = parent_conn
+            self.inflight = {}
+        reader = threading.Thread(
+            target=self._read_loop,
+            args=(parent_conn,),
+            name=f"tosg-pool-reader-{self.index}",
+            daemon=True,
+        )
+        self.reader = reader
+        reader.start()
+        # Replay this shard's registrations before accepting requests, so
+        # a respawned worker is indistinguishable from the original.
+        for registration in self.pool._registrations_for(self.index):
+            self._request_on_conn(parent_conn, "register", registration).result()
+        self.spawn_failure = None
+        self.ready.set()
+
+    def _read_loop(self, conn) -> None:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError, ValueError, TypeError):
+                # EOF/OSError: the worker died or the pipe closed.
+                # ValueError/TypeError: close() invalidated the connection
+                # object while this thread was blocked inside recv().
+                break
+            request_id, status, result, stats = message
+            with self.lock:
+                future = self.inflight.pop(request_id, None)
+            if stats is not None:
+                self.pool._record_graph_stats(self.index, stats)
+            if future is None:
+                continue  # request already failed (e.g. during close)
+            if status == "ok":
+                future.set_result(result)
+            else:
+                future.set_exception(_reraise(*result))
+        self._on_disconnect(conn)
+
+    def _on_disconnect(self, conn) -> None:
+        """The worker side of ``conn`` is gone: fail in-flight, respawn."""
+        with self.lock:
+            if self.conn is not conn:
+                return  # a newer incarnation already took over
+            stale = list(self.inflight.values())
+            self.inflight = {}
+            crashed = not self.closed
+            if crashed:
+                self.ready.clear()
+        for future in stale:
+            if not future.done():
+                future.set_exception(
+                    WorkerCrashed(
+                        f"pool worker {self.index} died with this request in flight"
+                    )
+                )
+        if not crashed or self.pool._closed:
+            return
+        # The dead incarnation's cumulative counters must survive the
+        # respawn (the fresh process restarts its own from zero).
+        self.pool._retire_worker_stats(self.index)
+        self.respawns += 1
+        try:
+            self.spawn()
+        except Exception as exc:  # pragma: no cover - spawn itself failed
+            # Leave the slot not-ready; requests surface this reason via
+            # WorkerCrashed, and describe() exposes it per slot.
+            self.spawn_failure = f"{type(exc).__name__}: {exc}"
+
+    # -- requests --
+
+    def request(self, op: str, payload: dict) -> concurrent.futures.Future:
+        """Send one request; the returned future resolves off-thread."""
+        if not self.ready.wait(timeout=RESPAWN_WAIT_SECONDS):
+            reason = f": {self.spawn_failure}" if self.spawn_failure else ""
+            raise WorkerCrashed(
+                f"pool worker {self.index} is not available "
+                f"(respawn pending{reason})"
+            )
+        with self.lock:
+            if self.closed:
+                raise WorkerCrashed(f"pool worker {self.index} is shut down")
+            conn = self.conn
+        return self._request_on_conn(conn, op, payload)
+
+    def _request_on_conn(self, conn, op: str, payload: dict) -> concurrent.futures.Future:
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        with self.lock:
+            request_id = next(self.request_ids)
+            self.inflight[request_id] = future
+            try:
+                conn.send((request_id, op, payload))
+            except (BrokenPipeError, OSError, ValueError):
+                self.inflight.pop(request_id, None)
+                raise WorkerCrashed(
+                    f"pool worker {self.index} pipe is closed"
+                ) from None
+        return future
+
+    def close(self) -> None:
+        with self.lock:
+            self.closed = True
+            conn, process = self.conn, self.process
+        self.ready.set()  # unblock waiters; they see closed and raise
+        if conn is not None:
+            try:
+                conn.send((next(self.request_ids), "shutdown", {}))
+            except (BrokenPipeError, OSError, ValueError):
+                pass
+        if process is not None:
+            process.join(timeout=SHUTDOWN_GRACE_SECONDS)
+            if process.is_alive():  # pragma: no cover - unresponsive worker
+                process.terminate()
+                process.join(timeout=SHUTDOWN_GRACE_SECONDS)
+        if conn is not None:
+            conn.close()
+
+
+class _PoolGraph:
+    """Parent-side registration record (replayed on worker respawn)."""
+
+    __slots__ = ("name", "kg", "warm", "shards", "rr")
+
+    def __init__(self, name: str, kg: KnowledgeGraph, warm: bool, shards: List[int]):
+        self.name = name
+        self.kg = kg
+        self.warm = warm
+        self.shards = shards
+        self.rr = itertools.count()
+
+
+class WorkerPool:
+    """A fixed set of worker processes, each owning a shard of graphs.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes.  Throughput scales with workers up to
+        the machine's core count; see ``docs/serving.md`` for guidance.
+    replicas:
+        How many workers serve each graph (``None``: all of them — the
+        per-graph worker pool regime; ``1``: pure sharding, each graph
+        lives on exactly its home shard).  Placement is
+        :func:`replica_shards`, deterministic per graph name.
+    start_method:
+        ``multiprocessing`` start method.  Default ``"forkserver"`` where
+        available (workers fork from a clean, thread-free server process,
+        so respawning during live traffic is safe), else ``"spawn"``.
+        ``"fork"`` is accepted but discouraged in threaded parents.
+    compression:
+        Passed to each worker-side :class:`SparqlEndpoint`.
+
+    The pool is a context manager; :meth:`close` terminates the workers.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        replicas: Optional[int] = None,
+        start_method: Optional[str] = None,
+        compression: bool = True,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if replicas is not None:
+            # Normalize up front so the banner, describe()/metrics and the
+            # actual placement can never disagree about the replica count.
+            replicas = min(max(replicas, 1), workers)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "forkserver" if "forkserver" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+        if start_method == "forkserver":
+            # Pre-import the heavy stack once in the fork server so every
+            # worker (and every respawn) forks warm instead of re-importing
+            # numpy/scipy/repro.
+            self._ctx.set_forkserver_preload(["repro.serve.pool"])
+        self.start_method = start_method
+        self.num_workers = workers
+        self.replicas = replicas
+        self.compression = compression
+        self._closed = False
+        self._registry_lock = threading.Lock()
+        self._graphs: Dict[str, _PoolGraph] = {}
+        self._stats_lock = threading.Lock()
+        # Latest live piggybacked snapshot per (graph, worker slot) ...
+        self._graph_stats: Dict[Tuple[str, int], dict] = {}
+        # ... plus cumulative counters inherited from dead incarnations of
+        # each slot, so a respawn never makes /metrics counters step back.
+        self._retired_stats: Dict[Tuple[str, int], dict] = {}
+        self._workers = [_WorkerHandle(self, index) for index in range(workers)]
+        for handle in self._workers:
+            handle.spawn()
+
+    # -- context manager --
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- registration ---------------------------------------------------------
+
+    def register(self, name: str, kg: KnowledgeGraph, warm: bool = True) -> List[int]:
+        """Pin ``kg`` to its shard(s) and ship it to each owning worker.
+
+        Idempotent for the same ``(name, kg)`` pair (re-registration is a
+        no-op returning the existing placement); a different graph under a
+        registered name is an error.  Returns the worker indices serving
+        the graph, home shard first.
+        """
+        with self._registry_lock:
+            existing = self._graphs.get(name)
+            if existing is not None:
+                if existing.kg is not kg:
+                    raise ValueError(
+                        f"graph {name!r} is already registered with a different graph"
+                    )
+                return list(existing.shards)
+            shards = replica_shards(name, self.num_workers, self.replicas)
+            record = _PoolGraph(name, kg, warm, shards)
+            self._graphs[name] = record
+        # Ship outside the registry lock: pickling a large graph must not
+        # block routing of other graphs' requests.
+        futures = [
+            self._workers[shard].request("register", self._registration_payload(record))
+            for shard in shards
+        ]
+        for future in futures:
+            future.result()
+        return list(shards)
+
+    def _registration_payload(self, record: _PoolGraph) -> dict:
+        return {
+            "name": record.name,
+            "kg": record.kg,
+            "warm": record.warm,
+            "warm_kinds": ("csr",),
+            "compression": self.compression,
+        }
+
+    def _registrations_for(self, index: int) -> List[dict]:
+        with self._registry_lock:
+            return [
+                self._registration_payload(record)
+                for record in self._graphs.values()
+                if index in record.shards
+            ]
+
+    def shards_of(self, name: str) -> List[int]:
+        """The worker indices currently serving graph ``name``."""
+        with self._registry_lock:
+            record = self._graphs.get(name)
+            if record is None:
+                raise KeyError(f"graph {name!r} is not registered with the pool")
+            return list(record.shards)
+
+    # -- requests -------------------------------------------------------------
+
+    def _route(self, graph: str) -> _WorkerHandle:
+        with self._registry_lock:
+            record = self._graphs.get(graph)
+            if record is None:
+                raise KeyError(f"graph {graph!r} is not registered with the pool")
+            shards = record.shards
+            turn = next(record.rr)
+        return self._workers[shards[turn % len(shards)]]
+
+    def call(self, op: str, payload: dict, timeout: Optional[float] = None) -> Any:
+        """Route one op to the owning worker and block for its result.
+
+        Runs on a plain thread (the service drives it via
+        ``asyncio.to_thread``); raises what the worker raised for client
+        errors, :class:`WorkerCrashed` if the worker died mid-request.
+        """
+        if self._closed:
+            raise WorkerCrashed("worker pool is closed")
+        handle = self._route(payload["graph"])
+        return handle.request(op, payload).result(timeout=timeout)
+
+    def ping(self, index: int, timeout: Optional[float] = 30.0) -> str:
+        """Liveness probe of one worker slot (used by tests and smoke checks)."""
+        return self._workers[index].request("ping", {}).result(timeout=timeout)
+
+    # -- observability --------------------------------------------------------
+
+    #: Monotonic counters carried over from dead worker incarnations.
+    #: ``nbytes`` is deliberately absent: it is a resident-memory gauge,
+    #: and a dead process's memory is gone.
+    _ARTIFACT_COUNTERS = ("hits", "builds")
+    _ENDPOINT_COUNTERS = ("requests", "rows_returned", "bytes_raw", "bytes_shipped")
+
+    def _record_graph_stats(self, worker_index: int, stats: dict) -> None:
+        # Piggybacked on every graph-touching response; eventually
+        # consistent (latest snapshot per (graph, worker)), aggregated
+        # across owning workers — and this slot's dead incarnations — at
+        # read time.
+        stats = dict(stats)
+        name = stats.pop("graph", None)
+        if name is not None:
+            with self._stats_lock:
+                self._graph_stats[(name, worker_index)] = stats
+
+    def _retire_worker_stats(self, worker_index: int) -> None:
+        """Fold a dead incarnation's counters into the slot's retired base."""
+        with self._stats_lock:
+            for key in [k for k in self._graph_stats if k[1] == worker_index]:
+                snapshot = self._graph_stats.pop(key)
+                base = self._retired_stats.setdefault(
+                    key,
+                    {
+                        "artifact_cache": dict.fromkeys(self._ARTIFACT_COUNTERS, 0),
+                        "endpoint": dict.fromkeys(self._ENDPOINT_COUNTERS, 0),
+                    },
+                )
+                for counter in self._ARTIFACT_COUNTERS:
+                    base["artifact_cache"][counter] += snapshot["artifact_cache"][counter]
+                for counter in self._ENDPOINT_COUNTERS:
+                    base["endpoint"][counter] += snapshot["endpoint"][counter]
+
+    def graph_stats(self, name: str) -> Optional[dict]:
+        """Worker-side artifact/endpoint stats of ``name``, summed over owners.
+
+        ``None`` until the first graph-touching response arrived.  Counters
+        sum each owning worker's latest piggybacked snapshot plus the
+        retired counters of that slot's dead incarnations (so respawns
+        never step a counter backwards); ``nbytes`` sums live snapshots
+        only — it is a gauge.  With replication every worker builds its
+        own artifacts, so ``builds`` counts per-worker construction, as
+        documented in ``docs/serving.md``.
+        """
+        with self._stats_lock:
+            live = [
+                value
+                for (stats_name, _worker), value in self._graph_stats.items()
+                if stats_name == name
+            ]
+            retired = [
+                value
+                for (stats_name, _worker), value in self._retired_stats.items()
+                if stats_name == name
+            ]
+        if not live and not retired:
+            return None
+        merged = {
+            "artifact_cache": {
+                key: sum(s["artifact_cache"][key] for s in live + retired)
+                for key in self._ARTIFACT_COUNTERS
+            },
+            "endpoint": {
+                key: sum(s["endpoint"][key] for s in live + retired)
+                for key in self._ENDPOINT_COUNTERS
+            },
+        }
+        merged["artifact_cache"]["nbytes"] = sum(
+            s["artifact_cache"]["nbytes"] for s in live
+        )
+        raw = merged["endpoint"].pop("bytes_raw")
+        shipped = merged["endpoint"]["bytes_shipped"]
+        merged["endpoint"]["compression_ratio"] = (raw / shipped) if shipped else 1.0
+        return merged
+
+    def worker_pids(self) -> List[Optional[int]]:
+        """Current PID per worker slot (None while a slot is respawning)."""
+        return [
+            handle.process.pid if handle.process is not None else None
+            for handle in self._workers
+        ]
+
+    def describe(self) -> dict:
+        """Pool configuration + health as one JSON-serializable dict."""
+        with self._registry_lock:
+            graphs = {name: list(record.shards) for name, record in self._graphs.items()}
+        return {
+            "workers": self.num_workers,
+            "replicas": self.replicas,
+            "start_method": self.start_method,
+            "alive": [
+                handle.process is not None
+                and handle.process.is_alive()
+                and handle.ready.is_set()
+                for handle in self._workers
+            ],
+            "respawns": sum(handle.respawns for handle in self._workers),
+            # Per-slot reason when a respawn itself failed (None = healthy);
+            # a persistently dead slot is diagnosable from /metrics alone.
+            "spawn_failures": [handle.spawn_failure for handle in self._workers],
+            "graphs": graphs,
+        }
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut every worker down (idempotent)."""
+        self._closed = True
+        for handle in self._workers:
+            handle.close()

@@ -17,9 +17,17 @@ Three contracts, in order of the request path:
   same ``(k, alpha, eps)`` or ``(depth, fanout, salt)``) share one batch
   kernel call per window.  Results are bit-identical to per-request scalar
   extraction because the kernels are bit-exact against their oracles.
-* **Isolation** — kernel work runs on worker threads
-  (``asyncio.to_thread``); the event loop only routes, so slow extraction
-  never blocks admission, metrics or other graphs.
+* **Isolation** — kernel work runs off the event loop
+  (``asyncio.to_thread``); the loop only routes, so slow extraction never
+  blocks admission, metrics or other graphs.  With ``pool=`` the kernels
+  additionally leave the *process*: coalesced batches are routed to the
+  :class:`~repro.serve.pool.WorkerPool` worker that owns the graph's
+  artifact shard, which removes the single-interpreter (GIL) throughput
+  cap while keeping results bit-identical to the in-process path.
+
+Admission, coalescing windows, per-kind retry-after hints and metrics
+behave identically with and without a pool — the pool only changes where
+a dispatched batch executes.
 """
 
 from __future__ import annotations
@@ -28,16 +36,16 @@ import asyncio
 import time
 from typing import Dict, Hashable, List, Optional, Tuple, Union
 
-import numpy as np
-
 from repro.kg.cache import artifacts_for
 from repro.kg.graph import KnowledgeGraph
-from repro.models.shadowsaint import _EgoGraph, extract_ego, extract_ego_batch
-from repro.sampling.ppr import batch_ppr_top_k, ppr_top_k
+from repro.models.shadowsaint import _EgoGraph, extract_ego
+from repro.sampling.ppr import ppr_top_k
 from repro.serve.coalesce import MAX_BATCH, MAX_DELAY_SECONDS, Coalescer
+from repro.serve.kernels import run_ego_batch, run_ppr_batch
 from repro.serve.metrics import ServiceMetrics
+from repro.serve.pool import WorkerPool
 from repro.sparql.ast import SelectQuery
-from repro.sparql.endpoint import SparqlEndpoint
+from repro.sparql.endpoint import PageStream, SparqlEndpoint
 from repro.sparql.executor import ResultSet
 
 # Default in-flight bound: enough to keep several full coalescing windows
@@ -122,6 +130,15 @@ class ExtractionService:
         ground truth the batched path must match bit-for-bit.
     compression:
         Passed through to each graph's :class:`SparqlEndpoint`.
+    pool:
+        Optional :class:`~repro.serve.pool.WorkerPool`.  When given,
+        every kernel dispatch (coalesced PPR/ego batches, SPARQL
+        evaluation) is shipped to the worker process owning the graph's
+        shard instead of running in this interpreter; the service keeps
+        admission, coalescing and metrics exactly as in-process.  The
+        caller owns the pool's lifecycle (``pool.close()``); pool mode
+        requires ``coalesce=True`` — the serial baseline is by definition
+        the in-process scalar oracle.
     """
 
     def __init__(
@@ -132,11 +149,18 @@ class ExtractionService:
         coalesce: bool = True,
         compression: bool = True,
         metrics: Optional[ServiceMetrics] = None,
+        pool: Optional[WorkerPool] = None,
     ):
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if pool is not None and not coalesce:
+            raise ValueError(
+                "pool mode requires coalesce=True; the serial baseline is "
+                "the in-process scalar oracle"
+            )
         self.max_pending = max_pending
         self.coalesce = coalesce
+        self.pool = pool
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self._compression = compression
         self._graphs: Dict[str, _RegisteredGraph] = {}
@@ -162,13 +186,17 @@ class ExtractionService:
 
         Warming at registration keeps the first request's latency in line
         with steady state — artifact construction is the one cost that is
-        *not* graph-size independent.
+        *not* graph-size independent.  In pool mode the graph is also
+        shipped (once per owning worker) to the pool, and warming happens
+        worker-side — the parent never builds kernel artifacts.
         """
         if name in self._graphs:
             raise ValueError(f"graph {name!r} already registered")
         self._graphs[name] = _RegisteredGraph(kg, self._compression)
-        if warm:
-            artifacts_for(kg).csr("both")
+        if self.pool is not None:
+            self.pool.register(name, kg, warm=warm)
+        elif warm:
+            artifacts_for(kg).warm(("csr",))
 
     def graphs(self) -> List[str]:
         return sorted(self._graphs)
@@ -284,11 +312,22 @@ class ExtractionService:
     async def sparql(self, graph: str, query: Query) -> ResultSet:
         """One SPARQL request through the graph's async endpoint façade."""
         entry = self._graph(graph)
+        if self.pool is not None:
+            return await self._serve(
+                "sparql", lambda: asyncio.to_thread(self._pool_sparql, graph, query)
+            )
         return await self._serve("sparql", lambda: entry.async_endpoint.query(query))
 
     async def count(self, graph: str, query: Query) -> int:
         """``getGraphSize`` for ``query`` (Algorithm 3's cardinality probe)."""
         entry = self._graph(graph)
+        if self.pool is not None:
+            return await self._serve(
+                "sparql",
+                lambda: asyncio.to_thread(
+                    self.pool.call, "count", {"graph": graph, "query": query}
+                ),
+            )
         return await self._serve("sparql", lambda: entry.async_endpoint.count(query))
 
     async def sparql_stream(self, graph: str, query: Query, page_rows: int = 4096):
@@ -298,9 +337,18 @@ class ExtractionService:
         evaluated once under admission/latency accounting (it holds the
         expensive columnar work), and the pages are then cut lazily as the
         wire layer pulls them — the consumer-paced half of the HTTP front
-        end's chunked streaming.
+        end's chunked streaming.  In pool mode the evaluation runs in the
+        owning worker and the columnar result ships back whole; pages are
+        cut parent-side, so the streamed bytes stay bit-exact while the
+        worker-side endpoint accounts the query as one request (not per
+        page).
         """
         entry = self._graph(graph)
+        if self.pool is not None:
+            return await self._serve(
+                "sparql",
+                lambda: asyncio.to_thread(self._pool_stream, graph, query, page_rows),
+            )
         return await self._serve(
             "sparql",
             lambda: asyncio.to_thread(entry.endpoint.stream_pages, query, page_rows),
@@ -310,22 +358,49 @@ class ExtractionService:
 
     def _dispatch_ppr(self, key: Hashable, targets: List[int]) -> List[list]:
         graph, k, alpha, eps = key
-        kg = self._graphs[graph].kg
-        adjacency = artifacts_for(kg).csr("both")
-        table = batch_ppr_top_k(
-            adjacency, np.asarray(targets, dtype=np.int64), k, alpha=alpha, eps=eps
-        )
-        return [table[int(target)] for target in targets]
+        if self.pool is not None:
+            return self.pool.call(
+                "ppr",
+                {
+                    "graph": graph,
+                    "targets": [int(target) for target in targets],
+                    "k": k,
+                    "alpha": alpha,
+                    "eps": eps,
+                },
+            )
+        return run_ppr_batch(self._graphs[graph].kg, targets, k, alpha, eps)
 
     def _dispatch_ego(self, key: Hashable, roots: List[int]) -> List[_EgoGraph]:
         graph, depth, fanout, salt = key
-        kg = self._graphs[graph].kg
-        return extract_ego_batch(
-            kg,
-            np.asarray(roots, dtype=np.int64),
-            depth=depth,
-            fanout=fanout,
-            salt=salt,
+        if self.pool is not None:
+            return self.pool.call(
+                "ego",
+                {
+                    "graph": graph,
+                    "roots": [int(root) for root in roots],
+                    "depth": depth,
+                    "fanout": fanout,
+                    "salt": salt,
+                },
+            )
+        return run_ego_batch(self._graphs[graph].kg, roots, depth, fanout, salt)
+
+    # -- pool-mode SPARQL plumbing (runs on asyncio.to_thread) --
+
+    def _pool_sparql(self, graph: str, query: Query) -> ResultSet:
+        payload = self.pool.call("sparql", {"graph": graph, "query": query})
+        return ResultSet(payload["variables"], payload["columns"])
+
+    def _pool_stream(self, graph: str, query: Query, page_rows: int) -> PageStream:
+        if page_rows <= 0:
+            raise ValueError(f"page_rows must be positive, got {page_rows}")
+        result = self._pool_sparql(graph, query)
+        return PageStream(
+            variables=list(result.variables),
+            total_rows=result.num_rows,
+            page_rows=page_rows,
+            pages=iter(result.iter_pages(page_rows)),
         )
 
     # -- serial baseline (scalar oracle, one request at a time) --
@@ -357,27 +432,23 @@ class ExtractionService:
         await self._ego.flush()
 
     def metrics_snapshot(self) -> dict:
-        """Service + per-graph metrics as one JSON-serializable dict."""
+        """Service + per-graph metrics as one JSON-serializable dict.
+
+        In pool mode the per-graph artifact-cache and endpoint counters
+        come from the owning workers (piggybacked on responses, summed
+        across replicas — eventually consistent), and the snapshot gains
+        a ``config.pool`` section with worker health and placement.
+        """
         snapshot = self.metrics.snapshot()
         graphs = {}
         for name, entry in self._graphs.items():
-            artifacts = artifacts_for(entry.kg)
-            stats = entry.endpoint.stats
             graphs[name] = {
                 "num_nodes": entry.kg.num_nodes,
                 "num_edges": entry.kg.num_edges,
-                "artifact_cache": {
-                    "hits": artifacts.hits,
-                    "builds": artifacts.builds,
-                    "nbytes": artifacts.nbytes(),
-                },
-                "endpoint": {
-                    "requests": stats.requests,
-                    "rows_returned": stats.rows_returned,
-                    "bytes_shipped": stats.bytes_shipped,
-                    "compression_ratio": stats.compression_ratio(),
-                },
+                **self._graph_cache_stats(name, entry),
             }
+            if self.pool is not None:
+                graphs[name]["shards"] = self.pool.shards_of(name)
         snapshot["graphs"] = graphs
         snapshot["config"] = {
             "max_pending": self.max_pending,
@@ -385,4 +456,38 @@ class ExtractionService:
             "max_delay_ms": self._ppr.max_delay * 1e3,
             "coalesce": self.coalesce,
         }
+        if self.pool is not None:
+            snapshot["config"]["pool"] = self.pool.describe()
         return snapshot
+
+    def _graph_cache_stats(self, name: str, entry: _RegisteredGraph) -> dict:
+        if self.pool is not None:
+            stats = self.pool.graph_stats(name)
+            if stats is not None:
+                return stats
+            # No graph-touching response yet: report empty worker-side
+            # counters rather than the parent's (unused) caches.
+            return {
+                "artifact_cache": {"hits": 0, "builds": 0, "nbytes": 0},
+                "endpoint": {
+                    "requests": 0,
+                    "rows_returned": 0,
+                    "bytes_shipped": 0,
+                    "compression_ratio": 1.0,
+                },
+            }
+        artifacts = artifacts_for(entry.kg)
+        stats = entry.endpoint.stats
+        return {
+            "artifact_cache": {
+                "hits": artifacts.hits,
+                "builds": artifacts.builds,
+                "nbytes": artifacts.nbytes(),
+            },
+            "endpoint": {
+                "requests": stats.requests,
+                "rows_returned": stats.rows_returned,
+                "bytes_shipped": stats.bytes_shipped,
+                "compression_ratio": stats.compression_ratio(),
+            },
+        }

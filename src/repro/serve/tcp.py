@@ -29,7 +29,11 @@ mistyped fields, unknown ops) answer a structured ``bad_request`` error
 connection: one bad line must not break pipelined requests behind it.
 
 Request validation, result encoding and the pipelined connection loop are
-shared with the HTTP front end (``serve/wire.py``).
+shared with the HTTP front end (``serve/wire.py``).  The wire layer is
+agnostic to where kernels execute: the same protocol is served whether
+the :class:`ExtractionService` dispatches in-process or to a
+multi-process worker pool (``repro serve --workers N``), and responses
+are byte-identical in both modes.
 """
 
 from __future__ import annotations

@@ -97,3 +97,53 @@ def test_clear_artifacts_forgets_graph():
     first = artifacts_for(kg)
     clear_artifacts(kg)
     assert artifacts_for(kg) is not first
+
+
+def test_warm_builds_the_named_artifacts():
+    kg = _kg()
+    artifacts = artifacts_for(kg)
+    assert artifacts.builds == 0
+    artifacts.warm(("csr", "walk", "hexastore", "hetero"))
+    # csr("both"), the walk engine, and the hetero stack each count one
+    # build; the walk engine reuses the warm CSR (a hit, not a build).
+    assert artifacts.builds == 3
+    assert artifacts.hits >= 1
+    before = artifacts.builds
+    artifacts.warm(("csr",))  # idempotent: warm again, build nothing
+    assert artifacts.builds == before
+    import pytest
+
+    with pytest.raises(ValueError, match="unknown artifact kind"):
+        artifacts.warm(("nope",))
+
+
+def test_pickling_strips_derived_state_and_artifacts():
+    """Shipping a graph to a pool worker must carry raw triples only:
+    caches (hexastore, degrees, attached GraphArtifacts) are process-local
+    and rebuild on the receiving side."""
+    import pickle
+
+    kg = _kg()
+    artifacts = artifacts_for(kg)
+    artifacts.warm(("csr", "hexastore"))
+    kg.out_degree()
+    kg.nodes_of_type(0)
+
+    clone = pickle.loads(pickle.dumps(kg))
+    assert clone._hexastore is None
+    assert clone._out_degree is None and clone._in_degree is None
+    assert clone._nodes_by_type is None
+    assert not hasattr(clone, "_graph_artifacts")
+    # The clone starts a fresh, independent artifact cache ...
+    clone_artifacts = artifacts_for(clone)
+    assert clone_artifacts is not artifacts
+    assert clone_artifacts.builds == 0
+    # ... and the raw graph round-tripped exactly.
+    assert clone.name == kg.name
+    assert clone.num_nodes == kg.num_nodes and clone.num_edges == kg.num_edges
+    np.testing.assert_array_equal(clone.node_types, kg.node_types)
+    np.testing.assert_array_equal(clone.triples.s, kg.triples.s)
+    np.testing.assert_array_equal(clone.triples.p, kg.triples.p)
+    np.testing.assert_array_equal(clone.triples.o, kg.triples.o)
+    # Rebuilt-on-demand state still works (fresh lock, lazy hexastore).
+    assert clone.out_neighbors(0).tolist() == kg.out_neighbors(0).tolist()

@@ -108,6 +108,66 @@ def test_serve_http_command_binds_and_stops(capsys):
     assert "serving MAG-tiny" in out and "via http" in out
 
 
+def test_serve_with_worker_pool_binds_and_stops(capsys):
+    assert main([
+        "serve", "--dataset", "mag", "--scale", "tiny",
+        "--workers", "2", "--port", "0", "--duration", "0.2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "serving MAG-tiny" in out and "pool of 2 workers" in out
+
+
+def test_serve_workers_conflict_with_no_coalesce():
+    with pytest.raises(SystemExit):
+        main(["serve", "--dataset", "mag", "--scale", "tiny",
+              "--workers", "2", "--no-coalesce", "--port", "0",
+              "--duration", "0.1"])
+
+
+def test_bench_serve_with_worker_pool(tmp_path, capsys):
+    out_path = str(tmp_path / "BENCH_pool.json")
+    assert main([
+        "bench-serve", "--dataset", "mag", "--scale", "tiny", "--task", "PV",
+        "--requests", "32", "--concurrency", "8", "--workers", "2",
+        "--out", out_path,
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "pool (2 workers) speedup" in out and "bit-identical" in out
+    import json
+
+    with open(out_path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert payload["serial"]["mode"] == "serial"
+    assert payload["pooled"]["mode"] == "pooled"
+    assert payload["metrics"]["config"]["pool"]["workers"] == 2
+
+
+def test_help_text_covers_every_flag_documented_in_serving_docs(capsys):
+    """Every --flag mentioned in docs/serving.md must appear verbatim in
+    `repro serve --help` or `repro bench-serve --help` (the docs and the
+    CLI must never drift apart)."""
+    import re
+
+    docs_path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "docs", "serving.md",
+    )
+    with open(docs_path, encoding="utf-8") as handle:
+        # Audit repro's own flags; example invocations of other tools
+        # (curl) document *their* flags, not ours.
+        lines = [line for line in handle if "curl" not in line]
+    documented = set(re.findall(r"(--[a-z][a-z0-9-]+)", "".join(lines)))
+    assert documented, "docs/serving.md no longer documents any flags?"
+
+    help_text = ""
+    for command in ("serve", "bench-serve"):
+        with pytest.raises(SystemExit):
+            main([command, "--help"])
+        help_text += capsys.readouterr().out
+    missing = sorted(flag for flag in documented if flag not in help_text)
+    assert not missing, f"flags documented in docs/serving.md but absent from --help: {missing}"
+
+
 def test_serve_http_end_to_end_over_a_real_socket():
     """`repro serve --protocol http` + a plain HTTP client (curl stand-in)."""
     import http.client
@@ -148,6 +208,53 @@ def test_serve_http_end_to_end_over_a_real_socket():
 
         conn.request("GET", "/graphs")
         assert json.loads(conn.getresponse().read()) == ["mag"]
+        conn.close()
+    finally:
+        process.terminate()
+        process.wait(timeout=10)
+
+
+def test_serve_worker_pool_end_to_end_over_a_real_socket():
+    """`repro serve --workers 2 --protocol http`: sharded serving on the wire."""
+    import http.client
+    import json
+    import re
+    import subprocess
+    import sys
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--dataset", "mag", "--scale", "tiny",
+            "--protocol", "http", "--workers", "2",
+            "--port", "0", "--duration", "60",
+        ],
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        env=env,
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        banner = process.stdout.readline()
+        match = re.search(r"on 127\.0\.0\.1:(\d+) via http", banner)
+        assert match, f"unexpected banner: {banner!r}"
+        assert "pool of 2 workers" in banner
+        port = int(match.group(1))
+
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+        conn.request("GET", "/ppr?graph=mag&target=5&k=8")
+        response = conn.getresponse()
+        assert response.status == 200
+        pairs = json.loads(response.read())
+        assert len(pairs) == 8 and all(len(pair) == 2 for pair in pairs)
+
+        conn.request("GET", "/metrics")
+        metrics = json.loads(conn.getresponse().read())
+        assert metrics["config"]["pool"]["workers"] == 2
+        assert metrics["config"]["pool"]["alive"] == [True, True]
+        assert metrics["graphs"]["mag"]["artifact_cache"]["builds"] >= 1
         conn.close()
     finally:
         process.terminate()

@@ -1,0 +1,49 @@
+"""Docs guard, in-suite: links resolve, architecture examples run.
+
+The CI ``docs`` job runs ``tools/check_docs.py`` and
+``python -m doctest docs/architecture.md``; these tests run the same
+checks inside the fast tier so a dangling link or a rotted doc example
+fails locally before CI sees it.
+"""
+
+import doctest
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+
+import check_docs  # noqa: E402 - needs the tools/ path above
+
+
+def test_required_docs_exist():
+    for relative in (
+        "README.md",
+        os.path.join("docs", "architecture.md"),
+        os.path.join("docs", "serving.md"),
+        os.path.join("docs", "performance.md"),
+        os.path.join("docs", "ci.md"),
+    ):
+        assert os.path.exists(os.path.join(REPO_ROOT, relative)), relative
+
+
+def test_every_relative_link_resolves():
+    assert check_docs.check_links() == []
+
+
+def test_architecture_doc_examples_run():
+    result = doctest.testfile(
+        os.path.join(REPO_ROOT, "docs", "architecture.md"),
+        module_relative=False,
+        verbose=False,
+    )
+    assert result.attempted > 0, "architecture.md lost its doctest examples"
+    assert result.failed == 0
+
+
+def test_serving_doc_documents_the_pool_operator_surface():
+    """docs/serving.md must keep the worker-pool operator section alive."""
+    with open(os.path.join(REPO_ROOT, "docs", "serving.md"), encoding="utf-8") as handle:
+        text = handle.read()
+    for needle in ("--workers", "--replicas", "Retry-After", "/metrics", "respawn"):
+        assert needle in text, f"docs/serving.md no longer documents {needle!r}"

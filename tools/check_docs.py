@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Docs guard: every relative link resolves, every doctest example runs.
+
+Two checks, both run by the CI ``docs`` job (and by ``tests/test_docs.py``
+so the tier-1 suite catches breakage locally):
+
+1. **Link check** — every inline markdown link ``[text](target)`` in
+   ``README.md`` and ``docs/*.md`` whose target is *relative* (no URL
+   scheme, not a pure ``#fragment``) must point at an existing file or
+   directory, resolved against the linking file's location.  Absolute
+   URLs are deliberately not fetched: CI must not depend on the network,
+   and the repo's own cross-references are what silently rot.
+2. **Doctests** — fenced ``>>>`` examples in ``docs/architecture.md``
+   are executed with ``doctest`` (the CI job runs the equivalent
+   ``python -m doctest docs/architecture.md``), so the architecture
+   walkthrough can never drift from the real API.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docs.py            # both checks
+    PYTHONPATH=src python tools/check_docs.py --links    # links only
+"""
+
+from __future__ import annotations
+
+import argparse
+import doctest
+import os
+import re
+import sys
+from typing import List, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Files whose relative links are checked.
+LINKED_DOCS = ("README.md", "docs")
+
+#: Files whose ``>>>`` examples are executed.
+DOCTEST_DOCS = (os.path.join("docs", "architecture.md"),)
+
+# Inline markdown links: [text](target).  Images (![alt](target)) match
+# too via the optional bang.  Reference-style definitions are rare here
+# and intentionally out of scope.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+_SCHEME = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def _markdown_files() -> List[str]:
+    files: List[str] = []
+    for entry in LINKED_DOCS:
+        path = os.path.join(REPO_ROOT, entry)
+        if os.path.isdir(path):
+            files.extend(
+                os.path.join(path, name)
+                for name in sorted(os.listdir(path))
+                if name.endswith(".md")
+            )
+        elif os.path.exists(path):
+            files.append(path)
+    return files
+
+
+def check_links() -> List[str]:
+    """Return one failure message per dangling relative link."""
+    failures: List[str] = []
+    for path in _markdown_files():
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        for target in _LINK.findall(text):
+            if _SCHEME.match(target) or target.startswith("#"):
+                continue  # absolute URL or in-page anchor
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target.split("#", 1)[0])
+            )
+            if not os.path.exists(resolved):
+                failures.append(
+                    f"{os.path.relpath(path, REPO_ROOT)}: dangling link "
+                    f"({target!r} -> {os.path.relpath(resolved, REPO_ROOT)})"
+                )
+    return failures
+
+
+def check_doctests() -> List[str]:
+    """Return one failure message per failing doc example."""
+    failures: List[str] = []
+    for relative in DOCTEST_DOCS:
+        path = os.path.join(REPO_ROOT, relative)
+        if not os.path.exists(path):
+            failures.append(f"{relative}: missing (doctest target)")
+            continue
+        result = doctest.testfile(
+            path, module_relative=False, verbose=False, report=True
+        )
+        if result.failed:
+            failures.append(
+                f"{relative}: {result.failed}/{result.attempted} doc examples failed"
+            )
+        elif result.attempted == 0:
+            failures.append(f"{relative}: contains no doctest examples to run")
+    return failures
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--links", action="store_true", help="run only the link check")
+    parser.add_argument("--doctests", action="store_true", help="run only the doctests")
+    args = parser.parse_args(argv)
+    run_links = args.links or not args.doctests
+    run_doctests = args.doctests or not args.links
+
+    checks: List[Tuple[str, List[str]]] = []
+    if run_links:
+        checks.append(("links", check_links()))
+    if run_doctests:
+        checks.append(("doctests", check_doctests()))
+
+    exit_code = 0
+    for name, failures in checks:
+        if failures:
+            exit_code = 1
+            for failure in failures:
+                print(f"docs-guard [{name}]: {failure}")
+        else:
+            print(f"docs-guard [{name}]: ok")
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())
