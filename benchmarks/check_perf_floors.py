@@ -1,10 +1,12 @@
 #!/usr/bin/env python
-"""CI perf-guard: verify recorded speedups against their floors.
+"""CI perf-guard: verify recorded measurements against their floors/ceilings.
 
 Reads the benchmark reports written under ``benchmarks/reports/`` — each
-benchmark records its measured speedup *and* its regression floor — and
-exits non-zero if any speedup fell below its floor or a report is
-missing/incomplete.  Guarded reports:
+benchmark records its measurement *and* its regression bound — and exits
+non-zero if any bound is violated or a report is missing/incomplete.
+Entries carry either a ``speedup``/``floor`` pair (ratios that must stay
+high) or a ``value``/``ceiling`` pair (gauges that must stay low, e.g.
+resident bytes).  Guarded reports:
 
 * ``BENCH_sampling.json`` (``test_perf_sampling.py``): the batch kernels
   vs their scalar reference loops.
@@ -13,16 +15,20 @@ missing/incomplete.  Guarded reports:
   HTTP/SPARQL front end vs the same serial baseline (the coalescing win
   must survive the wire), and the multi-process sharded worker pool vs
   the same serial baseline (the win must survive the process boundary).
+* ``BENCH_artifacts.json`` (``test_perf_artifacts.py``): worker warm time
+  off the memory-mapped artifact store vs pickled-graph registration,
+  and the per-worker resident-memory ceiling of the zero-copy path.
 
 Run after the perf benchmarks::
 
     PYTHONPATH=src python -m pytest -q benchmarks/test_perf_sampling.py \
-        benchmarks/test_perf_serving.py
+        benchmarks/test_perf_serving.py benchmarks/test_perf_artifacts.py
     python benchmarks/check_perf_floors.py            # all reports
     python benchmarks/check_perf_floors.py BENCH_serving.json   # one report
 
-Floors are maintained next to each benchmark (``FLOORS`` in
-``test_perf_sampling.py``, ``FLOOR`` in ``test_perf_serving.py``) — see
+Bounds are maintained next to each benchmark (``FLOORS`` in
+``test_perf_sampling.py``, ``FLOOR`` in ``test_perf_serving.py``,
+``WARM_FLOOR``/``RESIDENT_CEILING`` in ``test_perf_artifacts.py``) — see
 ``docs/ci.md`` for the update policy.
 """
 
@@ -41,6 +47,10 @@ REPORTS = {
         "serving_coalesced_throughput",
         "serving_http_throughput",
         "serving_pool_throughput",
+    ),
+    "BENCH_artifacts.json": (
+        "artifact_warm_time",
+        "artifact_resident_memory",
     ),
 }
 
@@ -62,10 +72,19 @@ def check_report(path: str, expected) -> list:
             print(f"{name:30s} MISSING from report")
             failures.append(name)
             continue
-        speedup, floor = entry["speedup"], entry["floor"]
-        ok = speedup >= floor
-        status = "ok" if ok else "BELOW FLOOR"
-        print(f"{name:30s} speedup {speedup:6.2f}x  floor {floor:.2f}x  {status}")
+        if "ceiling" in entry:
+            value, ceiling = entry["value"], entry["ceiling"]
+            ok = value <= ceiling
+            status = "ok" if ok else "ABOVE CEILING"
+            print(
+                f"{name:30s} value {value / 1e6:8.2f} MB"
+                f"  ceiling {ceiling / 1e6:.2f} MB  {status}"
+            )
+        else:
+            speedup, floor = entry["speedup"], entry["floor"]
+            ok = speedup >= floor
+            status = "ok" if ok else "BELOW FLOOR"
+            print(f"{name:30s} speedup {speedup:6.2f}x  floor {floor:.2f}x  {status}")
         if not ok:
             failures.append(name)
     return failures
@@ -83,7 +102,7 @@ def main(argv=None) -> int:
     if failures:
         print(f"perf-guard: {len(failures)} benchmark(s) regressed: {', '.join(failures)}")
         return 1
-    print("perf-guard: all recorded speedups at or above their floors")
+    print("perf-guard: all recorded measurements within their bounds")
     return 0
 
 

@@ -1,24 +1,29 @@
 """Command-line interface.
 
-Six subcommands cover the library's day-to-day uses::
+Seven subcommands cover the library's day-to-day uses::
 
-    python -m repro stats       --dataset mag --scale small
-    python -m repro extract     --dataset mag --task PV --method sparql -d 1 -H 1 --out kgprime/
-    python -m repro train       --dataset mag --task PV --model GraphSAINT --tosa --epochs 10
-    python -m repro bench       --experiment table1 --scale tiny
-    python -m repro serve       --dataset mag --scale small --port 7469
-    python -m repro serve       --dataset mag --protocol http --port 8080 --workers 4
-    python -m repro bench-serve --dataset mag --scale small --concurrency 64 --workers 2
+    python -m repro stats           --dataset mag --scale small
+    python -m repro extract         --dataset mag --task PV --method sparql -d 1 -H 1 --out kgprime/
+    python -m repro train           --dataset mag --task PV --model GraphSAINT --tosa --epochs 10
+    python -m repro bench           --experiment table1 --scale tiny
+    python -m repro build-artifacts --dataset mag --scale large --out artifacts/mag-large
+    python -m repro serve           --dataset mag --scale small --port 7469
+    python -m repro serve           --dataset mag --protocol http --port 8080 --workers 4
+    python -m repro serve           --dataset mag --workers 4 --mmap-dir artifacts/mag-large
+    python -m repro bench-serve     --dataset mag --scale small --concurrency 64 --workers 2
 
 ``stats`` prints the Table-I row of a benchmark KG; ``extract`` runs TOSG
 extraction and optionally saves KG′ as a TSV bundle; ``train`` runs one
 method on FG or KG′ and reports the paper's metrics; ``bench`` regenerates
-one paper artifact; ``serve`` exposes the concurrent extraction service
-over newline-delimited-JSON TCP or the HTTP/SPARQL-protocol front end
+one paper artifact; ``build-artifacts`` writes a graph plus its derived
+indices as a memory-mappable artifact store (``repro/kg/store.py``);
+``serve`` exposes the concurrent extraction service over
+newline-delimited-JSON TCP or the HTTP/SPARQL-protocol front end
 (``--protocol http``), in-process or on a multi-process sharded worker
-pool (``--workers N``); ``bench-serve`` runs the closed-loop load
-generator against the serial baseline and either the in-process
-coalescing scheduler or the worker pool (see ``docs/serving.md``).
+pool (``--workers N``, optionally zero-copy from a saved store via
+``--mmap-dir``); ``bench-serve`` runs the closed-loop load generator
+against the serial baseline and either the in-process coalescing
+scheduler or the worker pool (see ``docs/serving.md``).
 
 The argparse help text is the contract: every flag documented in
 ``docs/serving.md`` must appear verbatim in ``repro serve --help`` /
@@ -155,20 +160,45 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_build_artifacts(args: argparse.Namespace) -> int:
+    from repro.kg.store import save_artifacts
+
+    bundle = _load_bundle(args.dataset, args.scale, args.seed)
+    manifest = save_artifacts(bundle.kg, args.out)
+    print(
+        f"saved artifact store for {bundle.kg.name} to {args.out} "
+        f"({manifest['nbytes'] / 1e6:.1f} MB, {manifest['sections']} sections); "
+        f"serve it with: repro serve --dataset {args.dataset} --workers 2 "
+        f"--mmap-dir {args.out}"
+    )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.serve import ExtractionService, WorkerPool, bound_port, serve_http, serve_tcp
 
-    bundle = _load_bundle(args.dataset, args.scale, args.seed)
+    if args.mmap_dir:
+        # The store is the graph: no generation, no index builds — the
+        # serving state memory-maps in directly (and, with --workers,
+        # every worker maps the same physical pages).
+        from repro.kg.store import open_artifacts
+
+        kg = open_artifacts(args.mmap_dir).kg
+    else:
+        kg = _load_bundle(args.dataset, args.scale, args.seed).kg
     serve_protocol = serve_http if args.protocol == "http" else serve_tcp
     if args.workers and args.no_coalesce:
         raise SystemExit("--workers requires the coalescing scheduler (drop --no-coalesce)")
+    if args.pin_workers and not args.workers:
+        raise SystemExit("--pin-workers requires a worker pool (add --workers N)")
     pool = None
     if args.workers:
         pool = WorkerPool(
             workers=args.workers,
             replicas=args.replicas if args.replicas else None,
+            pin_workers=args.pin_workers,
         )
 
     async def run() -> None:
@@ -179,7 +209,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             coalesce=not args.no_coalesce,
             pool=pool,
         )
-        service.register(args.dataset, bundle.kg)
+        service.register(args.dataset, kg, mmap_dir=args.mmap_dir)
         server = await serve_protocol(service, host=args.host, port=args.port)
         if pool is not None:
             # Read back from the pool: it normalizes (clamps) the replica
@@ -187,10 +217,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             # does not exist.
             replicas = pool.replicas if pool.replicas else pool.num_workers
             mode = f"pool of {args.workers} workers, {replicas} replica(s)/graph"
+            if args.pin_workers:
+                pinned = pool.describe()["pinned"]
+                cpus = ",".join("-" if cpu is None else str(cpu) for cpu in pinned)
+                mode += f", pinned to cpus [{cpus}]"
         else:
             mode = "serial" if args.no_coalesce else "coalescing"
+        if args.mmap_dir:
+            mode += ", mmap artifacts"
         print(
-            f"serving {bundle.kg.name} as graph {args.dataset!r} on "
+            f"serving {kg.name} as graph {args.dataset!r} on "
             f"{args.host}:{bound_port(server)} via {args.protocol} ({mode}, "
             f"window {args.max_batch}x{args.max_delay_ms}ms, "
             f"max {args.max_pending} in flight)",
@@ -226,10 +262,20 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     task = bundle.task(args.task)
     rng = np.random.default_rng(args.seed)
     targets = rng.choice(task.target_nodes, size=args.requests, replace=True)
+    if args.mmap_dir and not args.workers:
+        raise SystemExit("--mmap-dir benchmarks pool startup; add --workers N")
+    kg = bundle.kg
+    if args.mmap_dir:
+        # Serve the mapped copy of the same graph: targets come from the
+        # catalog task, so the store must have been built with the same
+        # --dataset/--scale/--seed (ids are then bit-identical).
+        from repro.kg.store import open_artifacts
+
+        kg = open_artifacts(args.mmap_dir).kg
     if args.workers:
         serial, fast, speedup = compare_pool_serving(
-            bundle.kg, targets, k=args.top_k, concurrency=args.concurrency,
-            workers=args.workers,
+            kg, targets, k=args.top_k, concurrency=args.concurrency,
+            workers=args.workers, mmap_dir=args.mmap_dir,
             max_batch=args.max_batch, max_delay=args.max_delay_ms / 1e3,
         )
         label = f"pool ({args.workers} workers) speedup"
@@ -268,7 +314,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_common(p):
         p.add_argument("--dataset", default="mag", help=f"one of {_DATASETS}")
-        p.add_argument("--scale", default="small", help="tiny | small | medium | float")
+        p.add_argument("--scale", default="small", help="tiny | small | medium | large | float")
         p.add_argument("--seed", type=int, default=7, help="generator / sampling seed")
 
     stats = sub.add_parser("stats", help="print Table-I statistics of a benchmark KG")
@@ -305,6 +351,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=7)
     bench.set_defaults(func=_cmd_bench)
 
+    build = sub.add_parser(
+        "build-artifacts",
+        help="write a graph + derived indices as a memory-mappable artifact "
+             "store (served zero-copy via serve/bench-serve --mmap-dir)",
+    )
+    add_common(build)
+    build.add_argument("--out", required=True,
+                       help="directory for the artifact store (one artifacts.tosg file)")
+    build.set_defaults(func=_cmd_build_artifacts)
+
     serve = sub.add_parser(
         "serve",
         help="serve concurrent extraction over HTTP/SPARQL or TCP (ndjson), "
@@ -329,6 +385,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="coalescing window: max ms a request waits to batch")
     serve.add_argument("--no-coalesce", action="store_true",
                        help="serial per-request dispatch (baseline mode)")
+    serve.add_argument("--mmap-dir", default=None,
+                       help="serve from a saved artifact store (see build-artifacts): "
+                            "the graph and its indices memory-map in read-only, and "
+                            "pool workers share the same physical pages instead of "
+                            "receiving a pickled graph")
+    serve.add_argument("--pin-workers", action="store_true",
+                       help="pin each pool worker to one CPU via os.sched_setaffinity "
+                            "(no-op with a warning where unsupported)")
     serve.add_argument("--duration", type=float, default=None,
                        help="stop after this many seconds (default: run forever)")
     serve.set_defaults(func=_cmd_serve)
@@ -353,6 +417,10 @@ def build_parser() -> argparse.ArgumentParser:
                              help="coalescing window: max requests per batch-kernel call")
     bench_serve.add_argument("--max-delay-ms", type=float, default=2.0,
                              help="coalescing window: max ms a request waits to batch")
+    bench_serve.add_argument("--mmap-dir", default=None,
+                             help="pool workers memory-map this saved artifact store "
+                                  "(see build-artifacts) instead of receiving a "
+                                  "pickled graph; requires --workers")
     bench_serve.add_argument("--out", default=None,
                              help="write the comparison + metrics dump as JSON")
     bench_serve.set_defaults(func=_cmd_bench_serve)

@@ -19,7 +19,10 @@ Link-prediction valid/test edges are **held out of the graph structure**
 
 Scale presets (:data:`SCALES`) multiply the base population counts:
 ``tiny`` for unit tests, ``small`` for examples/benchmarks, ``medium`` for
-heavier sweeps.  Type-richness ordering follows Table I
+heavier sweeps, and ``large`` for out-of-core exercises — big enough that
+pickling the graph into every pool worker is measurably worse than
+memory-mapping a saved artifact store (``repro build-artifacts`` +
+``--mmap-dir``).  Type-richness ordering follows Table I
 (wikikg2 > YAGO-4 > MAG > DBLP > YAGO3-10).
 """
 
@@ -35,7 +38,7 @@ from repro.core.tasks import GNNTask, LinkPredictionTask, NodeClassificationTask
 from repro.datasets.generators import KGBuilder, add_noise_domains, wire_affine
 from repro.training.splits import stratified_random_split, time_split
 
-SCALES: Dict[str, float] = {"tiny": 0.3, "small": 1.0, "medium": 3.0}
+SCALES: Dict[str, float] = {"tiny": 0.3, "small": 1.0, "medium": 3.0, "large": 10.0}
 
 
 @dataclass

@@ -5,6 +5,14 @@
 community-correlated edges that make tasks learnable; and
 :func:`add_noise_domains` plants the task-irrelevant structure whose
 removal is KG-TOSA's whole point.
+
+Generators are scale-free: every population count arrives pre-multiplied
+by a :data:`~repro.datasets.catalog.SCALES` preset (``tiny`` through
+``large``), so the same wiring code produces unit-test graphs and the
+out-of-core graphs that exercise ``repro build-artifacts``/``--mmap-dir``.
+All randomness flows through the caller's generator, so for a fixed
+(scale, seed) pair the draw order — and therefore every downstream
+artifact — is bit-reproducible.
 """
 
 from __future__ import annotations

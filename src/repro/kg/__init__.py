@@ -12,6 +12,7 @@ from repro.kg.triples import TripleStore
 from repro.kg.hexastore import Hexastore
 from repro.kg.graph import KnowledgeGraph, SubgraphMapping
 from repro.kg.cache import GraphArtifacts, artifacts_for, clear_artifacts
+from repro.kg.store import ArtifactStoreError, open_artifacts, save_artifacts
 from repro.kg.schema import SchemaSummary, summarize_schema
 from repro.kg.stats import KGStatistics, compute_statistics
 from repro.kg.io import save_kg, load_kg, write_ntriples, read_ntriples
@@ -25,6 +26,9 @@ __all__ = [
     "GraphArtifacts",
     "artifacts_for",
     "clear_artifacts",
+    "ArtifactStoreError",
+    "open_artifacts",
+    "save_artifacts",
     "SchemaSummary",
     "summarize_schema",
     "KGStatistics",

@@ -36,9 +36,11 @@ numbers, summed across owners by the pool's metrics.
 
 from __future__ import annotations
 
+import mmap
 import threading
-from typing import TYPE_CHECKING, Dict, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, Optional, Tuple
 
+import numpy as np
 import scipy.sparse as sp
 
 from repro.kg.graph import KnowledgeGraph
@@ -47,6 +49,25 @@ from repro.kg.hexastore import Hexastore
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.sampling.walks import RandomWalkEngine
     from repro.transform.adjacency import Direction, HeteroAdjacency
+
+
+def _is_mapped(array: np.ndarray) -> bool:
+    """True when ``array``'s memory lives in a file mapping, not the heap.
+
+    Walks the ``.base`` chain because views over a mapping (including the
+    plain ``ndarray`` wrappers scipy's CSR constructor may produce) are not
+    themselves ``memmap``/``mmap`` instances.
+    """
+    base = array
+    while base is not None:
+        if isinstance(base, (np.memmap, mmap.mmap)):
+            return True
+        if isinstance(base, memoryview):
+            # np.frombuffer wraps its buffer in a memoryview; the mapping
+            # (when there is one) sits behind the view's .obj.
+            return isinstance(base.obj, mmap.mmap)
+        base = getattr(base, "base", None)
+    return False
 
 
 class GraphArtifacts:
@@ -69,6 +90,32 @@ class GraphArtifacts:
         # by the same lock as the artifacts themselves.
         self.hits = 0
         self.builds = 0
+        # Set by :meth:`from_store` when the arrays are mmap-backed views
+        # of an on-disk artifact file (see ``repro/kg/store.py``).
+        self.store_path: Optional[str] = None
+
+    @classmethod
+    def from_store(
+        cls,
+        kg: KnowledgeGraph,
+        csr_matrices: Dict[str, sp.csr_matrix],
+        store_path: Optional[str] = None,
+    ) -> "GraphArtifacts":
+        """Wire up a cache whose CSR projections are already built.
+
+        The artifact store (``repro/kg/store.py``) reconstructs ``kg`` and
+        its CSR projections as read-only memory-mapped views; this
+        constructor pre-populates the cache with them and attaches it to the
+        graph so every existing ``artifacts_for(kg)`` call site transparently
+        gets the file-backed instance.  Pre-populated entries count as hits,
+        never builds — nothing was constructed in this process.
+        """
+        artifacts = cls(kg)
+        artifacts._csr.update(csr_matrices)
+        artifacts.store_path = store_path
+        with _ATTACH_LOCK:
+            setattr(kg, _ATTRIBUTE, artifacts)
+        return artifacts
 
     # -- homogeneous projections --
 
@@ -163,16 +210,53 @@ class GraphArtifacts:
 
     # -- accounting --
 
+    def _artifact_arrays(self) -> Iterator[np.ndarray]:
+        """Every array of every artifact built so far (caller holds the lock)."""
+        for matrix in self._csr.values():
+            yield matrix.data
+            yield matrix.indices
+            yield matrix.indptr
+        for stack in self._hetero.values():
+            for matrix in stack.matrices:
+                yield matrix.data
+                yield matrix.indices
+                yield matrix.indptr
+        if self.kg._hexastore is not None:
+            yield from self.kg._hexastore.iter_arrays()
+
     def nbytes(self) -> int:
-        """Modeled resident bytes of all artifacts built so far."""
+        """Modeled *resident* (heap) bytes of all artifacts built so far.
+
+        Memory-mapped arrays are excluded: their pages are clean page-cache
+        pages shared by every process mapping the same artifact file, so
+        counting them here would bill the same physical memory once per
+        worker (see :meth:`mapped_nbytes` and ``docs/performance.md``).
+        """
         with self._lock:
-            total = 0
-            for matrix in self._csr.values():
-                total += matrix.data.nbytes + matrix.indices.nbytes + matrix.indptr.nbytes
-            for stack in self._hetero.values():
-                total += stack.nbytes()
-            if self.kg._hexastore is not None:
-                total += self.kg._hexastore.nbytes()
+            return int(
+                sum(a.nbytes for a in self._artifact_arrays() if not _is_mapped(a))
+            )
+
+    def mapped_nbytes(self) -> int:
+        """Bytes of artifact *and raw-graph* arrays backed by a file mapping.
+
+        This is the shared, at-most-once-physical footprint of an
+        ``open_artifacts`` graph; it is 0 for in-memory builds.  The serving
+        metrics report it alongside :meth:`nbytes` (max across workers, not
+        summed) so ``/metrics`` never multiplies shared pages per worker.
+        """
+        kg_arrays = (
+            self.kg.node_types,
+            self.kg.triples.s,
+            self.kg.triples.p,
+            self.kg.triples.o,
+            self.kg.literal_triples.s,
+            self.kg.literal_triples.p,
+            self.kg.literal_triples.o,
+        )
+        with self._lock:
+            total = sum(a.nbytes for a in self._artifact_arrays() if _is_mapped(a))
+            total += sum(a.nbytes for a in kg_arrays if _is_mapped(a))
             return int(total)
 
     def clear(self) -> None:

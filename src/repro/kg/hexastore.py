@@ -52,6 +52,36 @@ class _SortedIndex:
         self._keys: List[Optional[np.ndarray]] = [None, None, None]
         self._lock = threading.Lock()
 
+    @classmethod
+    def from_arrays(
+        cls,
+        store: TripleStore,
+        order: Tuple[str, str, str],
+        perm: np.ndarray,
+        keys: Sequence[np.ndarray],
+    ) -> "_SortedIndex":
+        """Rehydrate an ordering from previously materialized arrays.
+
+        Used by the artifact store (``repro/kg/store.py``): ``perm`` and all
+        three ``keys`` are read-only memory-mapped views, so the index skips
+        its lexsort entirely and never mutates lazy state afterwards.
+        """
+        index = cls.__new__(cls)
+        index.order = order
+        columns = {"s": store.s, "p": store.p, "o": store.o}
+        index._columns = tuple(columns[c] for c in order)
+        index.perm = perm
+        index._keys = list(keys)
+        index._lock = threading.Lock()
+        return index
+
+    def iter_arrays(self):
+        """Yield the permutation plus every key column built so far."""
+        yield self.perm
+        for column in self._keys:
+            if column is not None:
+                yield column
+
     def key(self, level: int) -> np.ndarray:
         """Sorted key column of ``level``, derived from ``perm`` on first use."""
         column = self._keys[level]
@@ -164,6 +194,29 @@ class Hexastore:
         self.store = store
         self._indices: Dict[str, _SortedIndex] = {}
         self._build_lock = threading.Lock()
+
+    @classmethod
+    def from_prebuilt(
+        cls,
+        store: TripleStore,
+        indices: Dict[str, Tuple[np.ndarray, Sequence[np.ndarray]]],
+    ) -> "Hexastore":
+        """Build a hexastore around already-sorted arrays (the mmap path).
+
+        ``indices`` maps each ordering name to ``(perm, [key0, key1, key2])``
+        as produced by a :meth:`materialize`-d index — typically read-only
+        memory-mapped sections from ``repro/kg/store.py``.  Orderings not in
+        ``indices`` still build lazily on first use.
+        """
+        hexa = cls(store)
+        for name, (perm, keys) in indices.items():
+            hexa._indices[name] = _SortedIndex.from_arrays(store, _ORDERS[name], perm, keys)
+        return hexa
+
+    def iter_arrays(self):
+        """Yield every permutation / key-column array built so far."""
+        for index in self._indices.values():
+            yield from index.iter_arrays()
 
     def __len__(self) -> int:
         return len(self.store)

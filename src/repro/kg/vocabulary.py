@@ -38,6 +38,22 @@ class Vocabulary:
             for term in terms:
                 self.add(term)
 
+    @classmethod
+    def from_terms(cls, terms: Iterable[str], name: str = "vocab") -> "Vocabulary":
+        """Bulk-build from already-unique terms (ids = input positions).
+
+        The deserialization fast path (``repro/kg/store.py``): a saved term
+        list *is* a previously interned id space, so this skips the per-term
+        dedup probe of :meth:`add` and builds both maps at C speed.
+        Duplicate terms would silently alias ids, so they are rejected.
+        """
+        vocab = cls(name=name)
+        vocab._id_to_term = list(terms)
+        vocab._term_to_id = dict(zip(vocab._id_to_term, range(len(vocab._id_to_term))))
+        if len(vocab._term_to_id) != len(vocab._id_to_term):
+            raise ValueError(f"duplicate terms in bulk load of vocabulary {name!r}")
+        return vocab
+
     def add(self, term: str) -> int:
         """Intern ``term`` and return its id (existing id if already known)."""
         existing = self._term_to_id.get(term)

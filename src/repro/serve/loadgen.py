@@ -136,6 +136,7 @@ def run_load(
     max_delay: float = 0.002,
     max_pending: Optional[int] = None,
     pool: Optional[WorkerPool] = None,
+    mmap_dir: Optional[str] = None,
 ) -> LoadReport:
     """Drive one service configuration with the closed-loop generator.
 
@@ -144,6 +145,8 @@ def run_load(
     ``pool`` switches kernel dispatch to the multi-process worker pool
     (the caller owns the pool's lifecycle; registration of the load graph
     on the pool is idempotent, so one pool can back several runs).
+    ``mmap_dir`` (pool mode) registers the graph by artifact-store path so
+    workers memory-map their state instead of receiving a pickled graph.
     """
     service = ExtractionService(
         max_pending=max_pending if max_pending is not None else 2 * concurrency,
@@ -152,7 +155,7 @@ def run_load(
         coalesce=coalesce,
         pool=pool,
     )
-    service.register(GRAPH_NAME, kg)
+    service.register(GRAPH_NAME, kg, mmap_dir=mmap_dir)
 
     async def run():
         start = time.perf_counter()
@@ -369,6 +372,7 @@ def compare_pool_serving(
     max_batch: int = 64,
     max_delay: float = 0.002,
     pool: Optional[WorkerPool] = None,
+    mmap_dir: Optional[str] = None,
 ) -> Tuple[LoadReport, LoadReport, float]:
     """Single-process serial baseline vs the multi-process worker pool.
 
@@ -385,6 +389,9 @@ def compare_pool_serving(
     ``workers``-wide pool is created for the comparison and closed before
     returning.  Pool startup and graph shipment happen outside the timed
     windows — they are one-time costs, not serving throughput.
+    ``mmap_dir`` registers the pooled graph by artifact-store path
+    (zero-copy worker startup); the serial baseline still serves ``kg``
+    in-process, so bit-identity also covers the mmap read path.
     """
     targets = np.asarray(targets, dtype=np.int64)
     owned = pool is None
@@ -396,7 +403,7 @@ def compare_pool_serving(
         # not capacity.
         run_load(
             kg, targets[: min(len(targets), concurrency)], k=k,
-            concurrency=concurrency, pool=pool,
+            concurrency=concurrency, pool=pool, mmap_dir=mmap_dir,
             max_batch=max_batch, max_delay=max_delay,
         )
         serial = run_load(
@@ -404,7 +411,7 @@ def compare_pool_serving(
             max_batch=max_batch, max_delay=max_delay,
         )
         pooled = run_load(
-            kg, targets, k=k, concurrency=concurrency, pool=pool,
+            kg, targets, k=k, concurrency=concurrency, pool=pool, mmap_dir=mmap_dir,
             max_batch=max_batch, max_delay=max_delay,
         )
     finally:

@@ -19,6 +19,12 @@ at constant memory; and one :class:`ServiceMetrics` lives in the serving
 endpoint counters are *not* recorded here but piggybacked on pool
 responses and merged into the snapshot by
 :meth:`ExtractionService.metrics_snapshot`.
+
+Memory is reported in two separate gauges per graph: ``nbytes`` (heap
+bytes resident in one process, summed across workers) and
+``mapped_nbytes`` (file-backed ``--mmap-dir`` artifact pages, physically
+shared by all mappers and therefore merged with **max**, never summed —
+``/metrics`` must not bill the same clean pages once per worker).
 """
 
 from __future__ import annotations

@@ -25,7 +25,12 @@ Contracts:
   artifact cache are stripped by ``KnowledgeGraph.__getstate__``); every
   later message is request parameters (a few ints/strings, one int64
   target array per batch) or results (top-k pairs, ego-graph arrays,
-  SPARQL result columns).
+  SPARQL result columns).  With ``register(..., mmap_dir=...)`` even the
+  one-time graph shipment disappears: the payload is a *path* to a saved
+  artifact store (``repro/kg/store.py``) and each owning worker
+  memory-maps the same physical pages — zero-copy startup and no
+  per-shard RAM multiplier (shared clean pages instead of N resident
+  copies).
 * **Bit-exactness** — workers run the same batch kernels against their
   own :func:`~repro.kg.cache.artifacts_for` cache; the kernels are
   bit-exact against their scalar oracles and content-addressed, so which
@@ -51,8 +56,10 @@ import concurrent.futures
 import hashlib
 import itertools
 import multiprocessing
+import os
 import threading
 import time
+import warnings
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.kg.graph import KnowledgeGraph
@@ -154,6 +161,7 @@ def _worker_graph_stats(entry: dict) -> dict:
             "hits": artifacts.hits,
             "builds": artifacts.builds,
             "nbytes": artifacts.nbytes(),
+            "mapped_nbytes": artifacts.mapped_nbytes(),
         },
         "endpoint": {
             "requests": stats.requests,
@@ -179,7 +187,16 @@ def _execute_op(graphs: Dict[str, dict], op: str, payload: dict) -> Any:
         if entry is None:
             from repro.sparql.endpoint import SparqlEndpoint
 
-            kg = payload["kg"]
+            mmap_dir = payload.get("mmap_dir")
+            if mmap_dir is not None:
+                # Zero-copy startup: map the saved artifact store instead of
+                # unpickling a shipped graph + rebuilding indices.  Every
+                # worker mapping the same file shares its physical pages.
+                from repro.kg.store import open_artifacts
+
+                kg = open_artifacts(mmap_dir).kg
+            else:
+                kg = payload["kg"]
             graphs[name] = entry = {
                 "kg": kg,
                 "endpoint": SparqlEndpoint(kg, compression=payload["compression"]),
@@ -278,6 +295,7 @@ class _WorkerHandle:
         self.respawns = 0
         self.spawn_failure: Optional[str] = None
         self.closed = False
+        self.cpu: Optional[int] = None  # CPU this slot is pinned to (None = unpinned)
 
     # -- lifecycle --
 
@@ -293,6 +311,7 @@ class _WorkerHandle:
         )
         process.start()
         child_conn.close()
+        self.cpu = self.pool._pin_worker(process.pid, self.index)
         with self.lock:
             self.process = process
             self.conn = parent_conn
@@ -416,13 +435,21 @@ class _WorkerHandle:
 class _PoolGraph:
     """Parent-side registration record (replayed on worker respawn)."""
 
-    __slots__ = ("name", "kg", "warm", "shards", "rr")
+    __slots__ = ("name", "kg", "warm", "shards", "rr", "mmap_dir")
 
-    def __init__(self, name: str, kg: KnowledgeGraph, warm: bool, shards: List[int]):
+    def __init__(
+        self,
+        name: str,
+        kg: KnowledgeGraph,
+        warm: bool,
+        shards: List[int],
+        mmap_dir: Optional[str] = None,
+    ):
         self.name = name
         self.kg = kg
         self.warm = warm
         self.shards = shards
+        self.mmap_dir = mmap_dir
         self.rr = itertools.count()
 
 
@@ -446,6 +473,13 @@ class WorkerPool:
         ``"fork"`` is accepted but discouraged in threaded parents.
     compression:
         Passed to each worker-side :class:`SparqlEndpoint`.
+    pin_workers:
+        Pin each worker process to one CPU of the parent's affinity set
+        (slot ``i`` → cpu ``i mod len(cpus)``) via ``os.sched_setaffinity``.
+        Keeps a worker's pages NUMA-local and stops shard processes from
+        migrating across cores under load.  On platforms without affinity
+        support this degrades to a no-op with a ``RuntimeWarning``; the
+        per-slot pinning (or ``None``) is reported by :meth:`describe`.
 
     The pool is a context manager; :meth:`close` terminates the workers.
     """
@@ -456,6 +490,7 @@ class WorkerPool:
         replicas: Optional[int] = None,
         start_method: Optional[str] = None,
         compression: bool = True,
+        pin_workers: bool = False,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -476,6 +511,8 @@ class WorkerPool:
         self.num_workers = workers
         self.replicas = replicas
         self.compression = compression
+        self.pin_workers = pin_workers
+        self._pin_warned = False
         self._closed = False
         self._registry_lock = threading.Lock()
         self._graphs: Dict[str, _PoolGraph] = {}
@@ -497,15 +534,65 @@ class WorkerPool:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    # -- worker CPU affinity --------------------------------------------------
+
+    def _pin_worker(self, pid: Optional[int], index: int) -> Optional[int]:
+        """Pin worker ``index`` (process ``pid``) to one CPU; returns the CPU.
+
+        Slot ``i`` gets the ``i mod len(cpus)``-th CPU of the parent's own
+        affinity set, so pinning composes with an outer cpuset/container
+        limit.  Returns ``None`` (after warning once) when pinning is off,
+        unsupported on this platform, or rejected by the kernel.
+        """
+        if not self.pin_workers or pid is None:
+            return None
+        if not hasattr(os, "sched_setaffinity"):  # pragma: no cover - non-Linux
+            if not self._pin_warned:
+                self._pin_warned = True
+                warnings.warn(
+                    "worker pinning requested but this platform has no "
+                    "os.sched_setaffinity; workers run unpinned",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            return None
+        try:
+            cpus = sorted(os.sched_getaffinity(0))
+            cpu = cpus[index % len(cpus)]
+            os.sched_setaffinity(pid, {cpu})
+            return cpu
+        except OSError as exc:  # pragma: no cover - kernel policy dependent
+            if not self._pin_warned:
+                self._pin_warned = True
+                warnings.warn(
+                    f"worker pinning failed ({exc}); workers run unpinned",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            return None
+
     # -- registration ---------------------------------------------------------
 
-    def register(self, name: str, kg: KnowledgeGraph, warm: bool = True) -> List[int]:
+    def register(
+        self,
+        name: str,
+        kg: KnowledgeGraph,
+        warm: bool = True,
+        mmap_dir: Optional[str] = None,
+    ) -> List[int]:
         """Pin ``kg`` to its shard(s) and ship it to each owning worker.
 
         Idempotent for the same ``(name, kg)`` pair (re-registration is a
         no-op returning the existing placement); a different graph under a
         registered name is an error.  Returns the worker indices serving
         the graph, home shard first.
+
+        With ``mmap_dir`` the registration payload carries only that *path*
+        — never a pickled graph — and each owning worker memory-maps the
+        saved artifact store (``repro/kg/store.py``) instead of rebuilding
+        artifacts locally.  ``kg`` is still recorded parent-side (for
+        metrics identity and conflict checks) and should be the
+        ``open_artifacts(mmap_dir).kg`` of the same store.
         """
         with self._registry_lock:
             existing = self._graphs.get(name)
@@ -516,7 +603,7 @@ class WorkerPool:
                     )
                 return list(existing.shards)
             shards = replica_shards(name, self.num_workers, self.replicas)
-            record = _PoolGraph(name, kg, warm, shards)
+            record = _PoolGraph(name, kg, warm, shards, mmap_dir=mmap_dir)
             self._graphs[name] = record
         # Ship outside the registry lock: pickling a large graph must not
         # block routing of other graphs' requests.
@@ -529,13 +616,19 @@ class WorkerPool:
         return list(shards)
 
     def _registration_payload(self, record: _PoolGraph) -> dict:
-        return {
+        payload = {
             "name": record.name,
-            "kg": record.kg,
             "warm": record.warm,
             "warm_kinds": ("csr",),
             "compression": self.compression,
         }
+        if record.mmap_dir is not None:
+            # Ship the artifact-store path, not the graph: respawn replays
+            # re-map the same file, so recovery is as cheap as startup.
+            payload["mmap_dir"] = record.mmap_dir
+        else:
+            payload["kg"] = record.kg
+        return payload
 
     def _registrations_for(self, index: int) -> List[dict]:
         with self._registry_lock:
@@ -623,9 +716,12 @@ class WorkerPool:
         sum each owning worker's latest piggybacked snapshot plus the
         retired counters of that slot's dead incarnations (so respawns
         never step a counter backwards); ``nbytes`` sums live snapshots
-        only — it is a gauge.  With replication every worker builds its
-        own artifacts, so ``builds`` counts per-worker construction, as
-        documented in ``docs/serving.md``.
+        only — it is a gauge.  ``mapped_nbytes`` is the **max** (not sum)
+        across live workers: memory-mapped artifact pages are physically
+        shared by every worker mapping the same file, so summing would
+        count the same pages once per worker.  With replication every
+        worker builds its own artifacts, so ``builds`` counts per-worker
+        construction, as documented in ``docs/serving.md``.
         """
         with self._stats_lock:
             live = [
@@ -652,6 +748,9 @@ class WorkerPool:
         }
         merged["artifact_cache"]["nbytes"] = sum(
             s["artifact_cache"]["nbytes"] for s in live
+        )
+        merged["artifact_cache"]["mapped_nbytes"] = max(
+            (s["artifact_cache"].get("mapped_nbytes", 0) for s in live), default=0
         )
         raw = merged["endpoint"].pop("bytes_raw")
         shipped = merged["endpoint"]["bytes_shipped"]
@@ -683,6 +782,9 @@ class WorkerPool:
             # Per-slot reason when a respawn itself failed (None = healthy);
             # a persistently dead slot is diagnosable from /metrics alone.
             "spawn_failures": [handle.spawn_failure for handle in self._workers],
+            # CPU each slot is pinned to (all None unless pin_workers and
+            # the platform supports affinity).
+            "pinned": [handle.cpu for handle in self._workers],
             "graphs": graphs,
         }
 

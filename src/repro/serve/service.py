@@ -181,7 +181,13 @@ class ExtractionService:
 
     # -- registry --
 
-    def register(self, name: str, kg: KnowledgeGraph, warm: bool = True) -> None:
+    def register(
+        self,
+        name: str,
+        kg: KnowledgeGraph,
+        warm: bool = True,
+        mmap_dir: Optional[str] = None,
+    ) -> None:
         """Register ``kg`` under ``name``; ``warm`` prebuilds the CSR.
 
         Warming at registration keeps the first request's latency in line
@@ -189,12 +195,19 @@ class ExtractionService:
         *not* graph-size independent.  In pool mode the graph is also
         shipped (once per owning worker) to the pool, and warming happens
         worker-side — the parent never builds kernel artifacts.
+
+        ``mmap_dir`` (pool mode) makes registration ship the saved
+        artifact-store *path* instead of a pickled graph; owning workers
+        memory-map the same file (see ``repro/kg/store.py``).  ``kg``
+        should then be ``open_artifacts(mmap_dir).kg``.  Without a pool the
+        argument is ignored — an ``open_artifacts`` graph already carries
+        its mapped artifacts.
         """
         if name in self._graphs:
             raise ValueError(f"graph {name!r} already registered")
         self._graphs[name] = _RegisteredGraph(kg, self._compression)
         if self.pool is not None:
-            self.pool.register(name, kg, warm=warm)
+            self.pool.register(name, kg, warm=warm, mmap_dir=mmap_dir)
         elif warm:
             artifacts_for(kg).warm(("csr",))
 
@@ -468,7 +481,7 @@ class ExtractionService:
             # No graph-touching response yet: report empty worker-side
             # counters rather than the parent's (unused) caches.
             return {
-                "artifact_cache": {"hits": 0, "builds": 0, "nbytes": 0},
+                "artifact_cache": {"hits": 0, "builds": 0, "nbytes": 0, "mapped_nbytes": 0},
                 "endpoint": {
                     "requests": 0,
                     "rows_returned": 0,
@@ -478,11 +491,14 @@ class ExtractionService:
             }
         artifacts = artifacts_for(entry.kg)
         stats = entry.endpoint.stats
+        # nbytes is per-process resident memory; mapped_nbytes is the shared
+        # file-backed footprint (counted once, never multiplied per worker).
         return {
             "artifact_cache": {
                 "hits": artifacts.hits,
                 "builds": artifacts.builds,
                 "nbytes": artifacts.nbytes(),
+                "mapped_nbytes": artifacts.mapped_nbytes(),
             },
             "endpoint": {
                 "requests": stats.requests,

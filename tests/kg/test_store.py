@@ -1,0 +1,346 @@
+"""Artifact store: round-trip fidelity, bit-exact serving, structured failures.
+
+The store's contract (``repro/kg/store.py``) in test form:
+
+* save → open round-trips every section exactly — triple columns, node
+  types, vocabularies, all three CSR projections and all six hexastore
+  orderings — with identical dtypes;
+* answers computed over a mapped store (PPR, ego nets, SPARQL) are
+  bit-identical to the in-memory graph;
+* the mapped arrays are write-protected and accounted as ``mapped``
+  bytes, never ``resident`` ones;
+* every structural failure mode — missing file, zero-byte file, wrong
+  magic, unsupported version, corrupted header, inconsistent or truncated
+  sections — raises :class:`ArtifactStoreError` with a diagnosable
+  message, never garbage arrays.
+"""
+
+import json
+import mmap
+import os
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.kg.cache import artifacts_for
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.hexastore import _ORDERS
+from repro.kg.store import (
+    ARTIFACT_FILENAME,
+    ArtifactStoreError,
+    open_artifacts,
+    save_artifacts,
+)
+from repro.kg.triples import TripleStore
+from repro.kg.vocabulary import Vocabulary
+
+
+def _store_path(directory) -> str:
+    return os.path.join(str(directory), ARTIFACT_FILENAME)
+
+
+def _literal_kg() -> KnowledgeGraph:
+    """A small graph that also exercises the literal sections."""
+    node_vocab = Vocabulary(name="nodes")
+    class_vocab = Vocabulary(name="classes")
+    relation_vocab = Vocabulary(name="relations")
+    literal_vocab = Vocabulary(name="literals")
+    for i in range(4):
+        node_vocab.add(f"n{i}")
+    class_vocab.add("Thing")
+    relation_vocab.add("linksTo")
+    relation_vocab.add("hasLabel")
+    for text in ("alpha", "beta"):
+        literal_vocab.add(text)
+    return KnowledgeGraph(
+        node_vocab=node_vocab,
+        class_vocab=class_vocab,
+        relation_vocab=relation_vocab,
+        node_types=np.zeros(4, dtype=np.int64),
+        triples=TripleStore(
+            np.array([0, 1, 2]), np.array([0, 0, 0]), np.array([1, 2, 3])
+        ),
+        literal_vocab=literal_vocab,
+        literal_triples=TripleStore(
+            np.array([0, 3]), np.array([1, 1]), np.array([0, 1])
+        ),
+        name="literal-kg",
+    )
+
+
+# -- round trip ---------------------------------------------------------------
+
+
+def test_round_trip_all_sections_equal(tmp_path, mag_tiny):
+    kg = mag_tiny.kg
+    manifest = save_artifacts(kg, str(tmp_path))
+    assert manifest["path"] == _store_path(tmp_path)
+    assert manifest["nbytes"] == os.path.getsize(manifest["path"])
+
+    opened = open_artifacts(str(tmp_path))
+    clone = opened.kg
+    assert clone.name == kg.name
+    np.testing.assert_array_equal(clone.node_types, kg.node_types)
+    for column in ("s", "p", "o"):
+        np.testing.assert_array_equal(
+            getattr(clone.triples, column), getattr(kg.triples, column)
+        )
+        np.testing.assert_array_equal(
+            getattr(clone.literal_triples, column), getattr(kg.literal_triples, column)
+        )
+    for attribute in ("node_vocab", "class_vocab", "relation_vocab", "literal_vocab"):
+        assert list(getattr(clone, attribute)) == list(getattr(kg, attribute))
+
+    source = artifacts_for(kg)
+    for direction in ("both", "out", "in"):
+        expected = source.csr(direction)
+        mapped = opened.csr(direction)
+        assert mapped.shape == expected.shape
+        for field in ("data", "indices", "indptr"):
+            np.testing.assert_array_equal(getattr(mapped, field), getattr(expected, field))
+            assert getattr(mapped, field).dtype == getattr(expected, field).dtype
+
+    reference = kg.hexastore.materialize()
+    for order in _ORDERS:
+        expected_index = reference._index(order)
+        mapped_index = clone.hexastore._index(order)
+        np.testing.assert_array_equal(mapped_index.perm, expected_index.perm)
+        for level in range(3):
+            np.testing.assert_array_equal(
+                mapped_index.key(level), expected_index.key(level)
+            )
+
+
+def test_round_trip_literal_sections(tmp_path):
+    kg = _literal_kg()
+    save_artifacts(kg, str(tmp_path))
+    clone = open_artifacts(str(tmp_path)).kg
+    assert list(clone.literal_vocab) == ["alpha", "beta"]
+    np.testing.assert_array_equal(clone.literal_triples.s, kg.literal_triples.s)
+    np.testing.assert_array_equal(clone.literal_triples.o, kg.literal_triples.o)
+
+
+def test_save_refuses_newline_terms(tmp_path):
+    kg = KnowledgeGraph.build(
+        [("good", "A"), ("bad\nname", "A")], [("good", "r", "bad\nname")], name="nl"
+    )
+    with pytest.raises(ArtifactStoreError, match="newline"):
+        save_artifacts(kg, str(tmp_path))
+    assert not os.path.exists(_store_path(tmp_path))
+
+
+def test_save_overwrites_atomically(tmp_path, toy_kg):
+    save_artifacts(toy_kg, str(tmp_path))
+    first = os.path.getsize(_store_path(tmp_path))
+    manifest = save_artifacts(toy_kg, str(tmp_path))
+    assert os.path.getsize(_store_path(tmp_path)) == first == manifest["nbytes"]
+    assert not os.path.exists(_store_path(tmp_path) + ".tmp")
+
+
+# -- bit-exact answers over the mapping ---------------------------------------
+
+
+def test_mapped_answers_bit_identical(tmp_path, mag_tiny):
+    from repro.models.shadowsaint import extract_ego
+    from repro.sampling.ppr import ppr_top_k
+    from repro.sparql.executor import QueryExecutor
+    from repro.sparql.parser import parse_query
+
+    kg = mag_tiny.kg
+    save_artifacts(kg, str(tmp_path))
+    opened = open_artifacts(str(tmp_path))
+    clone = opened.kg
+
+    rng = np.random.default_rng(11)
+    targets = [int(t) for t in rng.choice(kg.num_nodes, size=12, replace=False)]
+
+    adjacency = artifacts_for(kg).csr("both")
+    for target in targets:
+        assert ppr_top_k(opened.csr("both"), target, 8) == ppr_top_k(adjacency, target, 8)
+
+    for target in targets:
+        expected = extract_ego(kg, target, depth=2, fanout=4, salt=3)
+        mapped = extract_ego(clone, target, depth=2, fanout=4, salt=3)
+        np.testing.assert_array_equal(mapped.nodes, expected.nodes)
+        np.testing.assert_array_equal(mapped.src, expected.src)
+        np.testing.assert_array_equal(mapped.dst, expected.dst)
+        np.testing.assert_array_equal(mapped.rel, expected.rel)
+
+    query = parse_query("select ?s ?p ?o where { ?s ?p ?o } limit 64")
+    expected_rows = QueryExecutor(kg).evaluate(query)
+    mapped_rows = QueryExecutor(clone).evaluate(query)
+    assert mapped_rows.variables == expected_rows.variables
+    for variable in expected_rows.variables:
+        np.testing.assert_array_equal(
+            mapped_rows.columns[variable], expected_rows.columns[variable]
+        )
+
+
+def test_opened_artifacts_attach_to_their_graph(tmp_path, toy_kg):
+    save_artifacts(toy_kg, str(tmp_path))
+    opened = open_artifacts(str(tmp_path))
+    assert artifacts_for(opened.kg) is opened
+    assert opened.store_path == _store_path(tmp_path)
+    # The CSR projections are pre-populated: using them is a hit, not a build.
+    opened.csr("both")
+    assert opened.builds == 0
+    assert opened.hits >= 1
+
+
+# -- write protection and memory accounting -----------------------------------
+
+
+def test_mapped_arrays_are_write_protected(tmp_path, toy_kg):
+    save_artifacts(toy_kg, str(tmp_path))
+    opened = open_artifacts(str(tmp_path))
+    clone = opened.kg
+    with pytest.raises(ValueError):
+        clone.triples.s[0] = 99
+    with pytest.raises(ValueError):
+        opened.csr("both").data[0] = 99.0
+    with pytest.raises(ValueError):
+        clone.hexastore._index("spo").perm[0] = 99
+
+
+def test_mapped_vs_resident_byte_accounting(tmp_path, toy_kg):
+    save_artifacts(toy_kg, str(tmp_path))
+    opened = open_artifacts(str(tmp_path))
+    # Everything the store carries is mapped, nothing resident.
+    assert opened.nbytes() == 0
+    assert opened.mapped_nbytes() > 0
+
+    # The in-memory source graph is the mirror image.
+    source = artifacts_for(toy_kg)
+    source.warm(("csr",))
+    assert source.nbytes() > 0
+    assert source.mapped_nbytes() == 0
+
+    # Heap-allocated derivatives on a mapped graph count as resident.
+    opened.hetero()
+    assert opened.nbytes() > 0
+
+
+# -- structured failure modes -------------------------------------------------
+
+
+def _corrupt(path: str, offset: int, value: bytes) -> None:
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        handle.write(value)
+
+
+def test_missing_store_is_a_structured_error(tmp_path):
+    with pytest.raises(ArtifactStoreError, match="build-artifacts"):
+        open_artifacts(str(tmp_path))
+
+
+def test_zero_byte_file(tmp_path):
+    open(_store_path(tmp_path), "wb").close()
+    with pytest.raises(ArtifactStoreError, match="cannot map"):
+        open_artifacts(str(tmp_path))
+
+
+def test_truncated_preamble(tmp_path):
+    with open(_store_path(tmp_path), "wb") as handle:
+        handle.write(b"TOSG")
+    with pytest.raises(ArtifactStoreError, match="preamble"):
+        open_artifacts(str(tmp_path))
+
+
+def test_bad_magic(tmp_path, toy_kg):
+    save_artifacts(toy_kg, str(tmp_path))
+    _corrupt(_store_path(tmp_path), 0, b"NOTAFILE")
+    with pytest.raises(ArtifactStoreError, match="magic"):
+        open_artifacts(str(tmp_path))
+
+
+def test_version_mismatch(tmp_path, toy_kg):
+    save_artifacts(toy_kg, str(tmp_path))
+    _corrupt(_store_path(tmp_path), 8, np.asarray([99], dtype="<u4").tobytes())
+    with pytest.raises(ArtifactStoreError, match="version 99"):
+        open_artifacts(str(tmp_path))
+
+
+def test_header_checksum_detects_corruption(tmp_path, toy_kg):
+    save_artifacts(toy_kg, str(tmp_path))
+    _corrupt(_store_path(tmp_path), 24, b"X")  # inside the JSON header
+    with pytest.raises(ArtifactStoreError, match="checksum"):
+        open_artifacts(str(tmp_path))
+
+
+def test_header_overrun_is_truncation(tmp_path, toy_kg):
+    save_artifacts(toy_kg, str(tmp_path))
+    huge = np.asarray([1 << 30], dtype="<u4").tobytes()
+    _corrupt(_store_path(tmp_path), 12, huge)  # header-length word
+    with pytest.raises(ArtifactStoreError, match="truncated"):
+        open_artifacts(str(tmp_path))
+
+
+def test_truncated_sections(tmp_path, toy_kg):
+    save_artifacts(toy_kg, str(tmp_path))
+    path = _store_path(tmp_path)
+    with open(path, "r+b") as handle:
+        handle.truncate(os.path.getsize(path) // 2)
+    with pytest.raises(ArtifactStoreError, match="truncated"):
+        open_artifacts(str(tmp_path))
+
+
+def _rewrite_header(path: str, mutate) -> None:
+    """Parse the artifact header, apply ``mutate``, re-stamp length + CRC."""
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    length = int(np.frombuffer(raw, dtype="<u4", count=1, offset=12)[0])
+    header = json.loads(raw[20 : 20 + length].decode("utf-8"))
+    mutate(header)
+    new_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    body_start = (20 + length + 63) // 64 * 64
+    new_start = (20 + len(new_bytes) + 63) // 64 * 64
+    with open(path, "wb") as handle:
+        handle.write(raw[:8])
+        words = [1, len(new_bytes), zlib.crc32(new_bytes)]
+        handle.write(np.asarray(words, dtype="<u4").tobytes())
+        handle.write(new_bytes)
+        handle.write(b"\x00" * (new_start - 20 - len(new_bytes)))
+        handle.write(raw[body_start:])
+
+
+def test_internally_inconsistent_section_rejected(tmp_path, toy_kg):
+    save_artifacts(toy_kg, str(tmp_path))
+
+    def lie_about_nbytes(header):
+        header["sections"]["triples/s"]["nbytes"] += 8
+
+    _rewrite_header(_store_path(tmp_path), lie_about_nbytes)
+    with pytest.raises(ArtifactStoreError, match="internally inconsistent"):
+        open_artifacts(str(tmp_path))
+
+
+def test_missing_section_rejected(tmp_path, toy_kg):
+    save_artifacts(toy_kg, str(tmp_path))
+
+    def drop_triples(header):
+        del header["sections"]["triples/p"]
+
+    _rewrite_header(_store_path(tmp_path), drop_triples)
+    with pytest.raises(ArtifactStoreError, match="inconsistent artifact contents"):
+        open_artifacts(str(tmp_path))
+
+
+def test_views_share_the_file_mapping(tmp_path, toy_kg):
+    """The arrays really are zero-copy views into one shared mapping."""
+    save_artifacts(toy_kg, str(tmp_path))
+    opened = open_artifacts(str(tmp_path))
+
+    def mapping_of(array):
+        base = array
+        while base is not None:
+            if isinstance(base, memoryview):
+                return base.obj
+            base = getattr(base, "base", None)
+        return None
+
+    first = mapping_of(opened.kg.triples.s)
+    assert isinstance(first, mmap.mmap)
+    assert mapping_of(opened.csr("both").indptr) is first
+    assert mapping_of(opened.kg.hexastore._index("pos").perm) is first

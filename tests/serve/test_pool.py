@@ -287,3 +287,153 @@ def test_closed_pool_rejects_requests(toy_kg):
     with pytest.raises(WorkerCrashed):
         pool.call("ppr", {"graph": "toy", "targets": [0], "k": 4,
                           "alpha": 0.25, "eps": 2e-4})
+
+
+# -- zero-copy (mmap) registration --------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def mag_small_store(mag_small_bundle, tmp_path_factory):
+    from repro.kg.store import save_artifacts
+
+    directory = str(tmp_path_factory.mktemp("mag-store"))
+    save_artifacts(mag_small_bundle.kg, directory)
+    return directory
+
+
+@pytest.fixture
+def toy_store(toy_kg, tmp_path):
+    from repro.kg.store import save_artifacts
+
+    save_artifacts(toy_kg, str(tmp_path))
+    return str(tmp_path)
+
+
+def test_mmap_registration_ships_a_path_not_a_graph(toy_kg, toy_store):
+    from repro.kg.store import open_artifacts
+
+    with WorkerPool(workers=1) as pool:
+        pool.register("toy", open_artifacts(toy_store).kg, mmap_dir=toy_store)
+        (payload,) = pool._registrations_for(0)
+        assert payload["mmap_dir"] == toy_store
+        assert "kg" not in payload
+        # Plain registrations still ship the graph itself.
+        pool.register("plain", toy_kg)
+        payloads = {p["name"]: p for p in pool._registrations_for(0)}
+        assert "kg" in payloads["plain"] and "mmap_dir" not in payloads["plain"]
+
+
+def test_mmap_pooled_extraction_bit_identical_on_mag_small(
+    mag_small_bundle, mag_small_store
+):
+    """Cold-start from the artifact store answers exactly like in-process."""
+    from repro.kg.store import open_artifacts
+
+    kg = mag_small_bundle.kg
+    task = mag_small_bundle.task("PV")
+    rng = np.random.default_rng(7)
+    targets = [int(t) for t in rng.choice(task.target_nodes, size=12, replace=False)]
+    query = "select ?s ?p ?o where { ?s ?p ?o } limit 64"
+
+    async def drive(service):
+        pprs = await asyncio.gather(
+            *(service.ppr_top_k("mag", t, k=8) for t in targets)
+        )
+        egos = await asyncio.gather(
+            *(service.extract_ego("mag", t, depth=2, fanout=4, salt=3) for t in targets)
+        )
+        rows = await service.sparql("mag", query)
+        count = await service.count("mag", query)
+        return pprs, egos, rows, count
+
+    with WorkerPool(workers=2) as pool:
+        pooled = ExtractionService(max_batch=8, pool=pool)
+        pooled.register("mag", open_artifacts(mag_small_store).kg,
+                        mmap_dir=mag_small_store)
+        pool_pprs, pool_egos, pool_rows, pool_count = run(drive(pooled))
+        snapshot = pooled.metrics_snapshot()
+
+    local = ExtractionService(max_batch=8)
+    local.register("mag", kg)
+    loc_pprs, loc_egos, loc_rows, loc_count = run(drive(local))
+
+    assert pool_pprs == loc_pprs
+    for pool_ego, local_ego in zip(pool_egos, loc_egos):
+        np.testing.assert_array_equal(pool_ego.nodes, local_ego.nodes)
+        np.testing.assert_array_equal(pool_ego.src, local_ego.src)
+        np.testing.assert_array_equal(pool_ego.dst, local_ego.dst)
+        np.testing.assert_array_equal(pool_ego.rel, local_ego.rel)
+    assert pool_rows.variables == loc_rows.variables
+    for variable in loc_rows.variables:
+        np.testing.assert_array_equal(
+            pool_rows.columns[variable], loc_rows.columns[variable]
+        )
+    assert pool_count == loc_count
+    # Workers really served off the mapping: mapped bytes, no CSR builds.
+    cache = snapshot["graphs"]["mag"]["artifact_cache"]
+    assert cache["mapped_nbytes"] > 0
+    assert cache["hits"] >= 1
+
+
+def test_mmap_respawn_replays_the_store_path(toy_store):
+    from repro.kg.store import open_artifacts
+
+    with WorkerPool(workers=1) as pool:
+        service = ExtractionService(pool=pool)
+        service.register("toy", open_artifacts(toy_store).kg, mmap_dir=toy_store)
+        before = run(service.ppr_top_k("toy", 0, k=4))
+
+        inflight = pool._workers[0].request("sleep", {"seconds": 60})
+        os.kill(pool.worker_pids()[0], signal.SIGKILL)
+        with pytest.raises(WorkerCrashed):
+            inflight.result(timeout=30)
+
+        # The respawned slot re-mapped the same file and answers identically.
+        assert pool.ping(0) == "pong"
+        assert run(service.ppr_top_k("toy", 0, k=4)) == before
+        assert pool.graph_stats("toy")["artifact_cache"]["mapped_nbytes"] > 0
+
+
+def test_mapped_bytes_merge_with_max_not_sum(toy_store):
+    """N workers mapping one file share its pages: /metrics must not bill
+    the store once per worker."""
+    from repro.kg.store import open_artifacts
+
+    def merged_mapped(workers):
+        with WorkerPool(workers=workers) as pool:
+            pool.register("toy", open_artifacts(toy_store).kg, mmap_dir=toy_store)
+            pool.call("ppr", {"graph": "toy", "targets": [0], "k": 4,
+                              "alpha": 0.25, "eps": 2e-4})
+            return pool.graph_stats("toy")["artifact_cache"]["mapped_nbytes"]
+
+    single = merged_mapped(1)
+    assert single > 0
+    assert merged_mapped(2) == single
+
+
+# -- worker CPU pinning -------------------------------------------------------
+
+
+@pytest.mark.skipif(
+    not hasattr(os, "sched_setaffinity"), reason="no sched_setaffinity here"
+)
+def test_pinned_workers_land_on_parent_affinity_cpus(toy_kg):
+    cpus = sorted(os.sched_getaffinity(0))
+    with WorkerPool(workers=2, pin_workers=True) as pool:
+        pinned = pool.describe()["pinned"]
+        assert pinned == [cpus[0 % len(cpus)], cpus[1 % len(cpus)]]
+        for index, cpu in enumerate(pinned):
+            assert os.sched_getaffinity(pool.worker_pids()[index]) == {cpu}
+        # Pinning survives a respawn (the new incarnation is re-pinned).
+        inflight = pool._workers[0].request("sleep", {"seconds": 60})
+        os.kill(pool.worker_pids()[0], signal.SIGKILL)
+        with pytest.raises(WorkerCrashed):
+            inflight.result(timeout=30)
+        assert pool.ping(0) == "pong"
+        assert pool.describe()["pinned"][0] == pinned[0]
+        assert os.sched_getaffinity(pool.worker_pids()[0]) == {pinned[0]}
+
+
+def test_unpinned_pool_reports_no_cpus(toy_kg):
+    with WorkerPool(workers=2) as pool:
+        assert pool.describe()["pinned"] == [None, None]

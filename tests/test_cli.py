@@ -124,6 +124,49 @@ def test_serve_workers_conflict_with_no_coalesce():
               "--duration", "0.1"])
 
 
+def test_build_artifacts_command(tmp_path, capsys):
+    out_dir = str(tmp_path / "store")
+    assert main([
+        "build-artifacts", "--dataset", "mag", "--scale", "tiny", "--out", out_dir,
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "saved artifact store" in out and "--mmap-dir" in out
+    assert os.path.exists(os.path.join(out_dir, "artifacts.tosg"))
+
+
+def test_serve_mmap_command_binds_and_stops(tmp_path, capsys):
+    out_dir = str(tmp_path / "store")
+    assert main([
+        "build-artifacts", "--dataset", "mag", "--scale", "tiny", "--out", out_dir,
+    ]) == 0
+    assert main([
+        "serve", "--dataset", "mag", "--scale", "tiny", "--workers", "2",
+        "--mmap-dir", out_dir, "--port", "0", "--duration", "0.2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "serving MAG-tiny" in out and "mmap artifacts" in out
+
+
+def test_serve_pin_workers_banner(capsys):
+    assert main([
+        "serve", "--dataset", "mag", "--scale", "tiny", "--workers", "2",
+        "--pin-workers", "--port", "0", "--duration", "0.2",
+    ]) == 0
+    assert "pinned to cpus [" in capsys.readouterr().out
+
+
+def test_serve_pin_workers_requires_pool():
+    with pytest.raises(SystemExit):
+        main(["serve", "--dataset", "mag", "--scale", "tiny",
+              "--pin-workers", "--port", "0", "--duration", "0.1"])
+
+
+def test_bench_serve_mmap_requires_workers(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["bench-serve", "--dataset", "mag", "--scale", "tiny",
+              "--mmap-dir", str(tmp_path), "--requests", "4"])
+
+
 def test_bench_serve_with_worker_pool(tmp_path, capsys):
     out_path = str(tmp_path / "BENCH_pool.json")
     assert main([
@@ -255,6 +298,63 @@ def test_serve_worker_pool_end_to_end_over_a_real_socket():
         assert metrics["config"]["pool"]["workers"] == 2
         assert metrics["config"]["pool"]["alive"] == [True, True]
         assert metrics["graphs"]["mag"]["artifact_cache"]["builds"] >= 1
+        conn.close()
+    finally:
+        process.terminate()
+        process.wait(timeout=10)
+
+
+def test_serve_mmap_worker_pool_end_to_end_over_a_real_socket(tmp_path):
+    """`repro serve --workers 2 --mmap-dir`: zero-copy serving on the wire.
+
+    Workers map the saved store instead of rebuilding: /metrics must show
+    mapped (shared) bytes and zero CSR builds.
+    """
+    import http.client
+    import json
+    import re
+    import subprocess
+    import sys
+
+    store_dir = str(tmp_path / "store")
+    assert main([
+        "build-artifacts", "--dataset", "mag", "--scale", "tiny", "--out", store_dir,
+    ]) == 0
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--dataset", "mag", "--scale", "tiny",
+            "--protocol", "http", "--workers", "2",
+            "--mmap-dir", store_dir,
+            "--port", "0", "--duration", "60",
+        ],
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        env=env,
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        banner = process.stdout.readline()
+        match = re.search(r"on 127\.0\.0\.1:(\d+) via http", banner)
+        assert match, f"unexpected banner: {banner!r}"
+        assert "pool of 2 workers" in banner and "mmap artifacts" in banner
+        port = int(match.group(1))
+
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+        conn.request("GET", "/ppr?graph=mag&target=5&k=8")
+        response = conn.getresponse()
+        assert response.status == 200
+        pairs = json.loads(response.read())
+        assert len(pairs) == 8 and all(len(pair) == 2 for pair in pairs)
+
+        conn.request("GET", "/metrics")
+        metrics = json.loads(conn.getresponse().read())
+        cache = metrics["graphs"]["mag"]["artifact_cache"]
+        assert cache["mapped_nbytes"] > 0
+        assert cache["builds"] == 0  # prebuilt projections: hits, never builds
         conn.close()
     finally:
         process.terminate()

@@ -74,7 +74,13 @@ def test_nc_final_metric_reflects_improvement():
 
 
 class _FakeLPModel:
-    """Scores the true tail highest for a fraction of heads."""
+    """Scores exactly the true (head, tail) pairs highest.
+
+    Per-pair scoring (no dependence on call shape or batch position), like
+    the real LP models — the evaluator is free to score pairs one edge at a
+    time or in one flat batch.  Task edges are (i, n-1-i), so the true tail
+    of head ``h`` is ``pool_size - 1 - h``.
+    """
 
     def __init__(self, pool_size=30, good=True):
         self.pool_size = pool_size
@@ -88,10 +94,7 @@ class _FakeLPModel:
 
     def score_pairs(self, heads, tails):
         if self.good:
-            # True tail is always passed first by the evaluator.
-            scores = np.zeros(len(tails))
-            scores[0] = 10.0
-            return scores
+            return np.where(tails == self.pool_size - 1 - heads, 10.0, 0.0)
         return np.zeros(len(tails))
 
     def num_parameters(self):
@@ -125,3 +128,54 @@ def test_lp_eval_subsampling():
     config = TrainConfig(epochs=1, eval_every=1, max_eval_examples=2)
     result = train_link_predictor(_FakeLPModel(), task, config)
     assert result.test_metric == 1.0
+
+
+class _NoisyLPModel(_FakeLPModel):
+    """Deterministic pseudo-random float32 scores with plenty of ties.
+
+    Quantized to a coarse grid so the pessimistic tie-handling of
+    ``rank_of_true`` actually fires, and float32 so the vectorized path's
+    float64 upcast is exercised too.
+    """
+
+    def score_pairs(self, heads, tails):
+        mixed = (heads * 2654435761 + tails * 40503) % 97
+        return (mixed // 7).astype(np.float32)
+
+
+def test_lp_vectorized_eval_matches_scalar_oracle():
+    """The batched evaluator is bit-identical to the one-edge-at-a-time one.
+
+    Same generator seed on both sides: the vectorized path must make the
+    same draws in the same order AND rank ties identically.
+    """
+    from repro.training.trainer import _evaluate_lp, _evaluate_lp_scalar
+
+    task = _lp_task()
+    model = _NoisyLPModel()
+    for negatives in (5, 25, 60):  # 60 > pool clamps to the whole pool
+        config = TrainConfig(num_eval_negatives=negatives, hits_k=3)
+        for positions in (task.split.valid, task.split.test, np.array([], dtype=np.int64)):
+            batched = _evaluate_lp(
+                model, task, positions, config, np.random.default_rng(123)
+            )
+            scalar = _evaluate_lp_scalar(
+                model, task, positions, config, np.random.default_rng(123)
+            )
+            assert batched == scalar
+
+
+def test_lp_vectorized_eval_subsample_draws_match_scalar():
+    """Subsampling consumes the generator identically on both paths."""
+    from repro.training.trainer import _evaluate_lp, _evaluate_lp_scalar
+
+    task = _lp_task()
+    model = _NoisyLPModel()
+    config = TrainConfig(num_eval_negatives=10, max_eval_examples=4, hits_k=2)
+    batched = _evaluate_lp(
+        model, task, task.split.train, config, np.random.default_rng(9)
+    )
+    scalar = _evaluate_lp_scalar(
+        model, task, task.split.train, config, np.random.default_rng(9)
+    )
+    assert batched == scalar
