@@ -13,8 +13,10 @@ resident bytes).  Guarded reports:
 * ``BENCH_serving.json`` (``test_perf_serving.py``): the coalescing
   scheduler vs the serial one-request-at-a-time serving baseline, the
   HTTP/SPARQL front end vs the same serial baseline (the coalescing win
-  must survive the wire), and the multi-process sharded worker pool vs
-  the same serial baseline (the win must survive the process boundary).
+  must survive the wire), the multi-process sharded worker pool vs
+  the same serial baseline (the win must survive the process boundary),
+  and batched ``/predict`` model inference vs its scalar one-request
+  oracle.
 * ``BENCH_artifacts.json`` (``test_perf_artifacts.py``): worker warm time
   off the memory-mapped artifact store vs pickled-graph registration,
   and the per-worker resident-memory ceiling of the zero-copy path.
@@ -47,6 +49,7 @@ REPORTS = {
         "serving_coalesced_throughput",
         "serving_http_throughput",
         "serving_pool_throughput",
+        "serving_predict_throughput",
     ),
     "BENCH_artifacts.json": (
         "artifact_warm_time",

@@ -64,6 +64,9 @@ class MethodRun:
     epochs: int = 0
     oom: bool = False
     trace: List[TracePoint] = field(default_factory=list)
+    # The trained model itself (None after an OOM) — carried so callers
+    # can persist it (`repro train --save-checkpoint`); never rendered.
+    model: Optional[object] = field(default=None, repr=False, compare=False)
 
     @property
     def total_seconds(self) -> float:
@@ -134,6 +137,7 @@ def run_nc_method(
         num_parameters=result.num_parameters,
         epochs=result.epochs_run,
         trace=result.trace,
+        model=model,
     )
 
 
@@ -177,6 +181,7 @@ def run_lp_method(
         num_parameters=result.num_parameters,
         epochs=result.epochs_run,
         trace=result.trace,
+        model=model,
     )
 
 

@@ -5,12 +5,15 @@ Seven subcommands cover the library's day-to-day uses::
     python -m repro stats           --dataset mag --scale small
     python -m repro extract         --dataset mag --task PV --method sparql -d 1 -H 1 --out kgprime/
     python -m repro train           --dataset mag --task PV --model GraphSAINT --tosa --epochs 10
+    python -m repro train           --dataset mag --task PV --model RGCN --save-checkpoint ckpt/pv.ckpt
     python -m repro bench           --experiment table1 --scale tiny
     python -m repro build-artifacts --dataset mag --scale large --out artifacts/mag-large
     python -m repro serve           --dataset mag --scale small --port 7469
     python -m repro serve           --dataset mag --protocol http --port 8080 --workers 4
+    python -m repro serve           --dataset mag --protocol http --checkpoint ckpt/pv.ckpt
     python -m repro serve           --dataset mag --workers 4 --mmap-dir artifacts/mag-large
     python -m repro bench-serve     --dataset mag --scale small --concurrency 64 --workers 2
+    python -m repro bench-serve     --dataset mag --checkpoint ckpt/pv.ckpt --requests 512
 
 ``stats`` prints the Table-I row of a benchmark KG; ``extract`` runs TOSG
 extraction and optionally saves KG′ as a TSV bundle; ``train`` runs one
@@ -24,6 +27,13 @@ pool (``--workers N``, optionally zero-copy from a saved store via
 ``--mmap-dir``); ``bench-serve`` runs the closed-loop load generator
 against the serial baseline and either the in-process coalescing
 scheduler or the worker pool (see ``docs/serving.md``).
+
+``train --save-checkpoint PATH`` additionally persists the trained model
+as a CRC-checked checkpoint artifact (``repro/nn/checkpoint.py``);
+``serve --checkpoint PATH`` registers such checkpoints with the model
+registry so ``/predict`` answers node-classification and link-prediction
+queries on the same coalescing hot path, and ``bench-serve --checkpoint``
+drives a closed-loop /predict load against the scalar one-request oracle.
 
 The argparse help text is the contract: every flag documented in
 ``docs/serving.md`` must appear verbatim in ``repro serve --help`` /
@@ -126,6 +136,21 @@ def _cmd_train(args: argparse.Namespace) -> int:
         graph_label=label, preprocess_seconds=preprocess,
     )
     print(render_table(RUN_HEADERS, [run.cells()], title=f"{args.task}/{bundle.kg.name}"))
+    if args.save_checkpoint:
+        if run.oom:
+            raise SystemExit("training hit the modeled-memory budget; nothing to checkpoint")
+        from repro.nn.checkpoint import save_checkpoint
+
+        manifest = save_checkpoint(
+            run.model, args.save_checkpoint,
+            metrics={"test_metric": run.metric, "metric": run.metric_name},
+        )
+        print(
+            f"checkpoint saved to {manifest['path']} "
+            f"({manifest['nbytes'] / 1e3:.1f} kB, {manifest['parameters']} parameters); "
+            f"serve it with: repro serve --dataset {args.dataset} "
+            f"--checkpoint {args.save_checkpoint}"
+        )
     return 0
 
 
@@ -210,6 +235,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             pool=pool,
         )
         service.register(args.dataset, kg, mmap_dir=args.mmap_dir)
+        for path in args.checkpoint:
+            service.register_checkpoint(args.dataset, path)
         server = await serve_protocol(service, host=args.host, port=args.port)
         if pool is not None:
             # Read back from the pool: it normalizes (clamps) the replica
@@ -225,6 +252,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             mode = "serial" if args.no_coalesce else "coalescing"
         if args.mmap_dir:
             mode += ", mmap artifacts"
+        if args.checkpoint:
+            mode += f", {len(args.checkpoint)} checkpoint(s)"
         print(
             f"serving {kg.name} as graph {args.dataset!r} on "
             f"{args.host}:{bound_port(server)} via {args.protocol} ({mode}, "
@@ -259,11 +288,11 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     from repro.serve.loadgen import ROW_HEADERS
 
     bundle = _load_bundle(args.dataset, args.scale, args.seed)
-    task = bundle.task(args.task)
     rng = np.random.default_rng(args.seed)
-    targets = rng.choice(task.target_nodes, size=args.requests, replace=True)
     if args.mmap_dir and not args.workers:
         raise SystemExit("--mmap-dir benchmarks pool startup; add --workers N")
+    if args.checkpoint and args.mmap_dir:
+        raise SystemExit("--checkpoint benchmarks the /predict path; drop --mmap-dir")
     kg = bundle.kg
     if args.mmap_dir:
         # Serve the mapped copy of the same graph: targets come from the
@@ -272,29 +301,73 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         from repro.kg.store import open_artifacts
 
         kg = open_artifacts(args.mmap_dir).kg
-    if args.workers:
+    if args.checkpoint:
+        # /predict load: the request mix interleaves every task that has a
+        # checkpoint — target nodes for NC tasks, head nodes for LP tasks.
+        from repro.nn.checkpoint import read_checkpoint_meta
+        from repro.serve import WorkerPool, compare_predict_serving
+
+        task_types = {}
+        for path in args.checkpoint:
+            meta = read_checkpoint_meta(path)
+            task_types[meta["task_name"]] = meta["task_type"]
+        task_names = sorted(task_types)
+        draws = {}
+        for name in task_names:
+            load_task = bundle.task(name)
+            source = (load_task.target_nodes if task_types[name] == "NC"
+                      else load_task.edges[:, 0])
+            draws[name] = rng.choice(source, size=args.requests, replace=True)
+        requests = [
+            (task_names[i % len(task_names)],
+             int(draws[task_names[i % len(task_names)]][i]))
+            for i in range(args.requests)
+        ]
+        pool = WorkerPool(workers=args.workers) if args.workers else None
+        try:
+            serial, fast, speedup = compare_predict_serving(
+                kg, args.checkpoint, requests, k=args.top_k,
+                candidates=args.candidates, concurrency=args.concurrency,
+                max_batch=args.max_batch, max_delay=args.max_delay_ms / 1e3,
+                pool=pool,
+            )
+        finally:
+            if pool is not None:
+                pool.close()
+        if args.workers:
+            label = f"/predict pool ({args.workers} workers) speedup"
+        else:
+            label = "/predict coalescing speedup"
+        task_label = "+".join(task_names)
+    elif args.workers:
+        targets = rng.choice(bundle.task(args.task).target_nodes,
+                             size=args.requests, replace=True)
         serial, fast, speedup = compare_pool_serving(
             kg, targets, k=args.top_k, concurrency=args.concurrency,
             workers=args.workers, mmap_dir=args.mmap_dir,
             max_batch=args.max_batch, max_delay=args.max_delay_ms / 1e3,
         )
         label = f"pool ({args.workers} workers) speedup"
+        task_label = args.task
     else:
+        targets = rng.choice(bundle.task(args.task).target_nodes,
+                             size=args.requests, replace=True)
         serial, fast, speedup = compare_serving_modes(
             bundle.kg, targets, k=args.top_k, concurrency=args.concurrency,
             max_batch=args.max_batch, max_delay=args.max_delay_ms / 1e3,
         )
         label = "coalescing speedup"
+        task_label = args.task
     print(render_table(
         ROW_HEADERS,
         [serial.as_row(), fast.as_row()],
-        title=f"closed-loop serving, {bundle.kg.name} ({args.task})",
+        title=f"closed-loop serving, {bundle.kg.name} ({task_label})",
     ))
     print(f"{label} {speedup:.1f}x (results bit-identical to serial)")
     if args.out:
         payload = {
             "graph": bundle.kg.name,
-            "task": args.task,
+            "task": task_label,
             "speedup": speedup,
             "serial": serial.as_json(),
             fast.mode: fast.as_json(),
@@ -343,6 +416,9 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--hidden-dim", type=int, default=24)
     train.add_argument("--layers", type=int, default=2)
     train.add_argument("--lr", type=float, default=0.02)
+    train.add_argument("--save-checkpoint", default=None, metavar="PATH",
+                       help="persist the trained model as a CRC-checked checkpoint "
+                            "artifact servable via `repro serve --checkpoint PATH`")
     train.set_defaults(func=_cmd_train)
 
     bench = sub.add_parser("bench", help="regenerate one paper table/figure")
@@ -393,6 +469,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--pin-workers", action="store_true",
                        help="pin each pool worker to one CPU via os.sched_setaffinity "
                             "(no-op with a warning where unsupported)")
+    serve.add_argument("--checkpoint", action="append", default=[], metavar="PATH",
+                       help="register a model checkpoint (created with "
+                            "`repro train --save-checkpoint`) so /predict can "
+                            "serve its task; repeatable")
     serve.add_argument("--duration", type=float, default=None,
                        help="stop after this many seconds (default: run forever)")
     serve.set_defaults(func=_cmd_serve)
@@ -421,6 +501,13 @@ def build_parser() -> argparse.ArgumentParser:
                              help="pool workers memory-map this saved artifact store "
                                   "(see build-artifacts) instead of receiving a "
                                   "pickled graph; requires --workers")
+    bench_serve.add_argument("--checkpoint", action="append", default=[], metavar="PATH",
+                             help="benchmark /predict instead of extraction: drive "
+                                  "a closed-loop inference load over these model "
+                                  "checkpoints; repeatable")
+    bench_serve.add_argument("--candidates", type=int, default=0,
+                             help="/predict link-prediction candidate-pool cap "
+                                  "(0: score the full tail-type pool)")
     bench_serve.add_argument("--out", default=None,
                              help="write the comparison + metrics dump as JSON")
     bench_serve.set_defaults(func=_cmd_bench_serve)

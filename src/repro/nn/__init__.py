@@ -16,7 +16,15 @@ from repro.nn.functional import (
     margin_ranking_loss,
     accuracy,
 )
-from repro.nn.layers import Module, Linear, Embedding, Dropout, ModuleList, Parameter
+from repro.nn.layers import (
+    Module,
+    Linear,
+    Embedding,
+    Dropout,
+    ModuleList,
+    Parameter,
+    StateDictMismatch,
+)
 from repro.nn.optim import SGD, Adam
 from repro.nn.init import xavier_uniform, xavier_normal
 
@@ -35,6 +43,7 @@ __all__ = [
     "Dropout",
     "ModuleList",
     "Parameter",
+    "StateDictMismatch",
     "SGD",
     "Adam",
     "xavier_uniform",

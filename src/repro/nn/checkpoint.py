@@ -1,0 +1,437 @@
+"""Versioned, CRC-checked model checkpoints (the serving parameter artifact).
+
+The artifact store (``repro/kg/store.py``) made the *graph* a first-class
+on-disk artifact; this module does the same for *trained parameters* so the
+serving layer can run GNN inference without retraining.  A checkpoint is
+one self-contained file holding
+
+* the model's ``state_dict`` (every parameter as a flat little-endian
+  section, each with its own CRC-32),
+* the task definition it was trained for (target nodes / labels / edges /
+  split — enough to rebuild the exact task object on any process that has
+  the graph), and
+* the identity metadata the model registry routes on: architecture name,
+  graph name, :class:`~repro.models.base.ModelConfig` hyper-parameters,
+  construction kwargs, and the recorded training metrics.
+
+Because every model derives its non-parameter state (embedding init,
+SeHGNN metapath features, ShaDowSAINT ego scopes and sampling salt)
+deterministically from ``config.rng()``, rebuilding the model from
+``(graph, task, config)`` and loading the saved parameters reproduces the
+trained model's predictions **bit for bit** — the property the serving
+oracle tests assert.
+
+File format (version 1), mirroring the graph store's layout::
+
+    bytes 0..7    magic  b"TOSGCKP1"
+    bytes 8..11   format version   (<u4)
+    bytes 12..15  header length    (<u4, bytes of JSON that follow)
+    bytes 16..19  header CRC-32    (<u4, over the JSON bytes)
+    bytes 20..    JSON header      {"architecture", "graph", "config",
+                                    "model_kwargs", "metrics", "task",
+                                    "sections"}
+    ...           zero padding to a 64-byte boundary
+    ...           sections, each starting on a 64-byte boundary
+
+Every structural failure mode — missing file, wrong magic, unsupported
+version, corrupted header, truncated or bit-flipped parameter sections —
+raises the structured :class:`CheckpointError`; a skewed-but-readable
+state dict additionally fails loudly inside
+:meth:`~repro.nn.layers.Module.load_state_dict`
+(:class:`~repro.nn.layers.StateDictMismatch`), never as silent NaNs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+_MAGIC = b"TOSGCKP1"
+_FORMAT_VERSION = 1
+_ALIGNMENT = 64
+_PREAMBLE = len(_MAGIC) + 4 + 4 + 4  # magic + version + header length + CRC
+
+#: Constructor kwargs worth persisting per architecture (everything else is
+#: in ``ModelConfig``).  A checkpoint saved with non-default kwargs outside
+#: this table still fails loudly at load time via ``StateDictMismatch``.
+_SAVED_KWARGS = {
+    "ShaDowSAINT": ("depth", "fanout"),
+    "SeHGNN": ("feature_dim",),
+}
+
+
+class CheckpointError(RuntimeError):
+    """A structured checkpoint failure (missing/corrupt/incompatible file)."""
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGNMENT - 1) // _ALIGNMENT * _ALIGNMENT
+
+
+def _little_endian(array: np.ndarray) -> np.ndarray:
+    array = np.ascontiguousarray(array)
+    if array.dtype.byteorder == ">":  # pragma: no cover - big-endian hosts only
+        array = array.astype(array.dtype.newbyteorder("<"))
+    return array
+
+
+def _task_header(task) -> Dict[str, object]:
+    """The task's scalar fields (its arrays become sections)."""
+    common = {
+        "type": task.task_type,
+        "name": task.name,
+        "metric": task.metric,
+        "kg_name": task.kg_name,
+        "split_schema": task.split.schema,
+    }
+    if task.task_type == "NC":
+        common.update(
+            target_class=int(task.target_class), num_labels=int(task.num_labels)
+        )
+    elif task.task_type == "LP":
+        common.update(
+            predicate=int(task.predicate),
+            head_class=int(task.head_class),
+            tail_class=int(task.tail_class),
+        )
+    else:
+        raise CheckpointError(
+            f"cannot checkpoint a model for task type {task.task_type!r}; "
+            "only NC and LP tasks serve through /predict"
+        )
+    return common
+
+
+def _task_arrays(task) -> Dict[str, np.ndarray]:
+    arrays = {
+        "task/split/train": task.split.train,
+        "task/split/valid": task.split.valid,
+        "task/split/test": task.split.test,
+    }
+    if task.task_type == "NC":
+        arrays["task/target_nodes"] = task.target_nodes
+        arrays["task/labels"] = task.labels
+    else:
+        arrays["task/edges"] = task.edges
+    return arrays
+
+
+def _rebuild_task(header: Dict[str, object], arrays: Dict[str, np.ndarray]):
+    from repro.core.tasks import (
+        LinkPredictionTask,
+        NodeClassificationTask,
+        Split,
+    )
+
+    spec = header["task"]
+    split = Split(
+        train=np.asarray(arrays["task/split/train"], dtype=np.int64),
+        valid=np.asarray(arrays["task/split/valid"], dtype=np.int64),
+        test=np.asarray(arrays["task/split/test"], dtype=np.int64),
+        schema=spec["split_schema"],
+    )
+    if spec["type"] == "NC":
+        return NodeClassificationTask(
+            name=spec["name"],
+            target_class=int(spec["target_class"]),
+            target_nodes=arrays["task/target_nodes"],
+            labels=arrays["task/labels"],
+            num_labels=int(spec["num_labels"]),
+            split=split,
+            metric=spec["metric"],
+            kg_name=spec["kg_name"],
+        )
+    return LinkPredictionTask(
+        name=spec["name"],
+        predicate=int(spec["predicate"]),
+        head_class=int(spec["head_class"]),
+        tail_class=int(spec["tail_class"]),
+        edges=arrays["task/edges"].reshape(-1, 2),
+        split=split,
+        metric=spec["metric"],
+        kg_name=spec["kg_name"],
+    )
+
+
+@dataclass
+class Checkpoint:
+    """One loaded checkpoint: identity metadata + task + parameter arrays."""
+
+    path: str
+    architecture: str
+    graph_name: str
+    config: "object"  # ModelConfig (kept untyped to avoid an import cycle)
+    model_kwargs: Dict[str, object]
+    metrics: Dict[str, object]
+    task: "object"  # NodeClassificationTask | LinkPredictionTask
+    state: Dict[str, np.ndarray]
+
+    @property
+    def task_type(self) -> str:
+        return self.task.task_type
+
+    @property
+    def key(self) -> tuple:
+        """Registry identity: (task name, architecture)."""
+        return (self.task.name, self.architecture)
+
+    def build_model(self, kg):
+        """Reconstruct the trained model over ``kg``, bit-identically.
+
+        The architecture is rebuilt from ``(kg, task, config)`` — which
+        regenerates all derived non-parameter state from ``config.rng()``
+        exactly as training did — then the saved parameters replace the
+        fresh ones.  Any skew raises
+        :class:`~repro.nn.layers.StateDictMismatch`.
+        """
+        if kg.name != self.graph_name:
+            raise CheckpointError(
+                f"{self.path}: checkpoint was trained on graph "
+                f"{self.graph_name!r} but is being loaded over {kg.name!r}"
+            )
+        model_cls = _architecture_class(self.task_type, self.architecture)
+        model = model_cls(kg, self.task, self.config, **self.model_kwargs)
+        model.load_state_dict(self.state)
+        model.eval()
+        return model
+
+
+def _architecture_class(task_type: str, architecture: str):
+    from repro.models import (
+        GraphSAINTClassifier,
+        LHGNNPredictor,
+        MorsEPredictor,
+        RGCNLinkPredictor,
+        RGCNNodeClassifier,
+        SeHGNNClassifier,
+        ShaDowSAINTClassifier,
+    )
+
+    classes = {
+        ("NC", "RGCN"): RGCNNodeClassifier,
+        ("NC", "GraphSAINT"): GraphSAINTClassifier,
+        ("NC", "ShaDowSAINT"): ShaDowSAINTClassifier,
+        ("NC", "SeHGNN"): SeHGNNClassifier,
+        ("LP", "RGCN"): RGCNLinkPredictor,
+        ("LP", "MorsE"): MorsEPredictor,
+        ("LP", "LHGNN"): LHGNNPredictor,
+    }
+    model_cls = classes.get((task_type, architecture))
+    if model_cls is None:
+        known = sorted({arch for _, arch in classes})
+        raise CheckpointError(
+            f"unknown architecture {architecture!r} for task type {task_type!r}; "
+            f"this build knows {known}"
+        )
+    return model_cls
+
+
+def save_checkpoint(
+    model,
+    path: str,
+    architecture: Optional[str] = None,
+    model_kwargs: Optional[Dict[str, object]] = None,
+    metrics: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Write ``model``'s trained state as one checkpoint file, atomically.
+
+    ``model`` must carry the repo-wide model attributes (``kg``, ``task``,
+    ``config``, class-level ``name``); construction kwargs the architecture
+    needs to rebuild (ShaDowSAINT depth/fanout, SeHGNN feature_dim) are
+    captured automatically unless overridden via ``model_kwargs``.
+    Returns a small manifest dict (``path`` / ``nbytes`` / ``parameters``).
+    """
+    architecture = architecture or getattr(model, "name", type(model).__name__)
+    kwargs = dict(model_kwargs or {})
+    for attribute in _SAVED_KWARGS.get(architecture, ()):
+        if attribute not in kwargs and hasattr(model, attribute):
+            kwargs[attribute] = getattr(model, attribute)
+
+    arrays: Dict[str, np.ndarray] = {}
+    for name, array in _task_arrays(model.task).items():
+        arrays[name] = _little_endian(np.asarray(array))
+    state = model.state_dict()
+    for name, array in state.items():
+        arrays[f"param/{name}"] = _little_endian(np.asarray(array))
+
+    sections: Dict[str, Dict[str, object]] = {}
+    offset = 0
+    for name, array in arrays.items():
+        offset = _align(offset)
+        sections[name] = {
+            "dtype": array.dtype.str,
+            "shape": list(array.shape),
+            "offset": offset,
+            "nbytes": int(array.nbytes),
+            "crc32": zlib.crc32(array.tobytes()),
+        }
+        offset += array.nbytes
+
+    header = {
+        "architecture": architecture,
+        "graph": model.kg.name,
+        "config": dataclasses.asdict(model.config),
+        "model_kwargs": kwargs,
+        "metrics": dict(metrics or {}),
+        "task": _task_header(model.task),
+        "sections": sections,
+    }
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    temp_path = path + ".tmp"
+    with open(temp_path, "wb") as handle:
+        handle.write(_MAGIC)
+        preamble_words = [_FORMAT_VERSION, len(header_bytes), zlib.crc32(header_bytes)]
+        handle.write(np.asarray(preamble_words, dtype="<u4").tobytes())
+        handle.write(header_bytes)
+        position = _PREAMBLE + len(header_bytes)
+        data_start = _align(position)
+        handle.write(b"\x00" * (data_start - position))
+        position = 0  # now relative to data_start
+        for name, array in arrays.items():
+            target = sections[name]["offset"]
+            handle.write(b"\x00" * (target - position))
+            handle.write(array.tobytes())
+            position = target + array.nbytes
+    os.replace(temp_path, path)
+    return {
+        "path": path,
+        "nbytes": os.path.getsize(path),
+        "parameters": int(sum(a.size for a in state.values())),
+    }
+
+
+def _parse_header(raw: bytes, path: str) -> tuple:
+    """Validate preamble + header; returns ``(header, data_start)``."""
+    if len(raw) < _PREAMBLE:
+        raise CheckpointError(
+            f"{path}: file is {len(raw)} bytes, shorter than the "
+            f"{_PREAMBLE}-byte preamble (truncated?)"
+        )
+    if raw[: len(_MAGIC)] != _MAGIC:
+        raise CheckpointError(
+            f"{path}: bad magic {raw[: len(_MAGIC)]!r}; not a TOSG checkpoint file"
+        )
+    version, header_length, header_crc = np.frombuffer(
+        raw, dtype="<u4", count=3, offset=len(_MAGIC)
+    )
+    if int(version) != _FORMAT_VERSION:
+        raise CheckpointError(
+            f"{path}: checkpoint format version {int(version)} is not supported "
+            f"(this build reads version {_FORMAT_VERSION}); re-save with "
+            "`repro train --save-checkpoint`"
+        )
+    if _PREAMBLE + int(header_length) > len(raw):
+        raise CheckpointError(
+            f"{path}: header overruns the file ({int(header_length)} header bytes "
+            f"in a {len(raw)}-byte file); truncated checkpoint"
+        )
+    header_bytes = raw[_PREAMBLE : _PREAMBLE + int(header_length)]
+    if zlib.crc32(header_bytes) != int(header_crc):
+        raise CheckpointError(f"{path}: header checksum mismatch; corrupted checkpoint")
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"{path}: unreadable checkpoint header: {exc}") from exc
+    return header, _align(_PREAMBLE + int(header_length))
+
+
+def _read_file(path: str) -> bytes:
+    if not os.path.exists(path):
+        raise CheckpointError(
+            f"no checkpoint at {path}; create one with `repro train --save-checkpoint`"
+        )
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def read_checkpoint_meta(path: str) -> Dict[str, object]:
+    """Identity metadata only, O(header) — no parameter bytes are read.
+
+    The model registry and the pool parent route on this (architecture,
+    task, recorded metric, parameter count) without paying a full load.
+    """
+    raw = _read_file(path)
+    header, _ = _parse_header(raw, path)
+    parameters = sum(
+        int(np.prod(spec["shape"], dtype=np.int64)) if spec["shape"] else 1
+        for name, spec in header["sections"].items()
+        if name.startswith("param/")
+    )
+    return {
+        "path": path,
+        "architecture": header["architecture"],
+        "graph": header["graph"],
+        "task_name": header["task"]["name"],
+        "task_type": header["task"]["type"],
+        "metrics": header.get("metrics", {}),
+        "num_parameters": int(parameters),
+        "nbytes": len(raw),
+    }
+
+
+def load_checkpoint(path: str) -> Checkpoint:
+    """Read, verify and decode a checkpoint file.
+
+    Every section is bounds-checked against the file and verified against
+    its recorded CRC-32, so a truncated or bit-flipped parameter block is a
+    :class:`CheckpointError` naming the section — never a silently wrong
+    prediction.
+    """
+    from repro.models.base import ModelConfig
+
+    raw = _read_file(path)
+    header, data_start = _parse_header(raw, path)
+
+    arrays: Dict[str, np.ndarray] = {}
+    for name, spec in header["sections"].items():
+        dtype = np.dtype(spec["dtype"])
+        count = int(np.prod(spec["shape"], dtype=np.int64)) if spec["shape"] else 1
+        expected = count * dtype.itemsize
+        if expected != int(spec["nbytes"]):
+            raise CheckpointError(
+                f"{path}: section {name!r} is internally inconsistent "
+                f"({spec['nbytes']} bytes for shape {spec['shape']} {dtype})"
+            )
+        start = data_start + int(spec["offset"])
+        end = start + expected
+        if end > len(raw):
+            raise CheckpointError(
+                f"{path}: section {name!r} ends at byte {end} but the file has "
+                f"only {len(raw)}; truncated checkpoint"
+            )
+        payload = raw[start:end]
+        if zlib.crc32(payload) != int(spec["crc32"]):
+            raise CheckpointError(
+                f"{path}: section {name!r} checksum mismatch; corrupted checkpoint"
+            )
+        arrays[name] = np.frombuffer(payload, dtype=dtype).reshape(spec["shape"])
+
+    try:
+        config = ModelConfig(**header["config"])
+        task = _rebuild_task(header, arrays)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(f"{path}: inconsistent checkpoint contents: {exc}") from exc
+    state = {
+        name[len("param/") :]: array
+        for name, array in arrays.items()
+        if name.startswith("param/")
+    }
+    return Checkpoint(
+        path=path,
+        architecture=header["architecture"],
+        graph_name=header["graph"],
+        config=config,
+        model_kwargs=dict(header.get("model_kwargs", {})),
+        metrics=dict(header.get("metrics", {})),
+        task=task,
+        state=state,
+    )

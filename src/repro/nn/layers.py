@@ -26,6 +26,34 @@ class Parameter(Tensor):
         self.requires_grad = True
 
 
+class StateDictMismatch(KeyError, ValueError):
+    """A checkpoint's state dict does not fit the model it is loaded into.
+
+    Raised by :meth:`Module.load_state_dict` *before any parameter is
+    touched*, so a skewed checkpoint can never half-apply.  The offending
+    keys are carried structurally (``missing`` / ``unexpected`` names,
+    ``mismatched`` ``(name, expected_shape, got_shape)`` triples, all
+    sorted) and spelled out in the message.  Subclasses both ``KeyError``
+    (key skew) and ``ValueError`` (shape skew) so existing handlers keep
+    working.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        missing: Sequence[str] = (),
+        unexpected: Sequence[str] = (),
+        mismatched: Sequence[tuple] = (),
+    ):
+        super().__init__(message)
+        self.missing = tuple(missing)
+        self.unexpected = tuple(unexpected)
+        self.mismatched = tuple(mismatched)
+
+    def __str__(self) -> str:  # KeyError.__str__ would repr-quote the message
+        return self.args[0]
+
+
 class Module:
     """Base class with attribute-based parameter/submodule registration."""
 
@@ -85,17 +113,42 @@ class Module:
         return {name: parameter.data.copy() for name, parameter in self.named_parameters()}
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Copy ``state`` into the model's parameters, all-or-nothing.
+
+        Every key and every shape is validated *before* the first
+        assignment; any skew raises :class:`StateDictMismatch` naming the
+        offending keys, so a stale or foreign checkpoint fails loudly
+        instead of half-applying and predicting garbage.
+        """
         own = dict(self.named_parameters())
-        missing = set(own) - set(state)
-        unexpected = set(state) - set(own)
-        if missing or unexpected:
-            raise KeyError(f"state dict mismatch: missing={missing}, unexpected={unexpected}")
-        for name, parameter in own.items():
-            if parameter.data.shape != state[name].shape:
-                raise ValueError(
-                    f"shape mismatch for {name}: {parameter.data.shape} vs {state[name].shape}"
+        missing = sorted(set(own) - set(state))
+        unexpected = sorted(set(state) - set(own))
+        mismatched = []
+        for name in sorted(set(own) & set(state)):
+            expected = tuple(own[name].data.shape)
+            got = tuple(np.asarray(state[name]).shape)
+            if expected != got:
+                mismatched.append((name, expected, got))
+        if missing or unexpected or mismatched:
+            parts = []
+            if missing:
+                parts.append(f"missing keys: {', '.join(missing)}")
+            if unexpected:
+                parts.append(f"unexpected keys: {', '.join(unexpected)}")
+            if mismatched:
+                shapes = ", ".join(
+                    f"{name} expects {expected}, got {got}"
+                    for name, expected, got in mismatched
                 )
-            parameter.data = state[name].copy()
+                parts.append(f"shape mismatches: {shapes}")
+            raise StateDictMismatch(
+                "state dict mismatch — " + "; ".join(parts),
+                missing=missing,
+                unexpected=unexpected,
+                mismatched=mismatched,
+            )
+        for name, parameter in own.items():
+            parameter.data = np.asarray(state[name]).copy()
 
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)

@@ -14,29 +14,33 @@ structure is not learned).
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
 
-_GRAD_ENABLED = True
+# Grad mode is per-thread (as in torch): the serving layer runs inference
+# (predict_logits under no_grad) on asyncio.to_thread workers concurrently
+# with training elsewhere, and a process-global flag would let one
+# thread's no_grad exit clobber another's mode.
+_GRAD_STATE = threading.local()
 
 
 def is_grad_enabled() -> bool:
-    """Whether new operations are recorded on the tape."""
-    return _GRAD_ENABLED
+    """Whether new operations are recorded on the tape (this thread)."""
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 @contextlib.contextmanager
 def no_grad():
     """Context manager disabling tape recording (inference mode)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = is_grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -71,7 +75,7 @@ class Tensor:
     ):
         self.data = np.asarray(data, dtype=np.float64)
         self.grad: Optional[np.ndarray] = None
-        self.requires_grad = requires_grad and _GRAD_ENABLED
+        self.requires_grad = requires_grad and is_grad_enabled()
         self._backward = _backward
         self._parents = _parents if self.requires_grad or _parents else ()
         self.name = name
@@ -122,7 +126,7 @@ class Tensor:
         parents: Sequence["Tensor"],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         if not requires:
             return Tensor(data)
         return Tensor(data, requires_grad=True, _parents=tuple(parents), _backward=backward)

@@ -23,12 +23,15 @@ from repro.serve.loadgen import (
     LoadReport,
     compare_http_serving,
     compare_pool_serving,
+    compare_predict_serving,
     compare_serving_modes,
     run_http_load,
     run_load,
+    run_predict_load,
 )
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.pool import WorkerCrashed, WorkerError, WorkerPool, shard_for
+from repro.serve.registry import ModelRegistry
 from repro.serve.service import (
     AsyncSparqlEndpoint,
     ExtractionService,
@@ -43,6 +46,7 @@ __all__ = [
     "Coalescer",
     "ExtractionService",
     "LoadReport",
+    "ModelRegistry",
     "ServiceMetrics",
     "ServiceOverloaded",
     "UnknownGraph",
@@ -52,9 +56,11 @@ __all__ = [
     "bound_port",
     "compare_http_serving",
     "compare_pool_serving",
+    "compare_predict_serving",
     "compare_serving_modes",
     "run_http_load",
     "run_load",
+    "run_predict_load",
     "serve_http",
     "serve_tcp",
     "shard_for",

@@ -27,6 +27,12 @@ on ``asyncio`` streams, dependency-free:
     URL parameters or a JSON body; responses are the same payloads the
     TCP front end ships, as ``application/json``.
 
+``GET|POST /predict``
+    Task-oriented model inference over registered checkpoints: ``node``
+    (node classification) or ``head`` (link prediction) plus ``task``,
+    with optional ``model``, ``k``, ``candidates`` and ``budget_ms``
+    routing fields — see ``docs/serving.md`` for the full request shape.
+
 ``GET /metrics``, ``GET /graphs``, ``GET /ping``
     Observability endpoints.
 
@@ -405,6 +411,7 @@ async def _handle_op(
 _OP_ROUTES = {
     "/ppr": (("GET", "POST"), "ppr"),
     "/ego": (("GET", "POST"), "ego"),
+    "/predict": (("GET", "POST"), "predict"),
     "/metrics": (("GET",), "metrics"),
     "/graphs": (("GET",), "graphs"),
     "/ping": (("GET",), "ping"),

@@ -425,6 +425,170 @@ def compare_pool_serving(
     return serial, pooled, speedup
 
 
+def _predict_task_types(checkpoints: Sequence[str]) -> Dict[str, str]:
+    """``task name -> task type`` read from checkpoint headers (O(header))."""
+    from repro.nn.checkpoint import read_checkpoint_meta
+
+    return {
+        meta["task_name"]: meta["task_type"]
+        for meta in (read_checkpoint_meta(path) for path in checkpoints)
+    }
+
+
+async def _predict_closed_loop(
+    service: ExtractionService,
+    requests: Sequence[Tuple[str, int]],
+    task_types: Dict[str, str],
+    k: int,
+    candidates: int,
+    concurrency: int,
+) -> Tuple[Dict[int, dict], List[float], int]:
+    """The closed loop over ``/predict``: results keyed by request *index*.
+
+    Prediction requests legitimately repeat (hot nodes), so answers are
+    recorded per position in the sequence, not per item — the result
+    cache may answer a repeat, and the bit-exactness comparison must
+    still see every position.
+    """
+    next_index = 0
+    latencies: List[float] = []
+    rejected = 0
+    results: Dict[int, dict] = {}
+
+    async def worker() -> None:
+        nonlocal next_index, rejected
+        while True:
+            index = next_index
+            if index >= len(requests):
+                return
+            next_index = index + 1
+            task, item = requests[index]
+            field_name = "node" if task_types[task] == "NC" else "head"
+            start = time.perf_counter()
+            while True:
+                try:
+                    result = await service.predict(
+                        GRAPH_NAME, task, k=k, candidates=candidates,
+                        **{field_name: int(item)},
+                    )
+                    break
+                except ServiceOverloaded as exc:
+                    rejected += 1
+                    await asyncio.sleep(exc.retry_after)
+            latencies.append(time.perf_counter() - start)
+            results[index] = result
+
+    await asyncio.gather(*(worker() for _ in range(concurrency)))
+    await service.drain()
+    return results, latencies, rejected
+
+
+def run_predict_load(
+    kg: KnowledgeGraph,
+    checkpoints: Sequence[str],
+    requests: Sequence[Tuple[str, int]],
+    k: int = 10,
+    candidates: int = 0,
+    concurrency: int = 64,
+    coalesce: bool = True,
+    max_batch: int = 64,
+    max_delay: float = 0.002,
+    max_pending: Optional[int] = None,
+    pool: Optional[WorkerPool] = None,
+) -> LoadReport:
+    """Drive ``/predict`` with the closed-loop generator.
+
+    ``requests`` is a sequence of ``(task name, item id)`` pairs —
+    ``item`` is a target node for NC tasks and a head node for LP tasks
+    (the kind is read from the checkpoint headers).  No latency budget is
+    passed, so routing picks the same (most accurate) checkpoint per task
+    in every mode and the bit-exactness comparisons are apples to apples.
+    """
+    task_types = _predict_task_types(checkpoints)
+    service = ExtractionService(
+        max_pending=max_pending if max_pending is not None else 2 * concurrency,
+        max_batch=max_batch,
+        max_delay=max_delay,
+        coalesce=coalesce,
+        pool=pool,
+    )
+    service.register(GRAPH_NAME, kg)
+    for path in checkpoints:
+        service.register_checkpoint(GRAPH_NAME, path)
+
+    async def run():
+        start = time.perf_counter()
+        results, latencies, rejected = await _predict_closed_loop(
+            service, requests, task_types, k, candidates, concurrency
+        )
+        return results, latencies, rejected, time.perf_counter() - start
+
+    results, latencies, rejected, wall = asyncio.run(run())
+    mode = "pooled" if pool is not None else ("coalesced" if coalesce else "serial")
+    return LoadReport(
+        mode=f"predict-{mode}",
+        requests=len(requests),
+        concurrency=concurrency,
+        wall_seconds=wall,
+        throughput_rps=len(requests) / max(wall, 1e-12),
+        p50_ms=percentile(latencies, 0.50) * 1e3,
+        p95_ms=percentile(latencies, 0.95) * 1e3,
+        rejected=rejected,
+        batch_occupancy=service.metrics.batch_occupancy(),
+        results=results,
+        metrics=service.metrics_snapshot(),
+    )
+
+
+def compare_predict_serving(
+    kg: KnowledgeGraph,
+    checkpoints: Sequence[str],
+    requests: Sequence[Tuple[str, int]],
+    k: int = 10,
+    candidates: int = 0,
+    concurrency: int = 64,
+    max_batch: int = 64,
+    max_delay: float = 0.002,
+    pool: Optional[WorkerPool] = None,
+) -> Tuple[LoadReport, LoadReport, float]:
+    """Scalar-oracle ``/predict`` baseline vs the batched inference path.
+
+    The baseline answers one request at a time through
+    :func:`~repro.serve.kernels.run_predict_oracle` (no result cache, no
+    registry-level logits cache); the fast path is the coalescer's
+    batched extraction→inference pipeline — in-process, or pooled when
+    ``pool`` is given (reused and left running).  Returns
+    ``(serial, fast, speedup)`` after asserting both produced
+    bit-identical payloads at every request position — micro-batching,
+    the result cache and process boundaries must never change an answer.
+    """
+    if pool is not None:
+        # Warm the pooled path outside the timed run: worker-side
+        # checkpoint loads and full-target logits passes are startup
+        # costs, not serving capacity.
+        run_predict_load(
+            kg, checkpoints, requests[: min(len(requests), concurrency)],
+            k=k, candidates=candidates, concurrency=concurrency, pool=pool,
+            max_batch=max_batch, max_delay=max_delay,
+        )
+    serial = run_predict_load(
+        kg, checkpoints, requests, k=k, candidates=candidates,
+        concurrency=concurrency, coalesce=False,
+        max_batch=max_batch, max_delay=max_delay,
+    )
+    fast = run_predict_load(
+        kg, checkpoints, requests, k=k, candidates=candidates,
+        concurrency=concurrency, coalesce=True, pool=pool,
+        max_batch=max_batch, max_delay=max_delay,
+    )
+    if serial.results != fast.results:
+        raise AssertionError(
+            "batched /predict serving diverged from the scalar oracle baseline"
+        )
+    speedup = fast.throughput_rps / max(serial.throughput_rps, 1e-12)
+    return serial, fast, speedup
+
+
 def compare_serving_modes(
     kg: KnowledgeGraph,
     targets: Sequence[int],

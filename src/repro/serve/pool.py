@@ -185,6 +185,7 @@ def _execute_op(graphs: Dict[str, dict], op: str, payload: dict) -> Any:
         name = payload["name"]
         entry = graphs.get(name)
         if entry is None:
+            from repro.serve.registry import ModelRegistry
             from repro.sparql.endpoint import SparqlEndpoint
 
             mmap_dir = payload.get("mmap_dir")
@@ -200,7 +201,15 @@ def _execute_op(graphs: Dict[str, dict], op: str, payload: dict) -> Any:
             graphs[name] = entry = {
                 "kg": kg,
                 "endpoint": SparqlEndpoint(kg, compression=payload["compression"]),
+                "registry": ModelRegistry(),
             }
+        # Checkpoints ride the registration payload by *path* (respawn
+        # replays re-read the same files); models load lazily on the
+        # first predict window that reaches this worker.
+        for checkpoint in payload.get("checkpoints", ()):
+            entry["registry"].add(
+                name, checkpoint, expected_graph=entry["kg"].name
+            )
         if payload.get("warm"):
             artifacts_for(entry["kg"]).warm(payload.get("warm_kinds", ("csr",)))
         return sorted(graphs)
@@ -222,6 +231,16 @@ def _execute_op(graphs: Dict[str, dict], op: str, payload: dict) -> Any:
 
         return run_ego_batch(
             kg, payload["roots"], payload["depth"], payload["fanout"], payload["salt"]
+        )
+    if op == "predict":
+        # Same shared kernel as the in-process dispatch path; parameters
+        # in (a few ints + the window's item ids), score payloads back.
+        from repro.serve.kernels import run_predict_batch
+
+        return run_predict_batch(
+            kg, entry["registry"], payload["graph"], payload["task"],
+            payload["model"], payload["items"], payload["k"],
+            payload["candidates"],
         )
     if op == "sparql":
         result = entry["endpoint"].query(payload["query"])
@@ -435,7 +454,7 @@ class _WorkerHandle:
 class _PoolGraph:
     """Parent-side registration record (replayed on worker respawn)."""
 
-    __slots__ = ("name", "kg", "warm", "shards", "rr", "mmap_dir")
+    __slots__ = ("name", "kg", "warm", "shards", "rr", "mmap_dir", "checkpoints")
 
     def __init__(
         self,
@@ -450,6 +469,7 @@ class _PoolGraph:
         self.warm = warm
         self.shards = shards
         self.mmap_dir = mmap_dir
+        self.checkpoints: List[str] = []
         self.rr = itertools.count()
 
 
@@ -621,6 +641,9 @@ class WorkerPool:
             "warm": record.warm,
             "warm_kinds": ("csr",),
             "compression": self.compression,
+            # Checkpoint paths ride the registration record, so a respawned
+            # worker replays them and serves /predict like the original.
+            "checkpoints": list(record.checkpoints),
         }
         if record.mmap_dir is not None:
             # Ship the artifact-store path, not the graph: respawn replays
@@ -629,6 +652,30 @@ class WorkerPool:
         else:
             payload["kg"] = record.kg
         return payload
+
+    def register_checkpoint(self, name: str, path: str) -> List[int]:
+        """Ship the checkpoint at ``path`` to every worker serving ``name``.
+
+        Only the *path* crosses the pipe; owning workers register it in
+        their own :class:`~repro.serve.registry.ModelRegistry` and load
+        the parameters lazily.  The path also joins the graph's
+        registration record, so respawned workers replay it.  Idempotent
+        per path.  Returns the owning worker indices.
+        """
+        with self._registry_lock:
+            record = self._graphs.get(name)
+            if record is None:
+                raise KeyError(f"graph {name!r} is not registered with the pool")
+            if path not in record.checkpoints:
+                record.checkpoints.append(path)
+            shards = list(record.shards)
+            payload = self._registration_payload(record)
+        # Re-registration is a no-op for the graph itself; workers only
+        # fold in the (idempotent) checkpoint list.
+        futures = [self._workers[shard].request("register", payload) for shard in shards]
+        for future in futures:
+            future.result()
+        return shards
 
     def _registrations_for(self, index: int) -> List[dict]:
         with self._registry_lock:

@@ -1,0 +1,194 @@
+"""The serving-side model registry: checkpoints in, warm models out.
+
+:class:`ModelRegistry` is to trained parameters what
+:func:`repro.kg.cache.artifacts_for` is to graph artifacts — the single
+construction point that makes "which model answers this request" a cache
+lookup instead of a load.  Checkpoints are registered by *path*; only the
+O(header) metadata (:func:`~repro.nn.checkpoint.read_checkpoint_meta`) is
+read eagerly, so the parent process of a worker pool can route on
+architecture / task / recorded metric / parameter count without ever
+holding model parameters.  The full checkpoint is loaded and the model
+rebuilt lazily, on the first request that actually needs it, and cached
+under its ``(graph, task, architecture)`` identity for every later
+request — the same double-checked idiom ``artifacts_for`` uses.
+
+The registry also owns the **full-target logits cache** for node
+classification: the first NC request against a model triggers one
+vectorized ``predict_logits()`` pass over *all* task targets, and every
+subsequent request is a row gather.  Because the gather is taken from the
+identical full-target computation the scalar oracle performs, cached
+answers are bit-exact with uncached ones by construction.
+
+Thread-safe: models are built on coalescer worker threads while the
+event loop routes; counters (``hits`` / ``loads``) feed ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    read_checkpoint_meta,
+)
+
+__all__ = ["ModelRegistry"]
+
+#: Registry identity of one checkpoint: (graph name, task name, architecture).
+Key = Tuple[str, str, str]
+
+
+class ModelRegistry:
+    """Lazily-loading cache of checkpointed models, keyed per graph×task×arch."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._paths: Dict[Key, str] = {}
+        self._meta: Dict[Key, dict] = {}
+        self._models: Dict[Key, object] = {}
+        self._logits: Dict[Key, np.ndarray] = {}
+        self._positions: Dict[Key, dict] = {}
+        self.hits = 0  # cache hits: a request found its model already built
+        self.loads = 0  # checkpoint loads: full parse + model rebuild
+
+    # -- registration ---------------------------------------------------------
+
+    def add(self, graph: str, path: str, expected_graph: Optional[str] = None) -> dict:
+        """Register the checkpoint at ``path`` under serving name ``graph``.
+
+        Reads only the header (cheap, validates magic/version/CRC).
+        ``expected_graph`` — the registered graph's ``kg.name`` — makes
+        graph skew loud at registration time instead of at first request.
+        Re-adding the same path is a no-op; a *different* checkpoint for an
+        already-registered ``(graph, task, architecture)`` is an error.
+        """
+        meta = read_checkpoint_meta(path)
+        if expected_graph is not None and meta["graph"] != expected_graph:
+            raise CheckpointError(
+                f"{path}: checkpoint was trained on graph {meta['graph']!r} "
+                f"but graph {graph!r} serves {expected_graph!r}"
+            )
+        key: Key = (graph, meta["task_name"], meta["architecture"])
+        with self._lock:
+            existing = self._paths.get(key)
+            if existing is not None and existing != path:
+                raise ValueError(
+                    f"graph {graph!r} already serves task {meta['task_name']!r} "
+                    f"with a {meta['architecture']} checkpoint ({existing})"
+                )
+            self._paths[key] = path
+            self._meta[key] = meta
+        return meta
+
+    def paths(self) -> List[str]:
+        """Every registered checkpoint path (registration order not kept)."""
+        with self._lock:
+            return sorted(set(self._paths.values()))
+
+    def candidates(self, graph: str, task: str) -> List[Tuple[str, dict]]:
+        """``(architecture, meta)`` per checkpoint able to answer ``task``.
+
+        Sorted by architecture name so routing tie-breaks are
+        deterministic across processes and runs.
+        """
+        with self._lock:
+            return sorted(
+                (key[2], meta)
+                for key, meta in self._meta.items()
+                if key[0] == graph and key[1] == task
+            )
+
+    def tasks(self, graph: str) -> List[str]:
+        with self._lock:
+            return sorted({key[1] for key in self._meta if key[0] == graph})
+
+    def meta(self, graph: str, task: str, architecture: str) -> dict:
+        with self._lock:
+            meta = self._meta.get((graph, task, architecture))
+        if meta is None:
+            raise KeyError(
+                f"no {architecture} checkpoint for task {task!r} on graph {graph!r}"
+            )
+        return meta
+
+    # -- lazy model construction ----------------------------------------------
+
+    def model(self, graph: str, task: str, architecture: str, kg):
+        """The warm model for ``(graph, task, architecture)`` — built once.
+
+        The slow path (checkpoint parse + model rebuild + parameter load)
+        runs outside the lock; a double-check keeps one build per key even
+        when concurrent windows race, mirroring ``artifacts_for``.
+        """
+        key: Key = (graph, task, architecture)
+        with self._lock:
+            model = self._models.get(key)
+            if model is not None:
+                self.hits += 1
+                return model
+            path = self._paths.get(key)
+        if path is None:
+            raise KeyError(
+                f"no {architecture} checkpoint for task {task!r} on graph {graph!r}"
+            )
+        built = load_checkpoint(path).build_model(kg)
+        with self._lock:
+            model = self._models.get(key)
+            if model is not None:
+                self.hits += 1
+                return model
+            self._models[key] = built
+            self.loads += 1
+        return built
+
+    def logits(self, graph: str, task: str, architecture: str, kg) -> np.ndarray:
+        """Cached full-target NC logits (one vectorized pass, then gathers)."""
+        key: Key = (graph, task, architecture)
+        with self._lock:
+            cached = self._logits.get(key)
+        if cached is not None:
+            return cached
+        logits = self.model(graph, task, architecture, kg).predict_logits()
+        with self._lock:
+            return self._logits.setdefault(key, logits)
+
+    def target_positions(self, graph: str, task: str, architecture: str, kg) -> dict:
+        """``node id -> row`` lookup into the task's target/logits order."""
+        key: Key = (graph, task, architecture)
+        with self._lock:
+            cached = self._positions.get(key)
+        if cached is not None:
+            return cached
+        targets = self.model(graph, task, architecture, kg).task.target_nodes
+        positions = {int(node): index for index, node in enumerate(targets)}
+        with self._lock:
+            return self._positions.setdefault(key, positions)
+
+    # -- observability --------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Registry state for ``/metrics``: per-checkpoint meta + counters."""
+        with self._lock:
+            checkpoints = [
+                {
+                    "graph": key[0],
+                    "task": key[1],
+                    "architecture": key[2],
+                    "task_type": self._meta[key]["task_type"],
+                    "num_parameters": self._meta[key]["num_parameters"],
+                    "metrics": self._meta[key]["metrics"],
+                    "loaded": key in self._models,
+                    "path": self._paths[key],
+                }
+                for key in sorted(self._meta)
+            ]
+            return {
+                "checkpoints": checkpoints,
+                "loaded": len(self._models),
+                "hits": self.hits,
+                "loads": self.loads,
+            }

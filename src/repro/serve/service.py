@@ -33,7 +33,9 @@ a dispatched batch executes.
 from __future__ import annotations
 
 import asyncio
+import itertools
 import time
+from collections import OrderedDict
 from typing import Dict, Hashable, List, Optional, Tuple, Union
 
 from repro.kg.cache import artifacts_for
@@ -41,9 +43,15 @@ from repro.kg.graph import KnowledgeGraph
 from repro.models.shadowsaint import _EgoGraph, extract_ego
 from repro.sampling.ppr import ppr_top_k
 from repro.serve.coalesce import MAX_BATCH, MAX_DELAY_SECONDS, Coalescer
-from repro.serve.kernels import run_ego_batch, run_ppr_batch
+from repro.serve.kernels import (
+    run_ego_batch,
+    run_ppr_batch,
+    run_predict_batch,
+    run_predict_oracle,
+)
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.pool import WorkerPool
+from repro.serve.registry import ModelRegistry
 from repro.sparql.ast import SelectQuery
 from repro.sparql.endpoint import PageStream, SparqlEndpoint
 from repro.sparql.executor import ResultSet
@@ -51,6 +59,13 @@ from repro.sparql.executor import ResultSet
 # Default in-flight bound: enough to keep several full coalescing windows
 # busy without letting latency grow without limit under overload.
 MAX_PENDING = 256
+
+# Default bound on the /predict result cache (entries, LRU eviction).
+PREDICT_CACHE_SIZE = 1024
+
+# Default /predict parameters: top-k tails returned per LP request, and 0
+# PPR candidates (= score the full tail-class pool).
+PREDICT_TOP_K = 10
 
 Query = Union[str, SelectQuery]
 
@@ -102,14 +117,21 @@ class AsyncSparqlEndpoint:
 
 
 class _RegisteredGraph:
-    """Per-graph routing state: the graph, its endpoint, warm artifacts."""
+    """Per-graph routing state: the graph, its endpoint, warm artifacts.
 
-    __slots__ = ("kg", "endpoint", "async_endpoint")
+    ``epoch`` is a monotonic registration stamp; it keys the /predict
+    result cache so an entry can never outlive the graph snapshot it was
+    computed against (graphs are immutable — a future re-registration
+    under the same name would carry a new epoch and miss cleanly).
+    """
 
-    def __init__(self, kg: KnowledgeGraph, compression: bool):
+    __slots__ = ("kg", "endpoint", "async_endpoint", "epoch")
+
+    def __init__(self, kg: KnowledgeGraph, compression: bool, epoch: int):
         self.kg = kg
         self.endpoint = SparqlEndpoint(kg, compression=compression)
         self.async_endpoint = AsyncSparqlEndpoint(self.endpoint)
+        self.epoch = epoch
 
 
 class ExtractionService:
@@ -150,6 +172,7 @@ class ExtractionService:
         compression: bool = True,
         metrics: Optional[ServiceMetrics] = None,
         pool: Optional[WorkerPool] = None,
+        predict_cache_size: int = PREDICT_CACHE_SIZE,
     ):
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
@@ -178,6 +201,25 @@ class ExtractionService:
             max_delay=max_delay,
             metrics=self.metrics,
         )
+        self._predict = Coalescer(
+            self._dispatch_predict,
+            max_batch=max_batch,
+            max_delay=max_delay,
+            metrics=self.metrics,
+        )
+        # Checkpointed models (lazy, identity-cached).  In pool mode the
+        # parent registry holds *metadata only* (for routing); the models
+        # themselves live in the owning workers' registries.
+        self.registry = ModelRegistry()
+        self._epochs = itertools.count()
+        # Bounded LRU over finished /predict payloads, keyed on
+        # (graph, epoch, task, architecture, item, k, candidates).  Active
+        # only when coalescing — the serial baseline must measure the
+        # uncached scalar path.  Event-loop-confined: no lock needed.
+        self._predict_cache: "OrderedDict[tuple, dict]" = OrderedDict()
+        self._predict_cache_size = max(int(predict_cache_size), 0)
+        self._predict_cache_hits = 0
+        self._predict_cache_misses = 0
 
     # -- registry --
 
@@ -205,11 +247,27 @@ class ExtractionService:
         """
         if name in self._graphs:
             raise ValueError(f"graph {name!r} already registered")
-        self._graphs[name] = _RegisteredGraph(kg, self._compression)
+        self._graphs[name] = _RegisteredGraph(kg, self._compression, next(self._epochs))
         if self.pool is not None:
             self.pool.register(name, kg, warm=warm, mmap_dir=mmap_dir)
         elif warm:
             artifacts_for(kg).warm(("csr",))
+
+    def register_checkpoint(self, graph: str, path: str) -> dict:
+        """Attach the checkpoint at ``path`` to registered graph ``graph``.
+
+        The parent registry reads the O(header) metadata (validating
+        magic/version/CRC and that the checkpoint's graph matches the
+        registered ``kg``); model parameters are loaded lazily by whoever
+        executes predict windows — this process in-process, the owning
+        workers in pool mode (the pool ships the *path*, replayed on
+        respawn like graph registrations).  Returns the checkpoint meta.
+        """
+        entry = self._graph(graph)
+        meta = self.registry.add(graph, path, expected_graph=entry.kg.name)
+        if self.pool is not None:
+            self.pool.register_checkpoint(graph, path)
+        return meta
 
     def graphs(self) -> List[str]:
         return sorted(self._graphs)
@@ -228,8 +286,15 @@ class ExtractionService:
     # -- admission gate --
 
     #: Request kinds that route through a coalescing scheduler; only their
-    #: drain estimates may be divided by a batch factor.
+    #: drain estimates may be divided by a batch factor.  ``/predict``
+    #: kinds are per-model (``predict:<architecture>``) so each model gets
+    #: its own EWMA — the basis of latency-budget routing — and are
+    #: coalesced too (see :meth:`_coalesced_kind`).
     COALESCED_KINDS = ("ppr", "ego")
+
+    @classmethod
+    def _coalesced_kind(cls, kind: str) -> bool:
+        return kind in cls.COALESCED_KINDS or kind.startswith("predict:")
 
     def _admit(self, kind: str) -> None:
         if self._pending >= self.max_pending:
@@ -251,7 +316,7 @@ class ExtractionService:
             # rate, then to one coalescing window.
             per_request = self.metrics.ewma_request_seconds(default=self._ppr.max_delay)
         drain = self._pending * per_request
-        if self.coalesce and kind in self.COALESCED_KINDS:
+        if self.coalesce and self._coalesced_kind(kind):
             occupancy = self.metrics.batch_occupancy()
             batch_factor = min(max(occupancy, 1.0), float(self._ppr.max_batch))
             drain /= batch_factor
@@ -321,6 +386,123 @@ class ExtractionService:
             return self._serial_ego(graph, int(root), depth, fanout, salt)
 
         return await self._serve("ego", start)
+
+    async def predict(
+        self,
+        graph: str,
+        task: str,
+        node: Optional[int] = None,
+        head: Optional[int] = None,
+        model: Optional[str] = None,
+        k: int = PREDICT_TOP_K,
+        candidates: int = 0,
+        budget_ms: Optional[float] = None,
+    ) -> dict:
+        """One model-inference request against a checkpointed model.
+
+        ``node`` (node classification) or ``head`` (link prediction) names
+        the query entity — pass exactly one.  ``model`` pins an
+        architecture; otherwise :meth:`_route_predict` picks one
+        query-aware: the most accurate checkpoint whose observed per-model
+        latency (EWMA of ``predict:<arch>`` completions) fits
+        ``budget_ms``, the fastest when none fits, the best recorded test
+        metric when no budget is given.  ``k`` bounds the returned LP
+        tails; ``candidates > 0`` localizes LP scoring to the PPR top-c
+        neighbourhood of the head (extraction→inference pipelining)
+        instead of the full tail-class pool.
+
+        Coalesced mode answers through the micro-batched vectorized path
+        plus a bounded LRU result cache (hits skip admission entirely);
+        ``coalesce=False`` serves the scalar one-request-at-a-time oracle,
+        which every batched answer must match bit for bit.
+        """
+        entry = self._graph(graph)
+        if (node is None) == (head is None):
+            raise ValueError(
+                "op 'predict' takes exactly one of 'node' (node "
+                "classification) or 'head' (link prediction)"
+            )
+        item = int(node if node is not None else head)
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if candidates < 0:
+            raise ValueError(f"candidates must be >= 0, got {candidates}")
+        architecture = model if model is not None else self._route_predict(
+            graph, task, budget_ms
+        )
+        try:
+            self.registry.meta(graph, task, architecture)
+        except KeyError as exc:
+            raise ValueError(str(exc)) from None
+
+        cache_key = (graph, entry.epoch, task, architecture, item, k, candidates)
+        if self.coalesce:
+            cached = self._predict_cache.get(cache_key)
+            if cached is not None:
+                self._predict_cache.move_to_end(cache_key)
+                self._predict_cache_hits += 1
+                return cached
+            self._predict_cache_misses += 1
+
+        def start():
+            if self.coalesce:
+                return self._predict.submit(
+                    (graph, task, architecture, int(k), int(candidates)), item
+                )
+            return self._serial_predict(graph, task, architecture, item, k, candidates)
+
+        result = await self._serve(f"predict:{architecture}", start)
+        if "error" in result:
+            # Per-item failures ship inside the window payload so one bad
+            # id cannot fail its whole batch; surface as a client error.
+            raise ValueError(result["error"])
+        if self.coalesce and self._predict_cache_size:
+            self._predict_cache[cache_key] = result
+            self._predict_cache.move_to_end(cache_key)
+            while len(self._predict_cache) > self._predict_cache_size:
+                self._predict_cache.popitem(last=False)
+        return result
+
+    def _route_predict(
+        self, graph: str, task: str, budget_ms: Optional[float]
+    ) -> str:
+        """Pick the architecture answering ``task`` (query-aware routing).
+
+        No budget: the checkpoint with the best recorded ``test_metric``
+        (ties → fewer parameters, then architecture name — deterministic
+        across serial/coalesced/pooled modes, so bit-exactness comparisons
+        route identically).  With a budget: the best such checkpoint whose
+        per-model latency EWMA fits the budget — a model with no traffic
+        yet optimistically counts as fitting — falling back to the fastest
+        observed model when none fits.
+        """
+        options = self.registry.candidates(graph, task)
+        if not options:
+            raise ValueError(
+                f"no checkpoint serves task {task!r} on graph {graph!r}; "
+                f"tasks with checkpoints: {self.registry.tasks(graph)}"
+            )
+
+        def quality(option: Tuple[str, dict]) -> Tuple[float, int]:
+            architecture, meta = option
+            metric = meta.get("metrics", {}).get("test_metric")
+            best = float(metric) if metric is not None else float("-inf")
+            return (best, -int(meta.get("num_parameters", 0)))
+
+        if budget_ms is None:
+            return max(options, key=quality)[0]
+        budget = float(budget_ms) / 1e3
+        timed = [
+            (
+                self.metrics.ewma_request_seconds(kind=f"predict:{arch}", default=0.0),
+                (arch, meta),
+            )
+            for arch, meta in options
+        ]
+        fits = [option for ewma, option in timed if ewma <= budget]
+        if fits:
+            return max(fits, key=quality)[0]
+        return min(timed, key=lambda pair: pair[0])[1][0]
 
     async def sparql(self, graph: str, query: Query) -> ResultSet:
         """One SPARQL request through the graph's async endpoint façade."""
@@ -399,6 +581,25 @@ class ExtractionService:
             )
         return run_ego_batch(self._graphs[graph].kg, roots, depth, fanout, salt)
 
+    def _dispatch_predict(self, key: Hashable, items: List[int]) -> List[dict]:
+        graph, task, architecture, k, candidates = key
+        if self.pool is not None:
+            return self.pool.call(
+                "predict",
+                {
+                    "graph": graph,
+                    "task": task,
+                    "model": architecture,
+                    "items": [int(item) for item in items],
+                    "k": k,
+                    "candidates": candidates,
+                },
+            )
+        return run_predict_batch(
+            self._graphs[graph].kg, self.registry, graph, task, architecture,
+            items, k, candidates,
+        )
+
     # -- pool-mode SPARQL plumbing (runs on asyncio.to_thread) --
 
     def _pool_sparql(self, graph: str, query: Query) -> ResultSet:
@@ -437,12 +638,24 @@ class ExtractionService:
                 extract_ego, kg, root, depth, fanout, salt
             )
 
+    async def _serial_predict(
+        self, graph: str, task: str, architecture: str,
+        item: int, k: int, candidates: int,
+    ) -> dict:
+        kg = self._graphs[graph].kg
+        async with self._serial_lock:
+            return await asyncio.to_thread(
+                run_predict_oracle, kg, self.registry, graph, task,
+                architecture, item, k, candidates,
+            )
+
     # -- lifecycle / observability --
 
     async def drain(self) -> None:
         """Flush open coalescing windows and wait for their batches."""
         await self._ppr.flush()
         await self._ego.flush()
+        await self._predict.flush()
 
     def metrics_snapshot(self) -> dict:
         """Service + per-graph metrics as one JSON-serializable dict.
@@ -463,6 +676,15 @@ class ExtractionService:
             if self.pool is not None:
                 graphs[name]["shards"] = self.pool.shards_of(name)
         snapshot["graphs"] = graphs
+        snapshot["predict"] = {
+            "cache": {
+                "hits": self._predict_cache_hits,
+                "misses": self._predict_cache_misses,
+                "size": len(self._predict_cache),
+                "capacity": self._predict_cache_size,
+            },
+            "registry": self.registry.snapshot(),
+        }
         snapshot["config"] = {
             "max_pending": self.max_pending,
             "max_batch": self._ppr.max_batch,

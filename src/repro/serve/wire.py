@@ -129,6 +129,25 @@ async def perform_op(service: ExtractionService, request: Any) -> Any:
             fanout=_field(request, "fanout", op, int, default=8),
             salt=_field(request, "salt", op, int, default=0),
         )
+    if op == "predict":
+        graph = _graph_field(service, request, op)
+        node = _field(request, "node", op, int, default=None)
+        head = _field(request, "head", op, int, default=None)
+        if (node is None) == (head is None):
+            raise BadRequest(
+                "op 'predict' requires exactly one of 'node' (node "
+                "classification) or 'head' (link prediction)"
+            )
+        return await service.predict(
+            graph,
+            _field(request, "task", op, text),
+            node=node,
+            head=head,
+            model=_field(request, "model", op, text, default=None),
+            k=_field(request, "k", op, int, default=10),
+            candidates=_field(request, "candidates", op, int, default=0),
+            budget_ms=_field(request, "budget_ms", op, float, default=None),
+        )
     if op == "sparql":
         graph = _graph_field(service, request, op)
         return await service.sparql(graph, _field(request, "query", op, text))

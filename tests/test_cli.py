@@ -187,8 +187,8 @@ def test_bench_serve_with_worker_pool(tmp_path, capsys):
 
 def test_help_text_covers_every_flag_documented_in_serving_docs(capsys):
     """Every --flag mentioned in docs/serving.md must appear verbatim in
-    `repro serve --help` or `repro bench-serve --help` (the docs and the
-    CLI must never drift apart)."""
+    `repro serve --help`, `repro bench-serve --help` or `repro train --help`
+    (the docs and the CLI must never drift apart)."""
     import re
 
     docs_path = os.path.join(
@@ -203,12 +203,75 @@ def test_help_text_covers_every_flag_documented_in_serving_docs(capsys):
     assert documented, "docs/serving.md no longer documents any flags?"
 
     help_text = ""
-    for command in ("serve", "bench-serve"):
+    for command in ("serve", "bench-serve", "train"):
         with pytest.raises(SystemExit):
             main([command, "--help"])
         help_text += capsys.readouterr().out
     missing = sorted(flag for flag in documented if flag not in help_text)
     assert not missing, f"flags documented in docs/serving.md but absent from --help: {missing}"
+
+
+def test_train_save_checkpoint_writes_loadable_artifact(tmp_path, capsys):
+    ckpt = str(tmp_path / "pv.ckpt")
+    assert main([
+        "train", "--dataset", "mag", "--scale", "tiny", "--task", "PV",
+        "--model", "RGCN", "--epochs", "3", "--save-checkpoint", ckpt,
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "checkpoint saved to" in out and "--checkpoint" in out
+
+    from repro.nn.checkpoint import read_checkpoint_meta
+
+    meta = read_checkpoint_meta(ckpt)
+    assert meta["architecture"] == "RGCN"
+    assert meta["task_name"] == "PV"
+    assert meta["task_type"] == "NC"
+    assert meta["metrics"]["test_metric"] > 0
+
+
+def test_serve_checkpoint_banner(tmp_path, capsys):
+    ckpt = str(tmp_path / "pv.ckpt")
+    assert main([
+        "train", "--dataset", "mag", "--scale", "tiny", "--task", "PV",
+        "--model", "RGCN", "--epochs", "3", "--save-checkpoint", ckpt,
+    ]) == 0
+    assert main([
+        "serve", "--dataset", "mag", "--scale", "tiny",
+        "--checkpoint", ckpt, "--port", "0", "--duration", "0.2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "serving MAG-tiny" in out and "1 checkpoint(s)" in out
+
+
+def test_bench_serve_predict_mode_writes_report(tmp_path, capsys):
+    ckpt = str(tmp_path / "pv.ckpt")
+    assert main([
+        "train", "--dataset", "mag", "--scale", "tiny", "--task", "PV",
+        "--model", "RGCN", "--epochs", "3", "--save-checkpoint", ckpt,
+    ]) == 0
+    out_path = str(tmp_path / "BENCH_predict.json")
+    assert main([
+        "bench-serve", "--dataset", "mag", "--scale", "tiny",
+        "--checkpoint", ckpt, "--requests", "32", "--concurrency", "8",
+        "--out", out_path,
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "/predict coalescing speedup" in out and "bit-identical" in out
+    import json
+
+    with open(out_path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert payload["task"] == "PV"
+    assert payload["serial"]["mode"] == "predict-serial"
+    assert payload["predict-coalesced"]["mode"] == "predict-coalesced"
+    assert payload["metrics"]["predict"]["registry"]["loaded"] == 1
+
+
+def test_bench_serve_checkpoint_conflicts_with_mmap(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["bench-serve", "--dataset", "mag", "--scale", "tiny",
+              "--checkpoint", str(tmp_path / "x.ckpt"),
+              "--mmap-dir", str(tmp_path), "--workers", "2"])
 
 
 def test_serve_http_end_to_end_over_a_real_socket():
@@ -355,6 +418,79 @@ def test_serve_mmap_worker_pool_end_to_end_over_a_real_socket(tmp_path):
         cache = metrics["graphs"]["mag"]["artifact_cache"]
         assert cache["mapped_nbytes"] > 0
         assert cache["builds"] == 0  # prebuilt projections: hits, never builds
+        conn.close()
+    finally:
+        process.terminate()
+        process.wait(timeout=10)
+
+
+def test_serve_predict_end_to_end_over_a_real_socket(tmp_path):
+    """train --save-checkpoint → serve --checkpoint → GET /predict on the wire.
+
+    The same workflow the CI inference tier runs: a checkpoint trained by
+    the CLI answers node-classification queries over HTTP, and /metrics
+    exposes the predict cache + registry counters.
+    """
+    import http.client
+    import json
+    import re
+    import subprocess
+    import sys
+
+    ckpt = str(tmp_path / "pv.ckpt")
+    assert main([
+        "train", "--dataset", "mag", "--scale", "tiny", "--task", "PV",
+        "--model", "RGCN", "--epochs", "3", "--save-checkpoint", ckpt,
+    ]) == 0
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--dataset", "mag", "--scale", "tiny",
+            "--protocol", "http", "--checkpoint", ckpt,
+            "--port", "0", "--duration", "60",
+        ],
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        env=env,
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        banner = process.stdout.readline()
+        match = re.search(r"on 127\.0\.0\.1:(\d+) via http", banner)
+        assert match, f"unexpected banner: {banner!r}"
+        assert "1 checkpoint(s)" in banner
+        port = int(match.group(1))
+
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+        conn.request("GET", "/predict?graph=mag&task=PV&node=0&k=4")
+        response = conn.getresponse()
+        assert response.status == 200
+        payload = json.loads(response.read())
+        assert payload["task_type"] == "NC"
+        assert payload["model"] == "RGCN"
+        assert payload["node"] == 0
+        assert isinstance(payload["label"], int)
+        assert len(payload["scores"]) > 1
+
+        # Same request again: answered from the result cache.
+        conn.request("GET", "/predict?graph=mag&task=PV&node=0&k=4")
+        assert json.loads(conn.getresponse().read()) == payload
+
+        # Bad request: NC tasks take a node, not a head.
+        conn.request("GET", "/predict?graph=mag&task=PV")
+        response = conn.getresponse()
+        assert response.status == 400
+        response.read()
+
+        conn.request("GET", "/metrics")
+        metrics = json.loads(conn.getresponse().read())
+        predict = metrics["predict"]
+        assert predict["cache"]["hits"] >= 1
+        assert predict["registry"]["loads"] == 1
+        assert predict["registry"]["checkpoints"][0]["task"] == "PV"
         conn.close()
     finally:
         process.terminate()

@@ -41,6 +41,10 @@ def test_architecture_doc_examples_run():
     assert result.failed == 0
 
 
+def test_every_guarded_perf_floor_is_documented():
+    assert check_docs.check_perf_floor_docs() == []
+
+
 def test_serving_doc_documents_the_pool_operator_surface():
     """docs/serving.md must keep the worker-pool operator section alive."""
     with open(os.path.join(REPO_ROOT, "docs", "serving.md"), encoding="utf-8") as handle:

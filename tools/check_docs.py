@@ -14,10 +14,16 @@ so the tier-1 suite catches breakage locally):
    are executed with ``doctest`` (the CI job runs the equivalent
    ``python -m doctest docs/architecture.md``), so the architecture
    walkthrough can never drift from the real API.
+3. **Perf floors** — every benchmark name the perf-guard checks
+   (``REPORTS`` in ``benchmarks/check_perf_floors.py``) must appear in
+   ``docs/ci.md``'s guarded-measurements table, so a new guarded
+   measurement cannot land undocumented (and a renamed one cannot leave
+   a stale row behind: every backtick-quoted name in the table must be
+   guarded).
 
 Usage::
 
-    PYTHONPATH=src python tools/check_docs.py            # both checks
+    PYTHONPATH=src python tools/check_docs.py            # all checks
     PYTHONPATH=src python tools/check_docs.py --links    # links only
 """
 
@@ -101,19 +107,66 @@ def check_doctests() -> List[str]:
     return failures
 
 
+def check_perf_floor_docs() -> List[str]:
+    """Return one failure message per floor/docs drift.
+
+    Both directions are audited against ``docs/ci.md``'s
+    guarded-measurements table: a benchmark the perf-guard checks but the
+    docs never mention (undocumented guard), and — within the table — a
+    backtick-quoted ``serving_*``/``artifact_*``/kernel row naming a
+    benchmark the guard no longer checks (stale row).
+    """
+    sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
+    try:
+        from check_perf_floors import REPORTS
+    finally:
+        sys.path.pop(0)
+    guarded = {name for names in REPORTS.values() for name in names}
+
+    ci_doc = os.path.join("docs", "ci.md")
+    path = os.path.join(REPO_ROOT, ci_doc)
+    if not os.path.exists(path):
+        return [f"{ci_doc}: missing (perf-floor documentation target)"]
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+
+    failures = [
+        f"{ci_doc}: guarded benchmark {name!r} (check_perf_floors.py) "
+        f"is not documented in the guarded-measurements table"
+        for name in sorted(guarded)
+        if f"`{name}`" not in text
+    ]
+    # Stale rows: backticked first-column names in the table that the
+    # guard no longer knows.  Only table rows are audited — prose may
+    # mention retired names when explaining history.
+    documented = {
+        match.group(1)
+        for match in re.finditer(r"^\|\s*`([a-z0-9_]+)`\s*\|", text, re.MULTILINE)
+    }
+    failures.extend(
+        f"{ci_doc}: table documents {name!r} but check_perf_floors.py "
+        f"no longer guards it"
+        for name in sorted(documented - guarded)
+    )
+    return failures
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--links", action="store_true", help="run only the link check")
     parser.add_argument("--doctests", action="store_true", help="run only the doctests")
+    parser.add_argument("--floors", action="store_true",
+                        help="run only the perf-floor documentation check")
     args = parser.parse_args(argv)
-    run_links = args.links or not args.doctests
-    run_doctests = args.doctests or not args.links
+    selected = args.links or args.doctests or args.floors
 
     checks: List[Tuple[str, List[str]]] = []
-    if run_links:
+    if args.links or not selected:
         checks.append(("links", check_links()))
-    if run_doctests:
+    if args.doctests or not selected:
         checks.append(("doctests", check_doctests()))
+    if args.floors or not selected:
+        checks.append(("floors", check_perf_floor_docs()))
 
     exit_code = 0
     for name, failures in checks:

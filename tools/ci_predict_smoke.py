@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""CI inference-tier smoke: serve a checkpoint and query ``/predict`` over HTTP.
+
+Boots ``repro serve --protocol http --checkpoint CKPT`` exactly as an
+operator would — once in-process and once on a 2-worker pool — and checks
+the full path over a real socket: a node-classification answer comes back,
+a repeated request is answered from the result cache without changing the
+payload, and ``/metrics`` exposes the predict cache + model registry
+counters.  The second argument, when given, receives the ``/metrics``
+snapshot as JSON (uploaded as the ``serving_metrics.json`` CI artifact).
+
+Usage::
+
+    python -m repro train --dataset mag --scale tiny --task PV --model RGCN \
+        --epochs 3 --save-checkpoint ckpt/mag-pv.ckpt
+    python tools/ci_predict_smoke.py ckpt/mag-pv.ckpt serving_metrics.json
+"""
+
+import http.client
+import json
+import os
+import re
+import subprocess
+import sys
+
+
+def smoke(checkpoint: str, workers: int, metrics_out: str = None) -> None:
+    """One serve → predict → metrics round over a real HTTP socket."""
+    argv = [
+        sys.executable, "-m", "repro", "serve",
+        "--dataset", "mag", "--scale", "tiny",
+        "--protocol", "http", "--checkpoint", checkpoint,
+        "--port", "0", "--duration", "120",
+    ]
+    if workers:
+        argv += ["--workers", str(workers)]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(argv, stdout=subprocess.PIPE, text=True, env=env)
+    try:
+        banner = process.stdout.readline()
+        match = re.search(r"on 127\.0\.0\.1:(\d+) via http", banner)
+        assert match, f"unexpected banner: {banner!r}"
+        port = int(match.group(1))
+
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+        conn.request("GET", "/predict?graph=mag&task=PV&node=0&k=4")
+        response = conn.getresponse()
+        payload = json.loads(response.read())
+        assert response.status == 200, payload
+        assert payload["task_type"] == "NC", payload
+        assert isinstance(payload["label"], int), payload
+
+        # The same request again must hit the result cache — and the cache
+        # must never change an answer.
+        conn.request("GET", "/predict?graph=mag&task=PV&node=0&k=4")
+        repeat = json.loads(conn.getresponse().read())
+        assert repeat == payload, "result cache changed the /predict payload"
+
+        # Malformed request: NC tasks take a node, not nothing.
+        conn.request("GET", "/predict?graph=mag&task=PV")
+        response = conn.getresponse()
+        assert response.status == 400, response.status
+        response.read()
+
+        conn.request("GET", "/metrics")
+        metrics = json.loads(conn.getresponse().read())
+        predict = metrics["predict"]
+        assert predict["cache"]["hits"] >= 1, predict
+        assert predict["registry"]["checkpoints"], predict
+        if metrics_out:
+            with open(metrics_out, "w", encoding="utf-8") as handle:
+                json.dump(metrics, handle, indent=2)
+        conn.close()
+
+        mode = f"{workers}-worker pool" if workers else "in-process"
+        print(
+            f"predict-smoke [{mode}]: ok on port {port} "
+            f"(cache hits {predict['cache']['hits']}, "
+            f"checkpoints {len(predict['registry']['checkpoints'])})"
+        )
+    finally:
+        process.terminate()
+        process.wait(timeout=10)
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    checkpoint = argv[0] if argv else "ckpt/mag-pv.ckpt"
+    metrics_out = argv[1] if len(argv) > 1 else None
+    if not os.path.exists(checkpoint):
+        print(f"predict-smoke: no checkpoint at {checkpoint}; "
+              f"create one with `repro train --save-checkpoint`")
+        return 2
+    smoke(checkpoint, workers=0, metrics_out=metrics_out)
+    smoke(checkpoint, workers=2)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
