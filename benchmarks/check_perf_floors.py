@@ -20,6 +20,10 @@ resident bytes).  Guarded reports:
 * ``BENCH_artifacts.json`` (``test_perf_artifacts.py``): worker warm time
   off the memory-mapped artifact store vs pickled-graph registration,
   and the per-worker resident-memory ceiling of the zero-copy path.
+* ``BENCH_live.json`` (``test_perf_live.py``): one live-graph epoch
+  extension (incremental CSR/hexastore merges) vs a cold artifact
+  rebuild at the same epoch, and the delta-aware warm-``/ppr`` refresh
+  after a localized ingest vs recomputing every retained target.
 
 Run after the perf benchmarks::
 
@@ -30,7 +34,8 @@ Run after the perf benchmarks::
 
 Bounds are maintained next to each benchmark (``FLOORS`` in
 ``test_perf_sampling.py``, ``FLOOR`` in ``test_perf_serving.py``,
-``WARM_FLOOR``/``RESIDENT_CEILING`` in ``test_perf_artifacts.py``) — see
+``WARM_FLOOR``/``RESIDENT_CEILING`` in ``test_perf_artifacts.py``,
+``EXTEND_FLOOR``/``REFRESH_FLOOR`` in ``test_perf_live.py``) — see
 ``docs/ci.md`` for the update policy.
 """
 
@@ -54,6 +59,10 @@ REPORTS = {
     "BENCH_artifacts.json": (
         "artifact_warm_time",
         "artifact_resident_memory",
+    ),
+    "BENCH_live.json": (
+        "live_epoch_extend",
+        "live_ppr_refresh",
     ),
 }
 

@@ -233,6 +233,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_delay=args.max_delay_ms / 1e3,
             coalesce=not args.no_coalesce,
             pool=pool,
+            compact_every=args.compact_every,
         )
         service.register(args.dataset, kg, mmap_dir=args.mmap_dir)
         for path in args.checkpoint:
@@ -473,6 +474,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="register a model checkpoint (created with "
                             "`repro train --save-checkpoint`) so /predict can "
                             "serve its task; repeatable")
+    serve.add_argument("--compact-every", type=int, default=0,
+                       help="compact a live graph's delta log into a fresh base "
+                            "once POST /triples has accumulated this many delta "
+                            "rows (0: never compact)")
     serve.add_argument("--duration", type=float, default=None,
                        help="stop after this many seconds (default: run forever)")
     serve.set_defaults(func=_cmd_serve)

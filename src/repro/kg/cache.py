@@ -21,6 +21,13 @@ cycle the garbage collector handles), so they die with their graph and
 throwaway subgraphs do not accumulate.  See ``docs/performance.md`` for the
 full contract.
 
+Live ingest (``repro/kg/epoch.py``) honours the same rule rather than
+bending it: appending triples produces a **new** merged graph — and with
+it a fresh identity-keyed cache entry — whose artifacts are *seeded*
+incrementally from the parent epoch's (merged CSR, sorted-merge
+hexastore) instead of rebuilt, bit-identical to a cold build.  The old
+epoch's graph and cache stay valid for requests still pinned to it.
+
 Process locality (sharded serving)
 ----------------------------------
 The cache is strictly **process-local**: artifacts are never pickled —

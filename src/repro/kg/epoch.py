@@ -1,0 +1,616 @@
+"""Epochal graph snapshots: live KGs as chains of immutable epochs.
+
+Production KGs receive triples continuously, but everything in this
+codebase — the artifact cache, the batch kernels, the serving layer — is
+built on *immutable* graphs.  This module reconciles the two without
+giving up a single bit-exactness contract:
+
+* A :class:`GraphEpoch` is one immutable snapshot: a **base**
+  :class:`~repro.kg.graph.KnowledgeGraph` (the last compaction point)
+  plus an append-only columnar **delta log** of the triples ingested
+  since.  ``epoch.kg`` is a *real* merged ``KnowledgeGraph`` — every
+  existing consumer (``artifacts_for``, the SPARQL executor, the batch
+  kernels, the model registry) works on it unchanged — but its derived
+  artifacts are constructed **incrementally** from the parent epoch's
+  artifacts instead of from scratch:
+
+  - **CSR projections** merge as ``base_csr + delta_csr`` (canonicalised
+    back to 0/1), identical to ``build_csr`` on the merged graph.
+  - **Hexastore orderings** merge each already-built base permutation
+    with a lexsort of the (small) delta via two ``searchsorted`` calls —
+    the classic sorted-merge — reproducing ``np.lexsort`` on the merged
+    columns *exactly* (lexsort is stable and base positions precede
+    delta positions, so tie order is preserved).
+
+* :class:`LiveGraph` strings epochs together behind one lock: ingest
+  appends a delta (bumping the epoch number), periodic **compaction**
+  folds the delta into a fresh base (reusing the already-merged graph,
+  so nothing is recomputed), and a bounded ring of recent epochs keeps
+  in-flight requests pinned to the epoch they were admitted under.
+
+* The hot kernels become **delta-aware with retained oracles**:
+  per-target batch-PPR results are cached together with their *support
+  set* (every node whose adjacency row or degree the push schedule
+  read), and ego extractions with their node sets.  An ingest
+  invalidates exactly the entries whose support intersects the dirty
+  nodes — everything else provably replays the identical schedule on
+  the new epoch, so serving it from cache is bit-exact.
+
+See ``docs/live-graphs.md`` for the operator-facing lifecycle.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.kg.cache import GraphArtifacts, artifacts_for
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.hexastore import Hexastore, _radix_product_fits_int64
+from repro.kg.triples import TripleStore
+
+#: How many past epochs a LiveGraph keeps resolvable by number.  In-flight
+#: requests admitted under epoch N resolve N from this ring even after
+#: later ingests; beyond the ring the current epoch answers (the only
+#: callers that far behind are metrics readers, not correctness paths).
+EPOCH_HISTORY = 16
+
+#: Bound on retained per-target kernel caches (FIFO eviction).
+KERNEL_CACHE_CAPACITY = 4096
+
+
+def _merged_csr(
+    parent: GraphArtifacts, delta: TripleStore, num_nodes: int
+) -> Dict[str, sp.csr_matrix]:
+    """Merge every CSR direction the parent has built with the delta.
+
+    ``base + delta`` unions the sparsity structures (scipy's CSR addition
+    emits canonical, column-sorted output); resetting ``data`` to 1.0
+    restores the 0/1 convention, after which the matrix is value-identical
+    to ``build_csr`` on the merged graph.
+    """
+    merged: Dict[str, sp.csr_matrix] = {}
+    for direction, base in parent._csr.items():
+        if direction == "out":
+            rows, cols = delta.s, delta.o
+        elif direction == "in":
+            rows, cols = delta.o, delta.s
+        else:  # "both" symmetrises, exactly like build_csr
+            rows = np.concatenate([delta.s, delta.o])
+            cols = np.concatenate([delta.o, delta.s])
+        extra = sp.csr_matrix(
+            (np.ones(len(rows), dtype=np.float64), (rows, cols)),
+            shape=(num_nodes, num_nodes),
+        )
+        extra.sum_duplicates()
+        combined = base + extra
+        combined.sum_duplicates()
+        combined.sort_indices()
+        combined.data[:] = 1.0
+        merged[direction] = combined
+    return merged
+
+
+def _composite(keys: List[np.ndarray], radices: List[int]) -> np.ndarray:
+    """Mixed-radix int64 encoding of three sorted key columns.
+
+    With each radix above the level's maximum value the encoding is
+    injective and order-preserving, so composites compare exactly like
+    the lexicographic triple order.
+    """
+    out = keys[0].astype(np.int64, copy=True)
+    for key, radix in zip(keys[1:], radices[1:]):
+        out *= radix
+        out += key
+    return out
+
+
+def _merged_hexastore(
+    parent_kg: KnowledgeGraph, delta: TripleStore, merged_store: TripleStore
+) -> Optional[Hexastore]:
+    """Incrementally merge the parent's built hexastore orderings.
+
+    For each ordering the parent materialised, the merged permutation is
+    the stable sorted-merge of the base permutation and a lexsort of the
+    delta: composite keys for both runs, then two ``searchsorted`` calls
+    place every element.  Because ``np.lexsort`` is stable and base
+    triples precede delta triples in the merged store, the result is
+    **bit-identical** to lexsorting the merged columns from scratch.
+    Orderings the parent never built stay lazy on the merged store.
+    """
+    base_hexa = parent_kg._hexastore
+    if base_hexa is None or not base_hexa._indices:
+        return None
+    delta_columns = {"s": delta.s, "p": delta.p, "o": delta.o}
+    n_base = len(parent_kg.triples)
+    n_delta = len(delta)
+    prebuilt: Dict[str, Tuple[np.ndarray, List[Optional[np.ndarray]]]] = {}
+    for name, index in base_hexa._indices.items():
+        ordered = [delta_columns[component] for component in index.order]
+        delta_perm = np.lexsort((ordered[2], ordered[1], ordered[0]))
+        base_keys = [index.key(level) for level in range(3)]
+        delta_keys = [column[delta_perm] for column in ordered]
+        radices = [
+            int(
+                max(
+                    int(bk.max()) if bk.size else 0,
+                    int(dk.max()) if dk.size else 0,
+                )
+            )
+            + 1
+            for bk, dk in zip(base_keys, delta_keys)
+        ]
+        keys: List[Optional[np.ndarray]] = [None, None, None]
+        if _radix_product_fits_int64(radices):
+            base_composite = _composite(base_keys, radices)
+            delta_composite = _composite(delta_keys, radices)
+            pos_base = np.arange(n_base, dtype=np.int64) + np.searchsorted(
+                delta_composite, base_composite, side="left"
+            )
+            pos_delta = np.arange(n_delta, dtype=np.int64) + np.searchsorted(
+                base_composite, delta_composite, side="right"
+            )
+            perm = np.empty(n_base + n_delta, dtype=np.int64)
+            perm[pos_base] = index.perm
+            perm[pos_delta] = delta_perm + n_base
+            for level in range(3):
+                merged_key = np.empty(n_base + n_delta, dtype=np.int64)
+                merged_key[pos_base] = base_keys[level]
+                merged_key[pos_delta] = delta_keys[level]
+                keys[level] = merged_key
+        else:  # pragma: no cover - needs ids near 2^21 on all three levels
+            columns = {"s": merged_store.s, "p": merged_store.p, "o": merged_store.o}
+            full = [columns[component] for component in index.order]
+            perm = np.lexsort((full[2], full[1], full[0]))
+        prebuilt[name] = (perm, keys)
+    return Hexastore.from_prebuilt(merged_store, prebuilt)
+
+
+class GraphEpoch:
+    """One immutable snapshot of a live graph.
+
+    ``kg`` is a fully usable merged :class:`KnowledgeGraph` (base + every
+    delta so far); ``base_kg`` is the last compaction point and ``delta``
+    the columnar log of triples ingested since.  Epochs never mutate:
+    :meth:`extend` and :meth:`compact` return *new* epochs, which is what
+    keeps every identity-keyed cache and bit-exactness contract intact.
+    """
+
+    __slots__ = ("number", "kg", "base_kg", "delta")
+
+    def __init__(
+        self,
+        number: int,
+        kg: KnowledgeGraph,
+        base_kg: KnowledgeGraph,
+        delta: TripleStore,
+    ):
+        self.number = number
+        self.kg = kg
+        self.base_kg = base_kg
+        self.delta = delta
+
+    @classmethod
+    def initial(cls, kg: KnowledgeGraph) -> "GraphEpoch":
+        """Epoch 0: the registered graph itself, with an empty delta log."""
+        return cls(number=0, kg=kg, base_kg=kg, delta=TripleStore())
+
+    @property
+    def delta_rows(self) -> int:
+        """Triples ingested since the last compaction."""
+        return len(self.delta)
+
+    def extend(self, new_triples: TripleStore, compact: bool = False) -> "GraphEpoch":
+        """Next epoch with ``new_triples`` appended.
+
+        The merged graph shares this epoch's vocabularies and node types
+        (ingest never grows the id spaces — see :meth:`LiveGraph.ingest`),
+        and its derived artifacts are built incrementally from this
+        epoch's: merged CSR projections for every direction already
+        cached, merged hexastore permutations for every ordering already
+        built.  ``compact=True`` additionally folds the whole delta into
+        the new epoch's base (same merged graph, empty delta) — used when
+        the compaction policy triggers on ingest.
+        """
+        parent_kg = self.kg
+        merged_store = parent_kg.triples.append(new_triples)
+        merged_kg = KnowledgeGraph(
+            node_vocab=parent_kg.node_vocab,
+            class_vocab=parent_kg.class_vocab,
+            relation_vocab=parent_kg.relation_vocab,
+            node_types=parent_kg.node_types,
+            triples=merged_store,
+            literal_vocab=parent_kg.literal_vocab,
+            literal_triples=parent_kg.literal_triples,
+            name=parent_kg.name,
+        )
+        hexa = _merged_hexastore(parent_kg, new_triples, merged_store)
+        if hexa is not None:
+            merged_kg._hexastore = hexa
+        # Degree caches update by bincount of the delta endpoints; the
+        # nodes_of_type buckets depend only on node_types, shared as-is.
+        if parent_kg._out_degree is not None:
+            merged_kg._out_degree = parent_kg._out_degree + np.bincount(
+                new_triples.s, minlength=merged_kg.num_nodes
+            )
+        if parent_kg._in_degree is not None:
+            merged_kg._in_degree = parent_kg._in_degree + np.bincount(
+                new_triples.o, minlength=merged_kg.num_nodes
+            )
+        if parent_kg._nodes_by_type is not None:
+            merged_kg._nodes_by_type = parent_kg._nodes_by_type
+        parent_artifacts = getattr(parent_kg, "_graph_artifacts", None)
+        if parent_artifacts is not None and parent_artifacts._csr:
+            GraphArtifacts.from_store(
+                merged_kg, _merged_csr(parent_artifacts, new_triples, merged_kg.num_nodes)
+            )
+        if compact:
+            return GraphEpoch(
+                number=self.number + 1,
+                kg=merged_kg,
+                base_kg=merged_kg,
+                delta=TripleStore(),
+            )
+        return GraphEpoch(
+            number=self.number + 1,
+            kg=merged_kg,
+            base_kg=self.base_kg,
+            delta=self.delta.append(new_triples),
+        )
+
+    def compact(self, out_dir: Optional[str] = None) -> "GraphEpoch":
+        """Fold the delta into a fresh base without recomputing anything.
+
+        The merged graph *is* the new base — its artifacts were already
+        built incrementally — so compaction is O(1) plus, optionally, one
+        ``save_artifacts`` write when ``out_dir`` is given (the same
+        on-disk store ``--mmap-dir`` serves from).
+        """
+        if out_dir is not None:
+            from repro.kg.store import save_artifacts
+
+            save_artifacts(self.kg, out_dir)
+        return GraphEpoch(
+            number=self.number + 1, kg=self.kg, base_kg=self.kg, delta=TripleStore()
+        )
+
+    def cold_rebuild(self) -> KnowledgeGraph:
+        """A fresh, cache-free graph with this epoch's exact content.
+
+        The oracle for every incremental-merge claim: rebuilding all
+        artifacts from scratch on this graph must reproduce the merged
+        artifacts bit for bit (asserted by ``tests/kg/test_epoch.py`` and
+        ``benchmarks/test_perf_live.py``).
+        """
+        return KnowledgeGraph(
+            node_vocab=self.kg.node_vocab,
+            class_vocab=self.kg.class_vocab,
+            relation_vocab=self.kg.relation_vocab,
+            node_types=self.kg.node_types,
+            triples=TripleStore(self.kg.triples.s, self.kg.triples.p, self.kg.triples.o),
+            literal_vocab=self.kg.literal_vocab,
+            literal_triples=self.kg.literal_triples,
+            name=self.kg.name,
+        )
+
+
+class LiveGraph:
+    """A thread-safe chain of :class:`GraphEpoch` s with retained kernels.
+
+    One ``LiveGraph`` wraps one registered graph: :meth:`ingest` appends
+    triples (bumping the epoch), :meth:`compact` folds the delta log, and
+    :meth:`ppr_top_k` / :meth:`ego_batch` answer kernel requests through
+    per-target caches that survive ingests untouched by them.  Epoch
+    resolution by number keeps in-flight requests on the snapshot they
+    were admitted under (a bounded ring; see :data:`EPOCH_HISTORY`).
+    """
+
+    def __init__(
+        self,
+        kg: KnowledgeGraph,
+        compact_every: int = 0,
+        history: int = EPOCH_HISTORY,
+        cache_capacity: int = KERNEL_CACHE_CAPACITY,
+    ):
+        self._lock = threading.RLock()
+        self._current = GraphEpoch.initial(kg)
+        self._ring: Dict[int, GraphEpoch] = {0: self._current}
+        self._history = max(int(history), 1)
+        self.compact_every = max(int(compact_every), 0)
+        self._cache_capacity = max(int(cache_capacity), 0)
+        # (target, k, alpha, eps) -> (top-k pairs, support node array)
+        self._ppr_cache: Dict[Tuple, Tuple[list, np.ndarray]] = {}
+        # (root, depth, fanout, salt) -> ego extraction
+        self._ego_cache: Dict[Tuple, object] = {}
+        self.ingested_triples = 0
+        self.compactions = 0
+        self.ppr_hits = 0
+        self.ppr_misses = 0
+        self.ppr_invalidated = 0
+        self.ego_hits = 0
+        self.ego_misses = 0
+        self.ego_invalidated = 0
+
+    # -- epoch access --
+
+    @property
+    def epoch(self) -> GraphEpoch:
+        """The current (most recent) epoch."""
+        with self._lock:
+            return self._current
+
+    @property
+    def kg(self) -> KnowledgeGraph:
+        """The current epoch's merged graph."""
+        return self.epoch.kg
+
+    def resolve(self, number: Optional[int] = None) -> GraphEpoch:
+        """The epoch with ``number``, or the current one.
+
+        Numbers older than the ring (or unknown) resolve to the current
+        epoch — acceptable because the ring outlives any in-flight
+        coalescing window by orders of magnitude.
+        """
+        with self._lock:
+            if number is None:
+                return self._current
+            return self._ring.get(int(number), self._current)
+
+    # -- ingest --
+
+    def validate_triples(self, triples) -> np.ndarray:
+        """Normalise and range-check an ingest payload against the graph.
+
+        Returns the ``(n, 3)`` int64 array; raises ``ValueError`` with an
+        operator-readable message otherwise.  Only triples among existing
+        nodes and relations are accepted — ingest never grows the id
+        spaces, which is what keeps vocabularies, CSR shapes, tasks and
+        registered checkpoints valid across epochs.
+        """
+        try:
+            arr = np.asarray(triples, dtype=np.int64)
+        except (TypeError, ValueError, OverflowError):
+            raise ValueError("triples must be an array of integer [s, p, o] rows")
+        if arr.size == 0:
+            return arr.reshape(0, 3)
+        if arr.ndim != 2 or arr.shape[1] != 3:
+            raise ValueError(
+                f"triples must be shaped (n, 3), got {list(arr.shape)}"
+            )
+        kg = self.kg
+        if int(arr[:, [0, 2]].min()) < 0 or int(arr[:, [0, 2]].max()) >= kg.num_nodes:
+            raise ValueError(
+                f"subject/object ids must be in [0, {kg.num_nodes}) — "
+                "ingest does not mint new nodes"
+            )
+        if int(arr[:, 1].min()) < 0 or int(arr[:, 1].max()) >= kg.num_edge_types:
+            raise ValueError(
+                f"predicate ids must be in [0, {kg.num_edge_types}) — "
+                "ingest does not mint new relations"
+            )
+        return arr
+
+    def would_compact(self, new_rows: int) -> bool:
+        """Whether ingesting ``new_rows`` triples triggers compaction."""
+        if self.compact_every <= 0:
+            return False
+        with self._lock:
+            return self._current.delta_rows + int(new_rows) >= self.compact_every
+
+    def ingest(self, triples, compact: Optional[bool] = None) -> Dict[str, object]:
+        """Append triples as a new epoch; invalidate touched kernel caches.
+
+        ``compact`` overrides the ``compact_every`` policy — the worker
+        pool ships the parent's decision so every process's epoch chain
+        stays in lockstep.  An empty payload is a no-op (no epoch bump).
+        """
+        arr = self.validate_triples(triples)
+        with self._lock:
+            if len(arr) == 0:
+                return {
+                    "added": 0,
+                    "epoch": self._current.number,
+                    "delta_rows": self._current.delta_rows,
+                    "compacted": False,
+                }
+            if compact is None:
+                compact = self.would_compact(len(arr))
+            delta = TripleStore(arr[:, 0], arr[:, 1], arr[:, 2])
+            epoch = self._current.extend(delta, compact=bool(compact))
+            self._install(epoch)
+            self.ingested_triples += len(arr)
+            if compact:
+                self.compactions += 1
+            self._invalidate(arr)
+            return {
+                "added": len(arr),
+                "epoch": epoch.number,
+                "delta_rows": epoch.delta_rows,
+                "compacted": bool(compact),
+            }
+
+    def compact(self, out_dir: Optional[str] = None) -> Dict[str, object]:
+        """Fold the current delta into a fresh base epoch.
+
+        Results are unchanged (the merged graph is reused as the new
+        base), so retained kernel caches survive; in-flight requests on
+        the previous epoch keep answering from the ring.
+        """
+        with self._lock:
+            epoch = self._current.compact(out_dir)
+            self._install(epoch)
+            self.compactions += 1
+            return {
+                "epoch": epoch.number,
+                "delta_rows": epoch.delta_rows,
+                "compacted": True,
+            }
+
+    def _install(self, epoch: GraphEpoch) -> None:
+        self._current = epoch
+        self._ring[epoch.number] = epoch
+        while len(self._ring) > self._history:
+            del self._ring[min(self._ring)]
+
+    def _invalidate(self, arr: np.ndarray) -> None:
+        """Drop retained entries whose support intersects the dirty nodes."""
+        dirty = np.zeros(self._current.kg.num_nodes, dtype=bool)
+        dirty[arr[:, 0]] = True
+        dirty[arr[:, 2]] = True
+        stale = [
+            key
+            for key, (_, support) in self._ppr_cache.items()
+            if support.size and dirty[support].any()
+        ]
+        for key in stale:
+            del self._ppr_cache[key]
+        self.ppr_invalidated += len(stale)
+        stale = [
+            key
+            for key, ego in self._ego_cache.items()
+            if getattr(ego, "nodes").size and dirty[getattr(ego, "nodes")].any()
+        ]
+        for key in stale:
+            del self._ego_cache[key]
+        self.ego_invalidated += len(stale)
+
+    def _evict(self, cache: Dict) -> None:
+        while self._cache_capacity and len(cache) > self._cache_capacity:
+            del cache[next(iter(cache))]
+
+    # -- delta-aware kernels --
+
+    def ppr_top_k(
+        self,
+        targets,
+        k: int,
+        alpha: float = 0.25,
+        eps: float = 2e-4,
+        epoch: Optional[int] = None,
+    ) -> Dict[int, List[Tuple[int, float]]]:
+        """`batch_ppr_top_k` through the retained per-target cache.
+
+        Requests for the current epoch serve cached targets and batch the
+        rest through :func:`repro.sampling.ppr.batch_ppr_top_k_with_support`,
+        retaining each fresh result with its support set.  Requests pinned
+        to an older epoch bypass the cache and run on that snapshot —
+        still bit-exact, never mixed with another epoch's answers.
+        """
+        from repro.sampling.ppr import batch_ppr_top_k, batch_ppr_top_k_with_support
+
+        targets = [int(t) for t in targets]
+        with self._lock:
+            snapshot = self._current
+            if epoch is not None and int(epoch) != snapshot.number:
+                snapshot = self._ring.get(int(epoch), snapshot)
+                use_cache = snapshot is self._current
+            else:
+                use_cache = True
+            results: Dict[int, List[Tuple[int, float]]] = {}
+            missing: List[int] = []
+            if use_cache:
+                for target in targets:
+                    hit = self._ppr_cache.get((target, int(k), float(alpha), float(eps)))
+                    if hit is None:
+                        missing.append(target)
+                    else:
+                        results[target] = hit[0]
+                self.ppr_hits += len(results)
+                self.ppr_misses += len(set(missing))
+        if not use_cache:
+            adjacency = artifacts_for(snapshot.kg).csr("both")
+            return batch_ppr_top_k(adjacency, targets, k, alpha=alpha, eps=eps)
+        if missing:
+            adjacency = artifacts_for(snapshot.kg).csr("both")
+            fresh = batch_ppr_top_k_with_support(
+                adjacency, missing, k, alpha=alpha, eps=eps
+            )
+            with self._lock:
+                retain = self._current is snapshot
+                for target, (pairs, support) in fresh.items():
+                    results[target] = pairs
+                    if retain:
+                        self._ppr_cache[
+                            (target, int(k), float(alpha), float(eps))
+                        ] = (pairs, support)
+                if retain:
+                    self._evict(self._ppr_cache)
+        return results
+
+    def ego_batch(
+        self,
+        roots,
+        depth: int,
+        fanout: int,
+        salt: int,
+        epoch: Optional[int] = None,
+    ) -> List[object]:
+        """`extract_ego_batch` through the retained per-root cache.
+
+        An ego extraction only ever reads the adjacency rows of nodes it
+        reached, so a cached extraction stays valid until an ingest dirties
+        one of its nodes — the invalidation rule :meth:`ingest` applies.
+        """
+        from repro.models.shadowsaint import extract_ego_batch
+
+        roots = [int(r) for r in roots]
+        with self._lock:
+            snapshot = self._current
+            if epoch is not None and int(epoch) != snapshot.number:
+                snapshot = self._ring.get(int(epoch), snapshot)
+                use_cache = snapshot is self._current
+            else:
+                use_cache = True
+            cached: Dict[int, object] = {}
+            missing: List[int] = []
+            if use_cache:
+                for root in roots:
+                    hit = self._ego_cache.get((root, int(depth), int(fanout), int(salt)))
+                    if hit is None:
+                        missing.append(root)
+                    else:
+                        cached[root] = hit
+                self.ego_hits += len(cached)
+                self.ego_misses += len(set(missing))
+        if not use_cache:
+            return extract_ego_batch(snapshot.kg, roots, depth, fanout, salt)
+        if missing:
+            fresh = extract_ego_batch(snapshot.kg, missing, depth, fanout, salt)
+            with self._lock:
+                retain = self._current is snapshot
+                for root, ego in zip(missing, fresh):
+                    cached[root] = ego
+                    if retain:
+                        self._ego_cache[(root, int(depth), int(fanout), int(salt))] = ego
+                if retain:
+                    self._evict(self._ego_cache)
+        return [cached[root] for root in roots]
+
+    # -- observability --
+
+    def stats(self) -> Dict[str, object]:
+        """The `/metrics` epoch/delta gauges for this graph."""
+        with self._lock:
+            return {
+                "epoch": self._current.number,
+                "delta_rows": self._current.delta_rows,
+                "base_rows": len(self._current.base_kg.triples),
+                "ingested_triples": self.ingested_triples,
+                "compactions": self.compactions,
+                "compact_every": self.compact_every,
+                "ppr_cache": {
+                    "entries": len(self._ppr_cache),
+                    "hits": self.ppr_hits,
+                    "misses": self.ppr_misses,
+                    "invalidated": self.ppr_invalidated,
+                },
+                "ego_cache": {
+                    "entries": len(self._ego_cache),
+                    "hits": self.ego_hits,
+                    "misses": self.ego_misses,
+                    "invalidated": self.ego_invalidated,
+                },
+            }

@@ -598,3 +598,60 @@ def batch_ppr_top_k(
             for node, score in zip(nodes[order], values[order])
         ]
     return results
+
+
+def batch_ppr_top_k_with_support(
+    adjacency: sp.csr_matrix,
+    targets: Iterable[int],
+    k: int,
+    alpha: float = 0.25,
+    eps: float = 2e-4,
+    chunk_size: Optional[int] = None,
+    kernel: Optional[str] = None,
+) -> Dict[int, Tuple[List[Tuple[int, float]], np.ndarray]]:
+    """:func:`batch_ppr_top_k` plus, per target, the push schedule's *support*.
+
+    The support set is every node whose state the push schedule read: the
+    pushed nodes (exactly the nodes with a positive score — a node's score
+    only changes when it is itself popped) union their out-neighbours in
+    ``adjacency`` (their rows are scattered to and their degrees compared
+    against the ``eps``-threshold) union the target (whose degree gates
+    even a never-popped run).  Consequently a graph edit whose endpoints
+    all fall *outside* the support cannot change any value the schedule
+    observed, and the retained result replays bit-identically on the new
+    graph — the invalidation rule :class:`repro.kg.epoch.LiveGraph`
+    applies.  Top-k pairs are byte-identical to :func:`batch_ppr_top_k`
+    (the kernels and the post-processing are shared).
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    if eps <= 0.0:
+        raise ValueError(f"eps must be positive, got {eps}")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    indptr, indices = adjacency.indptr, adjacency.indices
+    targets = np.asarray(list(targets), dtype=np.int64)
+    results: Dict[int, Tuple[List[Tuple[int, float]], np.ndarray]] = {}
+    for target, nodes, values in _batch_results(
+        adjacency, targets, alpha, eps, chunk_size, kernel
+    ):
+        if len(nodes):
+            starts = indptr[nodes].astype(np.int64)
+            counts = (indptr[nodes + 1] - indptr[nodes]).astype(np.int64)
+            neighbours = indices[expand_ranges(starts, counts)]
+            support = np.unique(
+                np.concatenate(
+                    [nodes, neighbours, np.asarray([target], dtype=np.int64)]
+                )
+            )
+        else:
+            support = np.asarray([target], dtype=np.int64)
+        keep = nodes != target
+        nodes, values = nodes[keep], values[keep]
+        order = np.lexsort((nodes, -values))[:k]
+        pairs = [
+            (int(node), float(score))
+            for node, score in zip(nodes[order], values[order])
+        ]
+        results[target] = (pairs, support.astype(np.int64))
+    return results

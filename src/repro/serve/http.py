@@ -20,6 +20,10 @@ on ``asyncio`` streams, dependency-free:
     consumer.  Binding values are typed integer literals indexing the
     graph's node/relation/class vocabularies.
     ``graph`` selects the registered graph (defaults to the only one).
+    With ``Accept: text/csv`` the same pages ship as ``text/csv``
+    (SPARQL 1.1 CSV results: comma-joined header of variable names, one
+    CRLF-terminated row per binding, same integer values as the JSON
+    bindings bit for bit).
 
 ``GET|POST /ppr``, ``GET|POST /ego``
     The extraction ops, mirroring the ndjson protocol's fields
@@ -32,6 +36,12 @@ on ``asyncio`` streams, dependency-free:
     (node classification) or ``head`` (link prediction) plus ``task``,
     with optional ``model``, ``k``, ``candidates`` and ``budget_ms``
     routing fields — see ``docs/serving.md`` for the full request shape.
+
+``POST /triples``
+    Live ingest: append ``[s, p, o]`` rows to a registered graph.  The
+    JSON body carries ``graph`` and ``triples``; the response reports the
+    new epoch.  Subsequent requests answer on the merged graph — no
+    restart, no artifact rebuild from scratch (``docs/live-graphs.md``).
 
 ``GET /metrics``, ``GET /graphs``, ``GET /ping``
     Observability endpoints.
@@ -294,6 +304,50 @@ def _next_page_chunk(iterator, first: bool) -> Optional[bytes]:
     return _encode_page(page, first)
 
 
+# -- SPARQL results as text/csv (content negotiation) --------------------------
+
+
+def _wants_csv(request: "HttpRequest") -> bool:
+    """Whether the Accept header asks for ``text/csv`` (default: JSON)."""
+    accept = request.headers.get("accept", "")
+    return any(
+        part.split(";")[0].strip().lower() == "text/csv"
+        for part in accept.split(",")
+    )
+
+
+def _encode_csv_page(page: ResultSet) -> bytes:
+    """One page as SPARQL 1.1 CSV rows (CRLF-terminated, plain integers)."""
+    columns = [page.columns[variable].tolist() for variable in page.variables]
+    return "".join(
+        ",".join(str(value) for value in values) + "\r\n"
+        for values in zip(*columns)
+    ).encode("utf-8")
+
+
+async def _stream_csv(stream: PageStream) -> AsyncIterator[bytes]:
+    """Chunk generator mirroring :func:`_stream_results` for ``text/csv``.
+
+    Same lazily-cut pages, same thread/backpressure discipline — only the
+    serialization differs, so CSV and JSON answers are built from
+    identical result pages (the bit-exactness the CSV tests assert).
+    """
+    yield (",".join(stream.variables) + "\r\n").encode("utf-8")
+    iterator = stream.pages
+    while True:
+        chunk = await asyncio.to_thread(_next_csv_chunk, iterator)
+        if chunk is None:
+            break
+        yield chunk
+
+
+def _next_csv_chunk(iterator) -> Optional[bytes]:
+    page = next(iterator, None)
+    if page is None:
+        return None
+    return _encode_csv_page(page)
+
+
 # -- routing ------------------------------------------------------------------
 
 
@@ -362,6 +416,12 @@ async def _handle_sparql(service: ExtractionService, request: HttpRequest) -> Ht
         # Evaluation-time query errors (e.g. projecting an unbound
         # variable) are the client's fault, not a server failure.
         return _error_response(400, "bad_request", f"invalid query: {exc}")
+    if _wants_csv(request):
+        return HttpResponse(
+            200,
+            headers=[("Content-Type", "text/csv; charset=utf-8")],
+            stream=_stream_csv(stream),
+        )
     return HttpResponse(
         200,
         headers=[("Content-Type", "application/sparql-results+json")],
@@ -412,6 +472,7 @@ _OP_ROUTES = {
     "/ppr": (("GET", "POST"), "ppr"),
     "/ego": (("GET", "POST"), "ego"),
     "/predict": (("GET", "POST"), "predict"),
+    "/triples": (("POST",), "triples"),
     "/metrics": (("GET",), "metrics"),
     "/graphs": (("GET",), "graphs"),
     "/ping": (("GET",), "ping"),

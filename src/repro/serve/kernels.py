@@ -139,6 +139,7 @@ def run_predict_batch(
     items: Sequence[int],
     k: int,
     candidates: int,
+    epoch: int = 0,
 ) -> List[dict]:
     """One coalesced ``/predict`` window: one payload per item, item order.
 
@@ -149,12 +150,16 @@ def run_predict_batch(
     flattened (head, tail) pairs.  Scoring reduces per row
     (``sum(axis=1)`` over identical operands in identical order), so each
     row equals the scalar oracle's answer bit for bit.
+
+    ``epoch`` pins the registry's built state (model + logits caches) to
+    the graph snapshot ``kg`` is — a live graph bumps it on ingest so a
+    window never answers from another epoch's forward pass.
     """
-    model = registry.model(graph, task, architecture, kg)
+    model = registry.model(graph, task, architecture, kg, epoch)
     task_obj = model.task
     if task_obj.task_type == "NC":
-        logits = registry.logits(graph, task, architecture, kg)
-        positions = registry.target_positions(graph, task, architecture, kg)
+        logits = registry.logits(graph, task, architecture, kg, epoch)
+        positions = registry.target_positions(graph, task, architecture, kg, epoch)
         results = []
         for item in items:
             row = positions.get(int(item))
@@ -233,6 +238,7 @@ def run_predict_oracle(
     item: int,
     k: int,
     candidates: int,
+    epoch: int = 0,
 ) -> dict:
     """The scalar ``/predict`` baseline: one request, no registry caches.
 
@@ -245,7 +251,7 @@ def run_predict_oracle(
     """
     from repro.sampling.ppr import ppr_top_k
 
-    model = registry.model(graph, task, architecture, kg)
+    model = registry.model(graph, task, architecture, kg, epoch)
     task_obj = model.task
     item = int(item)
     if task_obj.task_type == "NC":

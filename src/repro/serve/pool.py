@@ -185,6 +185,7 @@ def _execute_op(graphs: Dict[str, dict], op: str, payload: dict) -> Any:
         name = payload["name"]
         entry = graphs.get(name)
         if entry is None:
+            from repro.kg.epoch import LiveGraph
             from repro.serve.registry import ModelRegistry
             from repro.sparql.endpoint import SparqlEndpoint
 
@@ -200,6 +201,7 @@ def _execute_op(graphs: Dict[str, dict], op: str, payload: dict) -> Any:
                 kg = payload["kg"]
             graphs[name] = entry = {
                 "kg": kg,
+                "live": LiveGraph(kg),
                 "endpoint": SparqlEndpoint(kg, compression=payload["compression"]),
                 "registry": ModelRegistry(),
             }
@@ -217,33 +219,61 @@ def _execute_op(graphs: Dict[str, dict], op: str, payload: dict) -> Any:
     entry = graphs.get(payload["graph"])
     if entry is None:
         raise KeyError(f"graph {payload['graph']!r} is not registered on this worker")
-    kg = entry["kg"]
+    if op == "triples":
+        # Lockstep ingest: the parent ships the delta (and its compaction
+        # decision) to every owning worker *before* applying it locally, so
+        # any client that saw the new epoch number can be served by every
+        # shard.  The worker loop is serial — no request can interleave
+        # with a half-applied ingest.
+        from repro.sparql.endpoint import SparqlEndpoint
+
+        result = entry["live"].ingest(payload["triples"], compact=payload["compact"])
+        if result["added"]:
+            old = entry["endpoint"]
+            entry["kg"] = entry["live"].kg
+            endpoint = SparqlEndpoint(entry["live"].kg, compression=old.compression)
+            endpoint.stats = old.stats  # counters survive the epoch bump
+            entry["endpoint"] = endpoint
+            entry["registry"].invalidate_graph(
+                payload["graph"], keep_epoch=int(result["epoch"])
+            )
+        return result
     if op == "ppr":
-        # Shared with the in-process dispatch path (serve/kernels.py), so
-        # the two serving modes cannot drift apart.
-        from repro.serve.kernels import run_ppr_batch
-
-        return run_ppr_batch(
-            kg, payload["targets"], payload["k"], payload["alpha"], payload["eps"]
+        # The live graph's retained cache wraps the same batch kernel the
+        # in-process dispatch path uses, so the two modes cannot drift.
+        table = entry["live"].ppr_top_k(
+            payload["targets"], payload["k"],
+            alpha=payload["alpha"], eps=payload["eps"],
+            epoch=payload.get("epoch"),
         )
+        return [table[int(target)] for target in payload["targets"]]
     if op == "ego":
-        from repro.serve.kernels import run_ego_batch
-
-        return run_ego_batch(
-            kg, payload["roots"], payload["depth"], payload["fanout"], payload["salt"]
+        return entry["live"].ego_batch(
+            payload["roots"], payload["depth"], payload["fanout"],
+            payload["salt"], epoch=payload.get("epoch"),
         )
     if op == "predict":
         # Same shared kernel as the in-process dispatch path; parameters
         # in (a few ints + the window's item ids), score payloads back.
         from repro.serve.kernels import run_predict_batch
 
+        snapshot = entry["live"].resolve(payload.get("epoch"))
         return run_predict_batch(
-            kg, entry["registry"], payload["graph"], payload["task"],
+            snapshot.kg, entry["registry"], payload["graph"], payload["task"],
             payload["model"], payload["items"], payload["k"],
-            payload["candidates"],
+            payload["candidates"], epoch=snapshot.number,
         )
     if op == "sparql":
         result = entry["endpoint"].query(payload["query"])
+        return {
+            "variables": list(result.variables),
+            "columns": {v: result.columns[v] for v in result.variables},
+        }
+    if op == "sparql_stream":
+        # Streamed /sparql in pool mode: evaluate here (one request in this
+        # endpoint's stats), ship the columns whole; the parent cuts pages
+        # and accounts them with endpoint.account_page.
+        result = entry["endpoint"].evaluate_stream(payload["query"])
         return {
             "variables": list(result.variables),
             "columns": {v: result.columns[v] for v in result.variables},
@@ -347,6 +377,10 @@ class _WorkerHandle:
         # a respawned worker is indistinguishable from the original.
         for registration in self.pool._registrations_for(self.index):
             self._request_on_conn(parent_conn, "register", registration).result()
+        # ... then the ingest deltas, in order, so the respawned worker
+        # reaches the same epoch as the workers that never died.
+        for delta in self.pool._deltas_for(self.index):
+            self._request_on_conn(parent_conn, "triples", delta).result()
         self.spawn_failure = None
         self.ready.set()
 
@@ -454,7 +488,9 @@ class _WorkerHandle:
 class _PoolGraph:
     """Parent-side registration record (replayed on worker respawn)."""
 
-    __slots__ = ("name", "kg", "warm", "shards", "rr", "mmap_dir", "checkpoints")
+    __slots__ = (
+        "name", "kg", "warm", "shards", "rr", "mmap_dir", "checkpoints", "deltas",
+    )
 
     def __init__(
         self,
@@ -470,6 +506,10 @@ class _PoolGraph:
         self.shards = shards
         self.mmap_dir = mmap_dir
         self.checkpoints: List[str] = []
+        # Ingested (triples, compact) deltas in arrival order; a respawned
+        # worker replays them after its registrations, so it reconstructs
+        # the same epoch chain as the surviving workers.
+        self.deltas: List[Tuple[Any, bool]] = []
         self.rr = itertools.count()
 
 
@@ -685,6 +725,38 @@ class WorkerPool:
                 if index in record.shards
             ]
 
+    def _deltas_for(self, index: int) -> List[dict]:
+        """Ingest replay payloads for worker ``index``, arrival order."""
+        with self._registry_lock:
+            return [
+                {"graph": record.name, "triples": triples, "compact": compact}
+                for record in self._graphs.values()
+                if index in record.shards
+                for triples, compact in record.deltas
+            ]
+
+    def ingest(self, name: str, triples, compact: bool) -> None:
+        """Ship one ingest delta to every worker serving ``name`` (blocking).
+
+        The *parent* decides whether this delta compacts (``compact``) and
+        ships the decision, so every process's epoch chain stays in
+        lockstep — epoch N means the same merged graph everywhere.  The
+        delta joins the graph's registration record for respawn replay.
+        Called by the service **before** it applies the delta to its own
+        :class:`~repro.kg.epoch.LiveGraph`: once this returns, any worker
+        can serve the new epoch.
+        """
+        with self._registry_lock:
+            record = self._graphs.get(name)
+            if record is None:
+                raise KeyError(f"graph {name!r} is not registered with the pool")
+            record.deltas.append((triples, bool(compact)))
+            shards = list(record.shards)
+        payload = {"graph": name, "triples": triples, "compact": bool(compact)}
+        futures = [self._workers[shard].request("triples", payload) for shard in shards]
+        for future in futures:
+            future.result()
+
     def shards_of(self, name: str) -> List[int]:
         """The worker indices currently serving graph ``name``."""
         with self._registry_lock:
@@ -799,7 +871,10 @@ class WorkerPool:
         merged["artifact_cache"]["mapped_nbytes"] = max(
             (s["artifact_cache"].get("mapped_nbytes", 0) for s in live), default=0
         )
-        raw = merged["endpoint"].pop("bytes_raw")
+        # bytes_raw stays in the dict: the service folds parent-side page
+        # accounting (streamed /sparql pages are cut parent-side) into these
+        # counters before recomputing the ratio over the merged totals.
+        raw = merged["endpoint"]["bytes_raw"]
         shipped = merged["endpoint"]["bytes_shipped"]
         merged["endpoint"]["compression_ratio"] = (raw / shipped) if shipped else 1.0
         return merged

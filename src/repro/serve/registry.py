@@ -9,8 +9,14 @@ read eagerly, so the parent process of a worker pool can route on
 architecture / task / recorded metric / parameter count without ever
 holding model parameters.  The full checkpoint is loaded and the model
 rebuilt lazily, on the first request that actually needs it, and cached
-under its ``(graph, task, architecture)`` identity for every later
-request — the same double-checked idiom ``artifacts_for`` uses.
+under its ``(graph, task, architecture, epoch)`` identity for every later
+request — the same double-checked idiom ``artifacts_for`` uses.  The
+epoch component ties built state (model, logits, target positions) to
+one immutable graph snapshot: a ``POST /triples`` ingest bumps the
+graph's epoch and calls :meth:`invalidate_graph`, so the next request
+rebuilds against the merged graph while in-flight windows pinned to an
+older epoch keep their own entries — ``/predict`` answers never mix
+epochs (see ``repro/kg/epoch.py`` and ``docs/live-graphs.md``).
 
 The registry also owns the **full-target logits cache** for node
 classification: the first NC request against a model triggers one
@@ -41,17 +47,25 @@ __all__ = ["ModelRegistry"]
 #: Registry identity of one checkpoint: (graph name, task name, architecture).
 Key = Tuple[str, str, str]
 
+#: Identity of built state: a checkpoint identity pinned to a graph epoch.
+BuiltKey = Tuple[str, str, str, int]
+
 
 class ModelRegistry:
-    """Lazily-loading cache of checkpointed models, keyed per graph×task×arch."""
+    """Lazily-loading cache of checkpointed models, keyed per graph×task×arch.
+
+    Checkpoint *registrations* (paths + metadata) are epoch-independent;
+    *built* state is keyed with an extra epoch component so one registry
+    can serve several snapshots of a live graph without mixing them.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.RLock()
         self._paths: Dict[Key, str] = {}
         self._meta: Dict[Key, dict] = {}
-        self._models: Dict[Key, object] = {}
-        self._logits: Dict[Key, np.ndarray] = {}
-        self._positions: Dict[Key, dict] = {}
+        self._models: Dict[BuiltKey, object] = {}
+        self._logits: Dict[BuiltKey, np.ndarray] = {}
+        self._positions: Dict[BuiltKey, dict] = {}
         self.hits = 0  # cache hits: a request found its model already built
         self.loads = 0  # checkpoint loads: full parse + model rebuild
 
@@ -117,20 +131,22 @@ class ModelRegistry:
 
     # -- lazy model construction ----------------------------------------------
 
-    def model(self, graph: str, task: str, architecture: str, kg):
-        """The warm model for ``(graph, task, architecture)`` — built once.
+    def model(self, graph: str, task: str, architecture: str, kg, epoch: int = 0):
+        """The warm model for ``(graph, task, architecture)`` at ``epoch``.
 
         The slow path (checkpoint parse + model rebuild + parameter load)
         runs outside the lock; a double-check keeps one build per key even
-        when concurrent windows race, mirroring ``artifacts_for``.
+        when concurrent windows race, mirroring ``artifacts_for``.  ``kg``
+        must be the graph snapshot ``epoch`` names — the built model holds
+        a reference to it, which is exactly why built state is epoch-keyed.
         """
-        key: Key = (graph, task, architecture)
+        key: BuiltKey = (graph, task, architecture, int(epoch))
         with self._lock:
             model = self._models.get(key)
             if model is not None:
                 self.hits += 1
                 return model
-            path = self._paths.get(key)
+            path = self._paths.get(key[:3])
         if path is None:
             raise KeyError(
                 f"no {architecture} checkpoint for task {task!r} on graph {graph!r}"
@@ -145,28 +161,56 @@ class ModelRegistry:
             self.loads += 1
         return built
 
-    def logits(self, graph: str, task: str, architecture: str, kg) -> np.ndarray:
+    def logits(
+        self, graph: str, task: str, architecture: str, kg, epoch: int = 0
+    ) -> np.ndarray:
         """Cached full-target NC logits (one vectorized pass, then gathers)."""
-        key: Key = (graph, task, architecture)
+        key: BuiltKey = (graph, task, architecture, int(epoch))
         with self._lock:
             cached = self._logits.get(key)
         if cached is not None:
             return cached
-        logits = self.model(graph, task, architecture, kg).predict_logits()
+        logits = self.model(graph, task, architecture, kg, epoch).predict_logits()
         with self._lock:
             return self._logits.setdefault(key, logits)
 
-    def target_positions(self, graph: str, task: str, architecture: str, kg) -> dict:
+    def target_positions(
+        self, graph: str, task: str, architecture: str, kg, epoch: int = 0
+    ) -> dict:
         """``node id -> row`` lookup into the task's target/logits order."""
-        key: Key = (graph, task, architecture)
+        key: BuiltKey = (graph, task, architecture, int(epoch))
         with self._lock:
             cached = self._positions.get(key)
         if cached is not None:
             return cached
-        targets = self.model(graph, task, architecture, kg).task.target_nodes
+        targets = self.model(graph, task, architecture, kg, epoch).task.target_nodes
         positions = {int(node): index for index, node in enumerate(targets)}
         with self._lock:
             return self._positions.setdefault(key, positions)
+
+    def invalidate_graph(self, graph: str, keep_epoch: Optional[int] = None) -> int:
+        """Drop ``graph``'s built state (models, logits, positions).
+
+        Checkpoint registrations (paths + metadata) survive — they are
+        epoch-independent — so the next request rebuilds from the same
+        files against the new snapshot.  ``keep_epoch`` preserves entries
+        already built at that epoch (the one the caller is moving *to*).
+        Returns the number of built models dropped.
+        """
+        with self._lock:
+            dropped = 0
+            for cache in (self._models, self._logits, self._positions):
+                stale = [
+                    key
+                    for key in cache
+                    if key[0] == graph
+                    and (keep_epoch is None or key[3] != int(keep_epoch))
+                ]
+                for key in stale:
+                    del cache[key]
+                if cache is self._models:
+                    dropped = len(stale)
+            return dropped
 
     # -- observability --------------------------------------------------------
 
@@ -181,14 +225,14 @@ class ModelRegistry:
                     "task_type": self._meta[key]["task_type"],
                     "num_parameters": self._meta[key]["num_parameters"],
                     "metrics": self._meta[key]["metrics"],
-                    "loaded": key in self._models,
+                    "loaded": any(built[:3] == key for built in self._models),
                     "path": self._paths[key],
                 }
                 for key in sorted(self._meta)
             ]
             return {
                 "checkpoints": checkpoints,
-                "loaded": len(self._models),
+                "loaded": len({built[:3] for built in self._models}),
                 "hits": self.hits,
                 "loads": self.loads,
             }

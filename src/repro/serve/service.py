@@ -33,19 +33,18 @@ a dispatched batch executes.
 from __future__ import annotations
 
 import asyncio
-import itertools
+import threading
 import time
 from collections import OrderedDict
 from typing import Dict, Hashable, List, Optional, Tuple, Union
 
 from repro.kg.cache import artifacts_for
+from repro.kg.epoch import LiveGraph
 from repro.kg.graph import KnowledgeGraph
 from repro.models.shadowsaint import _EgoGraph, extract_ego
 from repro.sampling.ppr import ppr_top_k
 from repro.serve.coalesce import MAX_BATCH, MAX_DELAY_SECONDS, Coalescer
 from repro.serve.kernels import (
-    run_ego_batch,
-    run_ppr_batch,
     run_predict_batch,
     run_predict_oracle,
 )
@@ -53,7 +52,12 @@ from repro.serve.metrics import ServiceMetrics
 from repro.serve.pool import WorkerPool
 from repro.serve.registry import ModelRegistry
 from repro.sparql.ast import SelectQuery
-from repro.sparql.endpoint import PageStream, SparqlEndpoint
+from repro.sparql.endpoint import (
+    EndpointStats,
+    PageStream,
+    SparqlEndpoint,
+    account_page,
+)
 from repro.sparql.executor import ResultSet
 
 # Default in-flight bound: enough to keep several full coalescing windows
@@ -117,21 +121,49 @@ class AsyncSparqlEndpoint:
 
 
 class _RegisteredGraph:
-    """Per-graph routing state: the graph, its endpoint, warm artifacts.
+    """Per-graph routing state: the live epoch chain, endpoint, caches.
 
-    ``epoch`` is a monotonic registration stamp; it keys the /predict
-    result cache so an entry can never outlive the graph snapshot it was
-    computed against (graphs are immutable — a future re-registration
-    under the same name would carry a new epoch and miss cleanly).
+    ``live`` is the :class:`~repro.kg.epoch.LiveGraph` holding the chain
+    of immutable epochs; ``kg`` and ``epoch`` read its *current* snapshot.
+    The SPARQL endpoint is rebuilt on every ingest (:meth:`advance`)
+    carrying its lifetime stats forward, so counters never step backwards
+    while in-flight requests keep answering through the endpoint object
+    they captured — on their original epoch.
+
+    ``page_stats`` / ``page_lock`` account streamed-``/sparql`` pages cut
+    *parent-side* in pool mode; ``metrics_snapshot`` merges them with the
+    worker-side counters so pooled and in-process ``/metrics`` agree.
     """
 
-    __slots__ = ("kg", "endpoint", "async_endpoint", "epoch")
+    __slots__ = (
+        "live", "endpoint", "async_endpoint", "ingest_lock",
+        "page_stats", "page_lock",
+    )
 
-    def __init__(self, kg: KnowledgeGraph, compression: bool, epoch: int):
-        self.kg = kg
+    def __init__(self, kg: KnowledgeGraph, compression: bool, compact_every: int = 0):
+        self.live = LiveGraph(kg, compact_every=compact_every)
         self.endpoint = SparqlEndpoint(kg, compression=compression)
         self.async_endpoint = AsyncSparqlEndpoint(self.endpoint)
-        self.epoch = epoch
+        self.ingest_lock = asyncio.Lock()
+        self.page_stats = EndpointStats()
+        self.page_lock = threading.Lock()
+
+    @property
+    def kg(self) -> KnowledgeGraph:
+        """The current epoch's merged graph."""
+        return self.live.kg
+
+    @property
+    def epoch(self) -> int:
+        """The current epoch number (keys windows and result caches)."""
+        return self.live.epoch.number
+
+    def advance(self, compression: bool) -> None:
+        """Swap in an endpoint on the new epoch, keeping lifetime stats."""
+        endpoint = SparqlEndpoint(self.live.kg, compression=compression)
+        endpoint.stats = self.endpoint.stats
+        self.endpoint = endpoint
+        self.async_endpoint = AsyncSparqlEndpoint(endpoint)
 
 
 class ExtractionService:
@@ -161,6 +193,11 @@ class ExtractionService:
         caller owns the pool's lifecycle (``pool.close()``); pool mode
         requires ``coalesce=True`` — the serial baseline is by definition
         the in-process scalar oracle.
+    compact_every:
+        Delta-log compaction threshold applied to every registered graph:
+        an ingest that would grow a graph's delta log to this many rows
+        folds the whole delta into a fresh base epoch instead (``0``, the
+        default, never auto-compacts).  See ``docs/live-graphs.md``.
     """
 
     def __init__(
@@ -173,6 +210,7 @@ class ExtractionService:
         metrics: Optional[ServiceMetrics] = None,
         pool: Optional[WorkerPool] = None,
         predict_cache_size: int = PREDICT_CACHE_SIZE,
+        compact_every: int = 0,
     ):
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
@@ -184,6 +222,7 @@ class ExtractionService:
         self.max_pending = max_pending
         self.coalesce = coalesce
         self.pool = pool
+        self.compact_every = max(int(compact_every), 0)
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self._compression = compression
         self._graphs: Dict[str, _RegisteredGraph] = {}
@@ -211,7 +250,6 @@ class ExtractionService:
         # parent registry holds *metadata only* (for routing); the models
         # themselves live in the owning workers' registries.
         self.registry = ModelRegistry()
-        self._epochs = itertools.count()
         # Bounded LRU over finished /predict payloads, keyed on
         # (graph, epoch, task, architecture, item, k, candidates).  Active
         # only when coalescing — the serial baseline must measure the
@@ -247,7 +285,9 @@ class ExtractionService:
         """
         if name in self._graphs:
             raise ValueError(f"graph {name!r} already registered")
-        self._graphs[name] = _RegisteredGraph(kg, self._compression, next(self._epochs))
+        self._graphs[name] = _RegisteredGraph(
+            kg, self._compression, compact_every=self.compact_every
+        )
         if self.pool is not None:
             self.pool.register(name, kg, warm=warm, mmap_dir=mmap_dir)
         elif warm:
@@ -268,6 +308,48 @@ class ExtractionService:
         if self.pool is not None:
             self.pool.register_checkpoint(graph, path)
         return meta
+
+    async def ingest_triples(self, graph: str, triples) -> dict:
+        """``POST /triples``: append triples to ``graph`` as a new epoch.
+
+        The payload must be ``(n, 3)`` integer ``[s, p, o]`` rows among the
+        graph's *existing* node/relation ids (ingest never grows the id
+        spaces; a malformed payload raises ``ValueError`` → 400).  The
+        parent decides whether this ingest triggers compaction and, in
+        pool mode, ships the delta (with that decision) to every owning
+        worker *first* — every process's epoch chain advances in lockstep
+        and a respawned worker replays the same chain.  Then the parent's
+        own :class:`~repro.kg.epoch.LiveGraph` ingests, the SPARQL
+        endpoint swaps onto the new epoch (stats carried forward), and the
+        model registry drops built state for the old epochs.  In-flight
+        requests keep the epoch they were admitted under; requests
+        arriving after the response see the new one.
+
+        Returns ``{"graph", "added", "epoch", "delta_rows", "compacted"}``.
+        """
+        entry = self._graph(graph)
+        arr = entry.live.validate_triples(triples)  # fail fast: ValueError → 400
+        async with entry.ingest_lock:
+            if len(arr) == 0:
+                epoch = entry.live.epoch
+                return {
+                    "graph": graph,
+                    "added": 0,
+                    "epoch": epoch.number,
+                    "delta_rows": epoch.delta_rows,
+                    "compacted": False,
+                }
+            compact = entry.live.would_compact(len(arr))
+            if self.pool is not None:
+                # Owning workers first (all acks awaited): once the client
+                # sees the new epoch number, every shard can serve it.
+                await asyncio.to_thread(self.pool.ingest, graph, arr, compact)
+            result = await asyncio.to_thread(
+                entry.live.ingest, arr, compact
+            )
+            entry.advance(self._compression)
+            self.registry.invalidate_graph(graph, keep_epoch=int(result["epoch"]))
+            return {"graph": graph, **result}
 
     def graphs(self) -> List[str]:
         return sorted(self._graphs)
@@ -360,11 +442,16 @@ class ExtractionService:
         eps: float = 2e-4,
     ) -> List[Tuple[int, float]]:
         """Top-``k`` influence list of ``target`` (IBS's per-target unit)."""
-        self._graph(graph)  # fail fast before entering the queue
+        entry = self._graph(graph)  # fail fast before entering the queue
 
         def start():
             if self.coalesce:
-                return self._ppr.submit((graph, k, alpha, eps), int(target))
+                # The window key carries the epoch at admission: requests
+                # admitted under different epochs never share a batch, and
+                # the dispatcher runs each batch on its own snapshot.
+                return self._ppr.submit(
+                    (graph, entry.epoch, k, alpha, eps), int(target)
+                )
             return self._serial_ppr(graph, int(target), k, alpha, eps)
 
         return await self._serve("ppr", start)
@@ -378,11 +465,13 @@ class ExtractionService:
         salt: int = 0,
     ) -> _EgoGraph:
         """One ShaDowSAINT ego scope around ``root``."""
-        self._graph(graph)
+        entry = self._graph(graph)
 
         def start():
             if self.coalesce:
-                return self._ego.submit((graph, depth, fanout, salt), int(root))
+                return self._ego.submit(
+                    (graph, entry.epoch, depth, fanout, salt), int(root)
+                )
             return self._serial_ego(graph, int(root), depth, fanout, salt)
 
         return await self._serve("ego", start)
@@ -447,7 +536,8 @@ class ExtractionService:
         def start():
             if self.coalesce:
                 return self._predict.submit(
-                    (graph, task, architecture, int(k), int(candidates)), item
+                    (graph, entry.epoch, task, architecture, int(k), int(candidates)),
+                    item,
                 )
             return self._serial_predict(graph, task, architecture, item, k, candidates)
 
@@ -552,42 +642,50 @@ class ExtractionService:
     # -- batched dispatchers (worker-thread side) --
 
     def _dispatch_ppr(self, key: Hashable, targets: List[int]) -> List[list]:
-        graph, k, alpha, eps = key
+        graph, epoch, k, alpha, eps = key
         if self.pool is not None:
             return self.pool.call(
                 "ppr",
                 {
                     "graph": graph,
+                    "epoch": epoch,
                     "targets": [int(target) for target in targets],
                     "k": k,
                     "alpha": alpha,
                     "eps": eps,
                 },
             )
-        return run_ppr_batch(self._graphs[graph].kg, targets, k, alpha, eps)
+        table = self._graphs[graph].live.ppr_top_k(
+            targets, k, alpha=alpha, eps=eps, epoch=epoch
+        )
+        return [table[int(target)] for target in targets]
 
     def _dispatch_ego(self, key: Hashable, roots: List[int]) -> List[_EgoGraph]:
-        graph, depth, fanout, salt = key
+        graph, epoch, depth, fanout, salt = key
         if self.pool is not None:
             return self.pool.call(
                 "ego",
                 {
                     "graph": graph,
+                    "epoch": epoch,
                     "roots": [int(root) for root in roots],
                     "depth": depth,
                     "fanout": fanout,
                     "salt": salt,
                 },
             )
-        return run_ego_batch(self._graphs[graph].kg, roots, depth, fanout, salt)
+        return self._graphs[graph].live.ego_batch(
+            roots, depth, fanout, salt, epoch=epoch
+        )
 
     def _dispatch_predict(self, key: Hashable, items: List[int]) -> List[dict]:
-        graph, task, architecture, k, candidates = key
+        graph, epoch, task, architecture, k, candidates = key
         if self.pool is not None:
             return self.pool.call(
                 "predict",
                 {
                     "graph": graph,
+                    "epoch": epoch,
                     "task": task,
                     "model": architecture,
                     "items": [int(item) for item in items],
@@ -595,9 +693,13 @@ class ExtractionService:
                     "candidates": candidates,
                 },
             )
+        # Resolve the snapshot the window was admitted under; the registry
+        # keys its built state with the same epoch, so the window can never
+        # answer from another epoch's forward pass.
+        snapshot = self._graphs[graph].live.resolve(epoch)
         return run_predict_batch(
-            self._graphs[graph].kg, self.registry, graph, task, architecture,
-            items, k, candidates,
+            snapshot.kg, self.registry, graph, task, architecture,
+            items, k, candidates, epoch=snapshot.number,
         )
 
     # -- pool-mode SPARQL plumbing (runs on asyncio.to_thread) --
@@ -609,12 +711,27 @@ class ExtractionService:
     def _pool_stream(self, graph: str, query: Query, page_rows: int) -> PageStream:
         if page_rows <= 0:
             raise ValueError(f"page_rows must be positive, got {page_rows}")
-        result = self._pool_sparql(graph, query)
+        # The worker evaluates and accounts the *request* only
+        # (op "sparql_stream"); pages are cut here, parent-side, and
+        # accounted into the entry's page_stats — merged with worker-side
+        # counters in metrics_snapshot, so pooled /metrics counts streamed
+        # traffic exactly like in-process serving.
+        entry = self._graphs[graph]
+        payload = self.pool.call("sparql_stream", {"graph": graph, "query": query})
+        result = ResultSet(payload["variables"], payload["columns"])
+
+        def pages():
+            for page in result.iter_pages(page_rows):
+                account_page(
+                    entry.page_stats, page, self._compression, entry.page_lock
+                )
+                yield page
+
         return PageStream(
             variables=list(result.variables),
             total_rows=result.num_rows,
             page_rows=page_rows,
-            pages=iter(result.iter_pages(page_rows)),
+            pages=pages(),
         )
 
     # -- serial baseline (scalar oracle, one request at a time) --
@@ -642,11 +759,12 @@ class ExtractionService:
         self, graph: str, task: str, architecture: str,
         item: int, k: int, candidates: int,
     ) -> dict:
-        kg = self._graphs[graph].kg
+        entry = self._graphs[graph]
+        kg, epoch = entry.kg, entry.epoch
         async with self._serial_lock:
             return await asyncio.to_thread(
                 run_predict_oracle, kg, self.registry, graph, task,
-                architecture, item, k, candidates,
+                architecture, item, k, candidates, epoch,
             )
 
     # -- lifecycle / observability --
@@ -671,6 +789,9 @@ class ExtractionService:
             graphs[name] = {
                 "num_nodes": entry.kg.num_nodes,
                 "num_edges": entry.kg.num_edges,
+                # Epoch/delta gauges + retained-kernel cache counters of
+                # the live epoch chain (docs/live-graphs.md walks these).
+                "live": entry.live.stats(),
                 **self._graph_cache_stats(name, entry),
             }
             if self.pool is not None:
@@ -690,6 +811,7 @@ class ExtractionService:
             "max_batch": self._ppr.max_batch,
             "max_delay_ms": self._ppr.max_delay * 1e3,
             "coalesce": self.coalesce,
+            "compact_every": self.compact_every,
         }
         if self.pool is not None:
             snapshot["config"]["pool"] = self.pool.describe()
@@ -698,19 +820,32 @@ class ExtractionService:
     def _graph_cache_stats(self, name: str, entry: _RegisteredGraph) -> dict:
         if self.pool is not None:
             stats = self.pool.graph_stats(name)
-            if stats is not None:
-                return stats
-            # No graph-touching response yet: report empty worker-side
-            # counters rather than the parent's (unused) caches.
-            return {
-                "artifact_cache": {"hits": 0, "builds": 0, "nbytes": 0, "mapped_nbytes": 0},
-                "endpoint": {
-                    "requests": 0,
-                    "rows_returned": 0,
-                    "bytes_shipped": 0,
-                    "compression_ratio": 1.0,
-                },
-            }
+            if stats is None:
+                # No graph-touching response yet: report empty worker-side
+                # counters rather than the parent's (unused) caches.
+                stats = {
+                    "artifact_cache": {
+                        "hits": 0, "builds": 0, "nbytes": 0, "mapped_nbytes": 0,
+                    },
+                    "endpoint": {
+                        "requests": 0,
+                        "rows_returned": 0,
+                        "bytes_raw": 0,
+                        "bytes_shipped": 0,
+                    },
+                }
+            # Fold in the pages this parent cut from worker-evaluated
+            # streamed results (invisible to worker-side EndpointStats),
+            # then recompute the ratio over the merged byte counters —
+            # pooled and in-process /metrics agree page for page.
+            endpoint = stats["endpoint"]
+            with entry.page_lock:
+                endpoint["rows_returned"] += entry.page_stats.rows_returned
+                raw = endpoint.pop("bytes_raw", 0) + entry.page_stats.bytes_raw
+                endpoint["bytes_shipped"] += entry.page_stats.bytes_shipped
+            shipped = endpoint["bytes_shipped"]
+            endpoint["compression_ratio"] = (raw / shipped) if shipped else 1.0
+            return stats
         artifacts = artifacts_for(entry.kg)
         stats = entry.endpoint.stats
         # nbytes is per-process resident memory; mapped_nbytes is the shared

@@ -11,6 +11,7 @@ Request::
     {"op": "ego",    "graph": "mag", "root": 17, "depth": 2, "fanout": 8}
     {"op": "sparql", "graph": "mag", "query": "select ?s ?p ?o where ..."}
     {"op": "count",  "graph": "mag", "query": "..."}
+    {"op": "triples", "graph": "mag", "triples": [[0, 1, 2], [3, 1, 4]]}
     {"op": "metrics"}
     {"op": "ping"}
 

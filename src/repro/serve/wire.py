@@ -39,6 +39,13 @@ MAX_LINE_BYTES = 1 << 20
 # written back in request order.
 PIPELINE_DEPTH = 256
 
+#: Every op :func:`perform_op` dispatches, in documentation order.  This
+#: tuple is the single source of truth the docs checker
+#: (``tools/check_docs.py --serving-ops``) cross-checks the op tables in
+#: ``docs/serving.md`` and ``docs/live-graphs.md`` against — adding an op
+#: here without documenting it (or vice versa) fails the docs CI tier.
+OPS = ("ping", "metrics", "graphs", "ppr", "ego", "predict", "sparql", "count", "triples")
+
 
 class BadRequest(ValueError):
     """The request shape is invalid (missing/malformed field, unknown op)."""
@@ -151,6 +158,19 @@ async def perform_op(service: ExtractionService, request: Any) -> Any:
     if op == "sparql":
         graph = _graph_field(service, request, op)
         return await service.sparql(graph, _field(request, "query", op, text))
+    if op == "triples":
+        graph = _graph_field(service, request, op)
+        triples = request.get("triples", _MISSING)
+        if triples is _MISSING:
+            raise BadRequest("op 'triples' requires field 'triples'")
+        # Shape/range validation happens in the service (ValueError → 400
+        # via each front end's existing mapping); only the container type
+        # is checked here so a JSON scalar fails with a wire-shape error.
+        if not isinstance(triples, (list, tuple)):
+            raise BadRequest(
+                "field 'triples' of op 'triples' must be a list of [s, p, o] rows"
+            )
+        return await service.ingest_triples(graph, triples)
     if op == "count":
         graph = _graph_field(service, request, op)
         return await service.count(graph, _field(request, "query", op, text))
@@ -265,6 +285,7 @@ def bound_port(server: asyncio.AbstractServer) -> Optional[int]:
 __all__: List[str] = [
     "BadRequest",
     "MAX_LINE_BYTES",
+    "OPS",
     "PIPELINE_DEPTH",
     "UnknownGraph",
     "bound_port",

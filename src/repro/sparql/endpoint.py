@@ -180,13 +180,24 @@ class SparqlEndpoint:
 
     def _account_page(self, page: ResultSet) -> None:
         """Account one shipped page's rows/bytes (request already counted)."""
-        payload = _serialize(page)
-        raw_size = len(payload)
-        shipped = len(zlib.compress(payload)) if self.compression else raw_size
+        account_page(self.stats, page, self.compression, self._lock)
+
+    def evaluate_stream(self, query: TypingUnion[str, SelectQuery]) -> ResultSet:
+        """Evaluate for *remote* paging: account the request, not the pages.
+
+        The pool's parent process cuts streamed-``/sparql`` pages on its
+        side of the pipe; the owning worker calls this so the query counts
+        as one request here while every shipped page is accounted
+        parent-side with :func:`account_page` — summed in
+        ``metrics_snapshot``, pooled counters match in-process serving
+        page for page.
+        """
+        parsed = parse_query(query) if isinstance(query, str) else query
+        result = self.executor.evaluate(parsed)
         with self._lock:
-            self.stats.rows_returned += page.num_rows
-            self.stats.bytes_raw += raw_size
-            self.stats.bytes_shipped += shipped
+            self.stats.requests += 1
+            self.stats.queries.append(f"STREAM({parsed})")
+        return result
 
     # -- paginated parallel fetch (the request-handler workers of Alg. 3) --
 
@@ -232,6 +243,30 @@ class SparqlEndpoint:
         for page in pages[1:]:
             merged = merged.concat(page)
         return merged
+
+
+def account_page(
+    stats: EndpointStats,
+    page: ResultSet,
+    compression: bool,
+    lock: Optional[threading.Lock] = None,
+) -> None:
+    """Account one shipped page (rows + modeled raw/shipped bytes) to ``stats``.
+
+    The single definition of page accounting: the in-process endpoint uses
+    it for :meth:`SparqlEndpoint.stream_pages`, and the pool's parent uses
+    it for pages cut from a worker-evaluated result — so both serving
+    modes count streamed traffic identically.
+    """
+    payload = _serialize(page)
+    raw_size = len(payload)
+    shipped = len(zlib.compress(payload)) if compression else raw_size
+    if lock is None:
+        lock = threading.Lock()
+    with lock:
+        stats.rows_returned += page.num_rows
+        stats.bytes_raw += raw_size
+        stats.bytes_shipped += shipped
 
 
 def _serialize(result: ResultSet) -> bytes:

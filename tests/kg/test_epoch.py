@@ -1,0 +1,264 @@
+"""Epochal snapshots: every incremental merge bit-exact vs a cold rebuild.
+
+The contract under test (``repro/kg/epoch.py``): a :class:`GraphEpoch`
+built by *extending* the previous epoch with a delta must be
+indistinguishable — CSR projections, hexastore orderings, degrees,
+SPARQL results, kernel answers — from a graph rebuilt from scratch with
+the same content (``cold_rebuild()``, the oracle).  Randomized insert
+schedules drive the merges through many shapes; the delta-aware kernel
+caches must invalidate exactly by dirty-node support intersection.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kg.cache import artifacts_for
+from repro.kg.epoch import GraphEpoch, LiveGraph
+from repro.kg.triples import TripleStore
+from repro.models.shadowsaint import extract_ego_batch
+from repro.sampling.ppr import batch_ppr_top_k
+from repro.sparql.endpoint import SparqlEndpoint
+
+ALL_TRIPLES = "select ?s ?p ?o where { ?s ?p ?o }"
+
+
+def random_delta(kg, rows, rng):
+    """``rows`` random in-range [s, p, o] rows (ingest never mints ids)."""
+    return np.stack(
+        [
+            rng.integers(0, kg.num_nodes, rows),
+            rng.integers(0, kg.num_edge_types, rows),
+            rng.integers(0, kg.num_nodes, rows),
+        ],
+        axis=1,
+    ).astype(np.int64)
+
+
+def warm(kg):
+    """Build the artifacts an epoch carries forward incrementally."""
+    artifacts_for(kg).csr("both")
+    artifacts_for(kg).csr("out")
+    kg.hexastore.materialize()
+    kg.out_degree()
+    kg.in_degree()
+
+
+def assert_epoch_matches_cold_rebuild(epoch):
+    cold = epoch.cold_rebuild()
+    assert np.array_equal(epoch.kg.triples.s, cold.triples.s)
+    assert np.array_equal(epoch.kg.triples.p, cold.triples.p)
+    assert np.array_equal(epoch.kg.triples.o, cold.triples.o)
+    for direction in ("both", "out", "in"):
+        merged = artifacts_for(epoch.kg).csr(direction)
+        rebuilt = artifacts_for(cold).csr(direction)
+        assert np.array_equal(merged.indptr, rebuilt.indptr), direction
+        assert np.array_equal(merged.indices, rebuilt.indices), direction
+        assert np.array_equal(merged.data, rebuilt.data), direction
+    cold.hexastore.materialize()
+    for name, index in epoch.kg.hexastore._indices.items():
+        assert np.array_equal(
+            index.perm, cold.hexastore._indices[name].perm
+        ), name
+    assert np.array_equal(epoch.kg.out_degree(), cold.out_degree())
+    assert np.array_equal(epoch.kg.in_degree(), cold.in_degree())
+
+
+def test_randomized_insert_schedule_stays_bit_exact(toy_kg):
+    rng = np.random.default_rng(7)
+    warm(toy_kg)
+    epoch = GraphEpoch.initial(toy_kg)
+    for round_number in range(6):
+        rows = int(rng.integers(1, 9))
+        arr = random_delta(toy_kg, rows, rng)
+        epoch = epoch.extend(TripleStore(arr[:, 0], arr[:, 1], arr[:, 2]))
+        assert epoch.number == round_number + 1
+        assert_epoch_matches_cold_rebuild(epoch)
+
+
+def test_extend_off_a_lazy_base_builds_correctly(toy_kg):
+    # No pre-built artifacts on the base: nothing to merge incrementally,
+    # the merged graph must still build everything lazily and correctly.
+    rng = np.random.default_rng(11)
+    epoch = GraphEpoch.initial(toy_kg)
+    arr = random_delta(toy_kg, 5, rng)
+    epoch = epoch.extend(TripleStore(arr[:, 0], arr[:, 1], arr[:, 2]))
+    assert_epoch_matches_cold_rebuild(epoch)
+
+
+def test_sparql_results_identical_on_merged_epoch(toy_kg):
+    rng = np.random.default_rng(13)
+    warm(toy_kg)
+    epoch = GraphEpoch.initial(toy_kg)
+    arr = random_delta(toy_kg, 6, rng)
+    epoch = epoch.extend(TripleStore(arr[:, 0], arr[:, 1], arr[:, 2]))
+    merged = SparqlEndpoint(epoch.kg).query(ALL_TRIPLES)
+    rebuilt = SparqlEndpoint(epoch.cold_rebuild()).query(ALL_TRIPLES)
+    assert list(merged.variables) == list(rebuilt.variables)
+    for variable in merged.variables:
+        assert np.array_equal(merged.columns[variable], rebuilt.columns[variable])
+
+
+def test_compact_reuses_the_merged_graph(toy_kg):
+    rng = np.random.default_rng(17)
+    epoch = GraphEpoch.initial(toy_kg)
+    arr = random_delta(toy_kg, 4, rng)
+    extended = epoch.extend(TripleStore(arr[:, 0], arr[:, 1], arr[:, 2]))
+    compacted = extended.compact()
+    assert compacted.number == extended.number + 1
+    assert compacted.kg is extended.kg  # O(1): nothing is recomputed
+    assert compacted.base_kg is extended.kg
+    assert compacted.delta_rows == 0 and extended.delta_rows == 4
+
+
+def test_compact_to_disk_writes_a_loadable_store(toy_kg, tmp_path):
+    from repro.kg.store import open_artifacts
+
+    rng = np.random.default_rng(19)
+    warm(toy_kg)
+    epoch = GraphEpoch.initial(toy_kg)
+    arr = random_delta(toy_kg, 4, rng)
+    epoch = epoch.extend(TripleStore(arr[:, 0], arr[:, 1], arr[:, 2]))
+    epoch = epoch.compact(out_dir=str(tmp_path / "store"))
+    mapped = open_artifacts(str(tmp_path / "store"))
+    assert np.array_equal(mapped.kg.triples.s, epoch.kg.triples.s)
+    assert np.array_equal(mapped.kg.triples.p, epoch.kg.triples.p)
+    assert np.array_equal(mapped.kg.triples.o, epoch.kg.triples.o)
+
+
+# -- LiveGraph: validation, the ring, the policy ------------------------------
+
+
+def test_validate_triples_rejects_id_minting_and_bad_shapes(toy_kg):
+    live = LiveGraph(toy_kg)
+    with pytest.raises(ValueError, match="does not mint new nodes"):
+        live.ingest([[toy_kg.num_nodes, 0, 0]])
+    with pytest.raises(ValueError, match="does not mint new relations"):
+        live.ingest([[0, toy_kg.num_edge_types, 1]])
+    with pytest.raises(ValueError, match=r"shaped \(n, 3\)"):
+        live.ingest([[0, 0]])
+    with pytest.raises(ValueError, match="integer"):
+        live.ingest([["s", "p", "o"]])
+    assert live.epoch.number == 0  # nothing was applied
+
+
+def test_empty_ingest_is_a_noop(toy_kg):
+    live = LiveGraph(toy_kg)
+    result = live.ingest([])
+    assert result == {
+        "added": 0, "epoch": 0, "delta_rows": 0, "compacted": False,
+    }
+    assert live.epoch.number == 0
+
+
+def test_compact_every_policy_folds_the_delta(toy_kg):
+    live = LiveGraph(toy_kg, compact_every=6)
+    rng = np.random.default_rng(23)
+    first = live.ingest(random_delta(toy_kg, 3, rng))
+    assert first == {"added": 3, "epoch": 1, "delta_rows": 3, "compacted": False}
+    second = live.ingest(random_delta(toy_kg, 3, rng))  # reaches the bound
+    assert second == {"added": 3, "epoch": 2, "delta_rows": 0, "compacted": True}
+    assert live.stats()["compactions"] == 1
+    assert_epoch_matches_cold_rebuild(live.epoch)
+
+
+def test_epoch_ring_pins_old_epochs_until_history_runs_out(toy_kg):
+    live = LiveGraph(toy_kg, history=4)
+    rng = np.random.default_rng(29)
+    epochs = [live.epoch]
+    for _ in range(6):
+        live.ingest(random_delta(toy_kg, 2, rng))
+        epochs.append(live.epoch)
+    # Recent epochs resolve exactly; beyond the ring the current answers.
+    assert live.resolve(6) is epochs[6]
+    assert live.resolve(4) is epochs[4]
+    assert live.resolve(0) is epochs[6]
+    assert live.resolve(None) is epochs[6]
+
+
+def test_old_epoch_requests_bypass_the_cache_and_stay_exact(toy_kg):
+    live = LiveGraph(toy_kg)
+    rng = np.random.default_rng(31)
+    targets = [0, 1, 2]
+    live.ingest(random_delta(toy_kg, 3, rng))
+    pinned = live.epoch.number
+    live.ingest(random_delta(toy_kg, 3, rng))
+    old = live.ppr_top_k(targets, 4, epoch=pinned)
+    oracle = batch_ppr_top_k(
+        artifacts_for(live.resolve(pinned).kg).csr("both"), targets, 4
+    )
+    assert old == oracle
+    current = live.ppr_top_k(targets, 4)
+    assert current == batch_ppr_top_k(artifacts_for(live.kg).csr("both"), targets, 4)
+
+
+# -- delta-aware kernels ------------------------------------------------------
+
+
+def test_ppr_cache_serves_untouched_targets_and_recomputes_dirty_ones(toy_kg):
+    live = LiveGraph(toy_kg)
+    targets = list(range(toy_kg.num_nodes))
+    first = live.ppr_top_k(targets, 4)
+    assert live.stats()["ppr_cache"]["misses"] == len(targets)
+    again = live.ppr_top_k(targets, 4)
+    assert again == first
+    assert live.stats()["ppr_cache"]["hits"] >= len(targets)
+
+    # A delta inside the disconnected movie domain (m0 -sequelOf-> m2)
+    # must not invalidate the academic domain's retained entries.
+    m0 = toy_kg.node_vocab.id("m0")
+    m2 = toy_kg.node_vocab.id("m2")
+    sequel = toy_kg.relation_vocab.id("sequelOf")
+    live.ingest([[m0, sequel, m2]])
+    stats = live.stats()["ppr_cache"]
+    assert 0 < stats["invalidated"] < len(targets)
+
+    refreshed = live.ppr_top_k(targets, 4)
+    oracle = batch_ppr_top_k(artifacts_for(live.kg).csr("both"), targets, 4)
+    assert refreshed == oracle
+
+
+def test_ego_cache_invalidates_by_node_set(toy_kg):
+    live = LiveGraph(toy_kg)
+    roots = [toy_kg.node_vocab.id("p0"), toy_kg.node_vocab.id("m0")]
+    first = live.ego_batch(roots, 2, 3, salt=9)
+    m0 = toy_kg.node_vocab.id("m0")
+    m2 = toy_kg.node_vocab.id("m2")
+    sequel = toy_kg.relation_vocab.id("sequelOf")
+    live.ingest([[m0, sequel, m2]])
+    # The movie-domain ego is dirty, the paper-domain one survived.
+    assert live.stats()["ego_cache"]["invalidated"] == 1
+    refreshed = live.ego_batch(roots, 2, 3, salt=9)
+    oracle = extract_ego_batch(live.kg, roots, 2, 3, 9)
+    for ego, expected in zip(refreshed, oracle):
+        assert np.array_equal(ego.nodes, expected.nodes)
+    assert np.array_equal(first[0].nodes, refreshed[0].nodes)
+
+
+def test_randomized_live_kernels_match_cold_rebuild_every_epoch(toy_kg):
+    rng = np.random.default_rng(37)
+    live = LiveGraph(toy_kg)
+    targets = [int(t) for t in rng.choice(toy_kg.num_nodes, 6, replace=False)]
+    for _ in range(5):
+        live.ppr_top_k(targets, 4)          # keep the cache warm ...
+        live.ego_batch(targets, 2, 3, salt=1)
+        live.ingest(random_delta(toy_kg, int(rng.integers(1, 6)), rng))
+        cold = live.epoch.cold_rebuild()    # ... and audit it after ingest
+        assert live.ppr_top_k(targets, 4) == batch_ppr_top_k(
+            artifacts_for(cold).csr("both"), targets, 4
+        )
+        for ego, expected in zip(
+            live.ego_batch(targets, 2, 3, salt=1),
+            extract_ego_batch(cold, targets, 2, 3, 1),
+        ):
+            assert np.array_equal(ego.nodes, expected.nodes)
+            assert np.array_equal(ego.src, expected.src)
+            assert np.array_equal(ego.dst, expected.dst)
+            assert np.array_equal(ego.rel, expected.rel)
+
+
+def test_kernel_cache_capacity_is_bounded(toy_kg):
+    live = LiveGraph(toy_kg, cache_capacity=4)
+    live.ppr_top_k(list(range(10)), 3)
+    assert live.stats()["ppr_cache"]["entries"] <= 4
+    live.ego_batch(list(range(10)), 1, 2, salt=0)
+    assert live.stats()["ego_cache"]["entries"] <= 4

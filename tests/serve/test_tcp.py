@@ -228,3 +228,26 @@ def test_concurrent_wire_clients_coalesce(toy_kg, toy_task):
         assert response["result"] == [[node, score] for node, score in expected]
     # Independent connections still shared batches through the scheduler.
     assert service.metrics.batch_occupancy() > 1.0
+
+
+def test_triples_ingest_over_the_wire_bumps_the_epoch(toy_kg):
+    rows = [[0, 0, 1], [1, 0, 2]]
+    responses = serve_and_send(
+        toy_kg,
+        [
+            {"op": "triples", "graph": "toy", "triples": rows},
+            {"op": "triples", "graph": "toy", "triples": [[toy_kg.num_nodes, 0, 0]]},
+            {"op": "triples", "graph": "toy"},
+            {"op": "ping"},
+        ],
+    )
+    assert responses[0]["ok"]
+    assert responses[0]["result"] == {
+        "graph": "toy", "added": 2, "epoch": 1, "delta_rows": 2,
+        "compacted": False,
+    }
+    # Id-minting payloads and missing fields answer structured errors
+    # without closing the connection; the pipelined ping still lands.
+    assert not responses[1]["ok"] and responses[1]["error"] == "bad_request"
+    assert not responses[2]["ok"] and responses[2]["error"] == "bad_request"
+    assert responses[3] == {"ok": True, "result": "pong"}

@@ -185,22 +185,26 @@ def test_bench_serve_with_worker_pool(tmp_path, capsys):
     assert payload["metrics"]["config"]["pool"]["workers"] == 2
 
 
-def test_help_text_covers_every_flag_documented_in_serving_docs(capsys):
-    """Every --flag mentioned in docs/serving.md must appear verbatim in
-    `repro serve --help`, `repro bench-serve --help` or `repro train --help`
-    (the docs and the CLI must never drift apart)."""
+@pytest.mark.parametrize("doc", ["serving.md", "live-graphs.md"])
+def test_help_text_covers_every_flag_documented_in_serving_docs(doc, capsys):
+    """Every --flag mentioned in the serving/live-graph docs must appear
+    verbatim in `repro serve --help`, `repro bench-serve --help` or
+    `repro train --help` (the docs and the CLI must never drift apart)."""
     import re
 
     docs_path = os.path.join(
         os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-        "docs", "serving.md",
+        "docs", doc,
     )
     with open(docs_path, encoding="utf-8") as handle:
         # Audit repro's own flags; example invocations of other tools
-        # (curl) document *their* flags, not ours.
-        lines = [line for line in handle if "curl" not in line]
+        # (curl, tools/check_docs.py) document *their* flags, not ours.
+        lines = [
+            line for line in handle
+            if "curl" not in line and "check_docs" not in line
+        ]
     documented = set(re.findall(r"(--[a-z][a-z0-9-]+)", "".join(lines)))
-    assert documented, "docs/serving.md no longer documents any flags?"
+    assert documented, f"docs/{doc} no longer documents any flags?"
 
     help_text = ""
     for command in ("serve", "bench-serve", "train"):
@@ -208,7 +212,7 @@ def test_help_text_covers_every_flag_documented_in_serving_docs(capsys):
             main([command, "--help"])
         help_text += capsys.readouterr().out
     missing = sorted(flag for flag in documented if flag not in help_text)
-    assert not missing, f"flags documented in docs/serving.md but absent from --help: {missing}"
+    assert not missing, f"flags documented in docs/{doc} but absent from --help: {missing}"
 
 
 def test_train_save_checkpoint_writes_loadable_artifact(tmp_path, capsys):

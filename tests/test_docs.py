@@ -23,6 +23,7 @@ def test_required_docs_exist():
         os.path.join("docs", "serving.md"),
         os.path.join("docs", "performance.md"),
         os.path.join("docs", "ci.md"),
+        os.path.join("docs", "live-graphs.md"),
     ):
         assert os.path.exists(os.path.join(REPO_ROOT, relative)), relative
 
@@ -41,8 +42,23 @@ def test_architecture_doc_examples_run():
     assert result.failed == 0
 
 
+def test_live_graphs_doc_examples_run():
+    result = doctest.testfile(
+        os.path.join(REPO_ROOT, "docs", "live-graphs.md"),
+        module_relative=False,
+        verbose=False,
+    )
+    assert result.attempted > 0, "live-graphs.md lost its doctest examples"
+    assert result.failed == 0
+
+
 def test_every_guarded_perf_floor_is_documented():
     assert check_docs.check_perf_floor_docs() == []
+
+
+def test_every_serving_op_is_documented_both_directions():
+    """The op tables in serving.md / live-graphs.md match serve.wire.OPS."""
+    assert check_docs.check_serving_ops() == []
 
 
 def test_serving_doc_documents_the_pool_operator_surface():

@@ -11,15 +11,20 @@ so the tier-1 suite catches breakage locally):
    URLs are deliberately not fetched: CI must not depend on the network,
    and the repo's own cross-references are what silently rot.
 2. **Doctests** — fenced ``>>>`` examples in ``docs/architecture.md``
-   are executed with ``doctest`` (the CI job runs the equivalent
-   ``python -m doctest docs/architecture.md``), so the architecture
-   walkthrough can never drift from the real API.
+   and ``docs/live-graphs.md`` are executed with ``doctest`` (the CI job
+   runs the equivalent ``python -m doctest <doc>``), so the
+   walkthroughs can never drift from the real API.
 3. **Perf floors** — every benchmark name the perf-guard checks
    (``REPORTS`` in ``benchmarks/check_perf_floors.py``) must appear in
    ``docs/ci.md``'s guarded-measurements table, so a new guarded
    measurement cannot land undocumented (and a renamed one cannot leave
    a stale row behind: every backtick-quoted name in the table must be
    guarded).
+4. **Serving ops** — the op tables (header cell ``op``) in
+   ``docs/serving.md`` and ``docs/live-graphs.md`` must match the wire
+   registry (``OPS`` in ``repro/serve/wire.py``) in both directions: a
+   new op cannot ship undocumented, and a table row cannot outlive its
+   op.
 
 Usage::
 
@@ -42,7 +47,16 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 LINKED_DOCS = ("README.md", "docs")
 
 #: Files whose ``>>>`` examples are executed.
-DOCTEST_DOCS = (os.path.join("docs", "architecture.md"),)
+DOCTEST_DOCS = (
+    os.path.join("docs", "architecture.md"),
+    os.path.join("docs", "live-graphs.md"),
+)
+
+#: Files whose op tables are audited against ``repro.serve.wire.OPS``.
+SERVING_OP_DOCS = (
+    os.path.join("docs", "serving.md"),
+    os.path.join("docs", "live-graphs.md"),
+)
 
 # Inline markdown links: [text](target).  Images (![alt](target)) match
 # too via the optional bang.  Reference-style definitions are rare here
@@ -151,14 +165,77 @@ def check_perf_floor_docs() -> List[str]:
     return failures
 
 
+def _op_table_rows(text: str) -> set:
+    """Backticked first-column names from markdown tables headed ``op``."""
+    rows: set = set()
+    in_table = False
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped.startswith("|"):
+            in_table = False
+            continue
+        cells = [cell.strip() for cell in stripped.strip("|").split("|")]
+        first = cells[0] if cells else ""
+        if first.lower() == "op":
+            in_table = True
+            continue
+        if not in_table or set(first) <= set("-: "):
+            continue  # outside an op table, or the header separator row
+        match = re.match(r"^`([a-z_]+)`$", first)
+        if match:
+            rows.add(match.group(1))
+    return rows
+
+
+def check_serving_ops() -> List[str]:
+    """Return one failure message per op-table/wire-registry drift.
+
+    Audited both directions against ``repro.serve.wire.OPS`` for each doc
+    in ``SERVING_OP_DOCS``: an op the wire serves but the doc's op table
+    omits (undocumented op), and a table row naming an op the wire no
+    longer serves (stale row).
+    """
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    try:
+        from repro.serve.wire import OPS
+    finally:
+        sys.path.pop(0)
+    served = set(OPS)
+
+    failures: List[str] = []
+    for relative in SERVING_OP_DOCS:
+        path = os.path.join(REPO_ROOT, relative)
+        if not os.path.exists(path):
+            failures.append(f"{relative}: missing (serving-op documentation target)")
+            continue
+        with open(path, encoding="utf-8") as handle:
+            documented = _op_table_rows(handle.read())
+        if not documented:
+            failures.append(f"{relative}: contains no op table (header cell 'op')")
+            continue
+        failures.extend(
+            f"{relative}: wire op {name!r} (repro/serve/wire.py OPS) "
+            f"is not documented in the op table"
+            for name in sorted(served - documented)
+        )
+        failures.extend(
+            f"{relative}: op table documents {name!r} but the wire "
+            f"registry no longer serves it"
+            for name in sorted(documented - served)
+        )
+    return failures
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--links", action="store_true", help="run only the link check")
     parser.add_argument("--doctests", action="store_true", help="run only the doctests")
     parser.add_argument("--floors", action="store_true",
                         help="run only the perf-floor documentation check")
+    parser.add_argument("--serving-ops", action="store_true",
+                        help="run only the serving-op table cross-check")
     args = parser.parse_args(argv)
-    selected = args.links or args.doctests or args.floors
+    selected = args.links or args.doctests or args.floors or args.serving_ops
 
     checks: List[Tuple[str, List[str]]] = []
     if args.links or not selected:
@@ -167,6 +244,8 @@ def main(argv: List[str] | None = None) -> int:
         checks.append(("doctests", check_doctests()))
     if args.floors or not selected:
         checks.append(("floors", check_perf_floor_docs()))
+    if args.serving_ops or not selected:
+        checks.append(("serving-ops", check_serving_ops()))
 
     exit_code = 0
     for name, failures in checks:
