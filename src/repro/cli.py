@@ -214,16 +214,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     else:
         kg = _load_bundle(args.dataset, args.scale, args.seed).kg
     serve_protocol = serve_http if args.protocol == "http" else serve_tcp
-    if args.workers and args.no_coalesce:
-        raise SystemExit("--workers requires the coalescing scheduler (drop --no-coalesce)")
+    if (args.workers or args.remote_worker) and args.no_coalesce:
+        raise SystemExit(
+            "--workers/--remote-worker require the coalescing scheduler "
+            "(drop --no-coalesce)"
+        )
     if args.pin_workers and not args.workers:
         raise SystemExit("--pin-workers requires a worker pool (add --workers N)")
+    if args.remote_worker and not args.mmap_dir:
+        raise SystemExit(
+            "--remote-worker requires --mmap-dir: remote registration ships "
+            "the artifact-store path, never a pickled graph"
+        )
+    if (args.workers_min or args.workers_max) and not args.workers:
+        raise SystemExit(
+            "--workers-min/--workers-max scale the local pool; add --workers N"
+        )
     pool = None
-    if args.workers:
+    if args.workers or args.remote_worker:
+        from repro.serve.placement import HashPlacement, LoadAwarePlacement
+
+        replicas = args.replicas if args.replicas else None
+        placement_cls = (
+            LoadAwarePlacement if args.placement == "load" else HashPlacement
+        )
         pool = WorkerPool(
             workers=args.workers,
-            replicas=args.replicas if args.replicas else None,
+            replicas=replicas,
             pin_workers=args.pin_workers,
+            remote_workers=args.remote_worker,
+            placement=placement_cls(replicas),
+            workers_min=args.workers_min or None,
+            workers_max=args.workers_max or None,
         )
 
     async def run() -> None:
@@ -244,7 +266,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             # count, so the banner can never advertise a placement that
             # does not exist.
             replicas = pool.replicas if pool.replicas else pool.num_workers
-            mode = f"pool of {args.workers} workers, {replicas} replica(s)/graph"
+            mode = f"pool of {pool.num_workers} workers, {replicas} replica(s)/graph"
+            if args.remote_worker:
+                mode += f" ({len(args.remote_worker)} remote)"
+            if args.placement != "hash":
+                mode += f", {args.placement} placement"
+            if args.workers_min or args.workers_max:
+                elastic = pool.describe()["elastic"]
+                mode += f", elastic {elastic['min']}..{elastic['max']} local"
             if args.pin_workers:
                 pinned = pool.describe()["pinned"]
                 cpus = ",".join("-" if cpu is None else str(cpu) for cpu in pinned)
@@ -278,6 +307,65 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         if pool is not None:
             pool.close()
+    return 0
+
+
+def _cmd_serve_worker(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.transport import WorkerServer, serve_worker
+    from repro.serve.wire import bound_port
+
+    host, _, port_text = args.listen.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        port = -1
+    if not host or not (0 <= port < 65536):
+        raise SystemExit(f"--listen must be HOST:PORT, got {args.listen!r}")
+    if args.checkpoint and not args.mmap_dir:
+        raise SystemExit(
+            "--checkpoint requires --mmap-dir (the graph the checkpoints serve)"
+        )
+    state = WorkerServer()
+    if args.mmap_dir:
+        # Pre-register from the local store: the parent's later register op
+        # for the same name is then an idempotent no-op, so it pays no
+        # startup cost on this worker.  Use --graph to match the name the
+        # parent serves under (its --dataset value).
+        from repro.kg.store import open_artifacts
+
+        name = args.graph or open_artifacts(args.mmap_dir).kg.name
+        state.register_local({
+            "name": name,
+            "mmap_dir": args.mmap_dir,
+            "warm": True,
+            "warm_kinds": ("csr",),
+            "compression": True,
+            "checkpoints": list(args.checkpoint),
+        })
+
+    async def run() -> None:
+        server = await serve_worker(state, host, port)
+        graphs = state.graphs()
+        print(
+            f"serve-worker listening on {host}:{bound_port(server)} "
+            f"(graphs: {', '.join(graphs) if graphs else 'none, awaiting registration'})",
+            flush=True,
+        )
+        async with server:
+            if args.duration is not None:
+                try:
+                    await asyncio.wait_for(server.serve_forever(), args.duration)
+                except asyncio.TimeoutError:
+                    pass
+            else:
+                await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
     return 0
 
 
@@ -480,7 +568,46 @@ def build_parser() -> argparse.ArgumentParser:
                             "rows (0: never compact)")
     serve.add_argument("--duration", type=float, default=None,
                        help="stop after this many seconds (default: run forever)")
+    serve.add_argument("--remote-worker", action="append", default=[],
+                       metavar="HOST:PORT",
+                       help="add a standalone `repro serve-worker` at this address "
+                            "to the pool as a remote shard (repeatable; requires "
+                            "--mmap-dir so registration ships a store path, never "
+                            "a pickled graph)")
+    serve.add_argument("--placement", default="hash", choices=("hash", "load"),
+                       help="graph->worker placement policy: deterministic blake2b "
+                            "shard map (hash), or least-loaded by queue-depth EWMA "
+                            "and reported worker memory (load)")
+    serve.add_argument("--workers-min", type=int, default=0,
+                       help="elastic lower bound on local pool workers "
+                            "(0: elasticity off)")
+    serve.add_argument("--workers-max", type=int, default=0,
+                       help="elastic upper bound on local pool workers "
+                            "(0: elasticity off)")
     serve.set_defaults(func=_cmd_serve)
+
+    serve_worker = sub.add_parser(
+        "serve-worker",
+        help="run one standalone pool worker: answers the pool ops over "
+             "ndjson TCP for a parent started with serve --remote-worker",
+    )
+    serve_worker.add_argument("--listen", required=True, metavar="HOST:PORT",
+                              help="interface:port to bind (port 0 picks a free port)")
+    serve_worker.add_argument("--mmap-dir", default=None,
+                              help="pre-register the graph from this saved artifact "
+                                   "store (see build-artifacts); parents can also "
+                                   "register remotely, shipping only the store path")
+    serve_worker.add_argument("--graph", default=None,
+                              help="name to pre-register the --mmap-dir store under "
+                                   "— match the parent's --dataset (default: the "
+                                   "store's own graph name)")
+    serve_worker.add_argument("--checkpoint", action="append", default=[],
+                              metavar="PATH",
+                              help="register a model checkpoint so /predict windows "
+                                   "routed here can serve its task; repeatable")
+    serve_worker.add_argument("--duration", type=float, default=None,
+                              help="stop after this many seconds (default: run forever)")
+    serve_worker.set_defaults(func=_cmd_serve_worker)
 
     bench_serve = sub.add_parser(
         "bench-serve",

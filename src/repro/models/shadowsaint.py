@@ -307,6 +307,28 @@ class ShaDowSAINTClassifier(Module):
         self._egos: List[_EgoGraph] = extract_ego_batch(
             kg, task.target_nodes, depth=depth, fanout=fanout, salt=self._ego_salt
         )
+        # Flat views over the ego set: one concatenation at construction
+        # replaces the per-ego concatenations every minibatch assembly
+        # used to do.  Slices stay in ego order, so gathers out of these
+        # arrays are bit-identical to concatenating the per-ego arrays.
+        empty = np.empty(0, np.int64)
+        self._node_sizes = np.asarray([len(e.nodes) for e in self._egos], dtype=np.int64)
+        self._edge_sizes = np.asarray([len(e.src) for e in self._egos], dtype=np.int64)
+        self._node_starts = np.concatenate([[0], np.cumsum(self._node_sizes)])
+        self._edge_starts = np.concatenate([[0], np.cumsum(self._edge_sizes)])
+        self._flat_nodes = (
+            np.concatenate([e.nodes for e in self._egos]) if self._egos else empty
+        )
+        self._flat_src = (
+            np.concatenate([e.src for e in self._egos]) if self._egos else empty
+        )
+        self._flat_dst = (
+            np.concatenate([e.dst for e in self._egos]) if self._egos else empty
+        )
+        self._flat_rel = (
+            np.concatenate([e.rel for e in self._egos]) if self._egos else empty
+        )
+
         max_ego = max((len(e.nodes) for e in self._egos), default=1)
         if meter is not None:
             graph_bytes = sum(
@@ -333,7 +355,51 @@ class ShaDowSAINTClassifier(Module):
         """Block-diagonal union of the selected egos.
 
         Returns (global node ids with duplicates, per-relation normalised
-        CSR stack over local ids, root local positions).
+        CSR stack over local ids, root local positions).  Bit-identical to
+        :meth:`_assemble_scalar` (kept below as the regression oracle):
+        slice gathers out of the flat ego arrays preserve per-ego order,
+        and the stable relation sort preserves edge order within each
+        relation, so every CSR sees the same (rows, cols) sequence the
+        per-relation boolean masks produced.
+        """
+        ego_indices = np.asarray(ego_indices, dtype=np.int64)
+        sizes = self._node_sizes[ego_indices]
+        offsets = np.concatenate([[0], np.cumsum(sizes)[:-1]])
+        total = int(sizes.sum())
+        nodes = _gather_slices(
+            self._flat_nodes, self._node_starts[ego_indices], sizes, offsets, total
+        )
+        roots = offsets.copy()
+
+        edge_sizes = self._edge_sizes[ego_indices]
+        edge_offsets = np.concatenate([[0], np.cumsum(edge_sizes)[:-1]])
+        num_edges = int(edge_sizes.sum())
+        edge_starts = self._edge_starts[ego_indices]
+        shift = np.repeat(offsets, edge_sizes)  # lift local ids per ego
+        src = _gather_slices(self._flat_src, edge_starts, edge_sizes, edge_offsets, num_edges) + shift
+        dst = _gather_slices(self._flat_dst, edge_starts, edge_sizes, edge_offsets, num_edges) + shift
+        rel = _gather_slices(self._flat_rel, edge_starts, edge_sizes, edge_offsets, num_edges)
+
+        num_rel = max(self.num_base_relations, 1)
+        order = np.argsort(rel, kind="stable")
+        bounds = np.searchsorted(rel[order], np.arange(num_rel + 1))
+        matrices: List[sp.csr_matrix] = []
+        # Forward direction: message object -> subject (rows are subjects).
+        for relation in range(num_rel):
+            sel = order[bounds[relation] : bounds[relation + 1]]
+            matrices.append(_normalized_csr(src[sel], dst[sel], total))
+        for relation in range(num_rel):
+            sel = order[bounds[relation] : bounds[relation + 1]]
+            matrices.append(_normalized_csr(dst[sel], src[sel], total))
+        return nodes, matrices, roots
+
+    def _assemble_scalar(
+        self, ego_indices: np.ndarray
+    ) -> Tuple[np.ndarray, List[sp.csr_matrix], np.ndarray]:
+        """Reference per-ego assembly (oracle for :meth:`_assemble`).
+
+        Kept verbatim so the regression suite can assert the flat-gather
+        path reproduces it bit-for-bit.
         """
         egos = [self._egos[i] for i in ego_indices]
         sizes = np.asarray([len(e.nodes) for e in egos], dtype=np.int64)
@@ -349,7 +415,6 @@ class ShaDowSAINTClassifier(Module):
 
         num_rel = max(self.num_base_relations, 1)
         matrices: List[sp.csr_matrix] = []
-        # Forward direction: message object -> subject (rows are subjects).
         for relation in range(num_rel):
             mask = rel == relation
             matrices.append(_normalized_csr(src[mask], dst[mask], total))
@@ -395,6 +460,23 @@ class ShaDowSAINTClassifier(Module):
             if outputs
             else np.empty((0, self.task.num_labels))
         )
+
+
+def _gather_slices(
+    flat: np.ndarray,
+    starts: np.ndarray,
+    sizes: np.ndarray,
+    out_offsets: np.ndarray,
+    total: int,
+) -> np.ndarray:
+    """Concatenate ``flat[starts[i] : starts[i] + sizes[i]]`` slices.
+
+    One fancy-index gather instead of a per-slice concatenation loop:
+    position ``j`` of the output lies inside slice ``i`` (the one whose
+    ``out_offsets[i]`` it falls after), at within-slice offset
+    ``j - out_offsets[i]``, i.e. flat index ``starts[i] + j - out_offsets[i]``.
+    """
+    return flat[np.repeat(starts - out_offsets, sizes) + np.arange(total)]
 
 
 def _normalized_csr(rows: np.ndarray, cols: np.ndarray, size: int) -> sp.csr_matrix:

@@ -21,6 +21,7 @@ from repro.serve.coalesce import Coalescer
 from repro.serve.http import serve_http
 from repro.serve.loadgen import (
     LoadReport,
+    compare_distributed_scaling,
     compare_http_serving,
     compare_pool_serving,
     compare_predict_serving,
@@ -54,6 +55,7 @@ __all__ = [
     "WorkerError",
     "WorkerPool",
     "bound_port",
+    "compare_distributed_scaling",
     "compare_http_serving",
     "compare_pool_serving",
     "compare_predict_serving",

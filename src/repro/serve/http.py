@@ -23,7 +23,15 @@ on ``asyncio`` streams, dependency-free:
     With ``Accept: text/csv`` the same pages ship as ``text/csv``
     (SPARQL 1.1 CSV results: comma-joined header of variable names, one
     CRLF-terminated row per binding, same integer values as the JSON
-    bindings bit for bit).
+    bindings bit for bit).  With ``Accept:
+    application/sparql-results+xml`` they ship as SPARQL 1.1 XML results
+    with **IRI-decoded** bindings: each variable's vocabulary domain
+    (node / relation / class) is inferred from the query's triple
+    patterns, and its integer ids decode to ``<uri>`` terms through the
+    graph's vocabularies — round-tripping a URI back through the same
+    vocabulary yields the JSON binding's id exactly.  Variables whose
+    domain is ambiguous (or queries the inference cannot type) fall back
+    to the same typed integer literals as the JSON bindings.
 
 ``GET|POST /ppr``, ``GET|POST /ego``
     The extraction ops, mirroring the ndjson protocol's fields
@@ -348,6 +356,152 @@ def _next_csv_chunk(iterator) -> Optional[bytes]:
     return _encode_csv_page(page)
 
 
+# -- SPARQL results as XML with IRI-decoded bindings ---------------------------
+
+SPARQL_RESULTS_XML = "application/sparql-results+xml"
+
+
+def _wants_xml(request: "HttpRequest") -> bool:
+    """Whether the Accept header asks for SPARQL 1.1 XML results."""
+    accept = request.headers.get("accept", "")
+    return any(
+        part.split(";")[0].strip().lower() == SPARQL_RESULTS_XML
+        for part in accept.split(",")
+    )
+
+
+def _note_domain(domains: Dict[str, Optional[str]], term, domain: str) -> None:
+    from repro.sparql.ast import Var
+
+    if isinstance(term, Var):
+        if term.name in domains and domains[term.name] != domain:
+            domains[term.name] = None  # conflicting evidence: stay integer
+        else:
+            domains[term.name] = domain
+
+
+def _query_domains(query) -> Dict[str, Optional[str]]:
+    """Output variable name → vocabulary domain, inferred from the AST.
+
+    Positions type variables: in a ``?v a <Class>`` pattern the subject
+    is a node and the object a class; in a regular pattern subject and
+    object are nodes and the predicate a relation.  Projection aliases
+    carry their source's domain; UNION arms must agree or the variable
+    stays untyped (``None`` → serialized as an integer literal, exactly
+    like the JSON bindings).
+    """
+    from repro.sparql.ast import BGP
+
+    if isinstance(query.body, BGP):
+        inner: Dict[str, Optional[str]] = {}
+        for pattern in query.body.patterns:
+            if pattern.is_type_pattern():
+                _note_domain(inner, pattern.s, "node")
+                _note_domain(inner, pattern.o, "class")
+            else:
+                _note_domain(inner, pattern.s, "node")
+                _note_domain(inner, pattern.p, "relation")
+                _note_domain(inner, pattern.o, "node")
+    else:  # Union: merge the arms' output domains, demoting disagreements
+        inner = {}
+        for arm in query.body.arms:
+            for name, domain in _query_domains(arm).items():
+                if name in inner and inner[name] != domain:
+                    inner[name] = None
+                else:
+                    inner.setdefault(name, domain)
+    if query.projections:
+        return {
+            projection.output.name: inner.get(projection.source.name)
+            for projection in query.projections
+        }
+    return inner
+
+
+def _binding_vocabs(
+    service: ExtractionService, graph: str, query: str, variables: List[str]
+) -> Dict[str, object]:
+    """Variable → vocabulary to decode its ids through (None = integer)."""
+    from repro.sparql.parser import parse_query
+
+    try:
+        domains = _query_domains(parse_query(query))
+    except Exception:  # noqa: BLE001 - typing is best-effort, never fatal
+        domains = {}
+    kg = service.kg_of(graph)
+    vocabs = {
+        "node": kg.node_vocab,
+        "relation": kg.relation_vocab,
+        "class": kg.class_vocab,
+    }
+    return {
+        variable: vocabs.get(domains.get(variable)) for variable in variables
+    }
+
+
+def _xml_head(variables: List[str]) -> bytes:
+    from xml.sax.saxutils import quoteattr
+
+    return (
+        '<?xml version="1.0"?>\n'
+        f'<sparql xmlns="http://www.w3.org/2005/sparql-results#"><head>'
+        + "".join(f"<variable name={quoteattr(v)}/>" for v in variables)
+        + "</head><results>"
+    ).encode("utf-8")
+
+
+def _encode_xml_page(page: ResultSet, vocabs: Dict[str, object]) -> bytes:
+    """One page of ``<result>`` elements, IRI-decoded where typed.
+
+    Same bulk ``tolist()`` discipline as the JSON/CSV encoders — the
+    three serializers consume identical lazily-cut pages, which is what
+    keeps the formats bit-exact relative to each other.
+    """
+    from xml.sax.saxutils import escape, quoteattr
+
+    variables = page.variables
+    columns = [page.columns[variable].tolist() for variable in variables]
+    names = [quoteattr(variable) for variable in variables]
+    decoders = [vocabs.get(variable) for variable in variables]
+    parts: List[str] = []
+    for values in zip(*columns):
+        parts.append("<result>")
+        for name, vocab, value in zip(names, decoders, values):
+            if vocab is not None:
+                parts.append(
+                    f"<binding name={name}><uri>{escape(vocab.term(value))}"
+                    "</uri></binding>"
+                )
+            else:
+                parts.append(
+                    f'<binding name={name}><literal datatype="{XSD_INTEGER}">'
+                    f"{value}</literal></binding>"
+                )
+        parts.append("</result>")
+    return "".join(parts).encode("utf-8")
+
+
+async def _stream_xml(
+    stream: PageStream, vocabs: Dict[str, object]
+) -> AsyncIterator[bytes]:
+    """Chunk generator mirroring :func:`_stream_results` for XML results."""
+    yield _xml_head(stream.variables)
+    iterator = stream.pages
+    while True:
+        chunk = await asyncio.to_thread(_next_xml_chunk, iterator, vocabs)
+        if chunk is None:
+            break
+        yield chunk
+    yield b"</results></sparql>"
+
+
+def _next_xml_chunk(iterator, vocabs) -> Optional[bytes]:
+    page = next(iterator, None)
+    if page is None:
+        return None
+    return _encode_xml_page(page, vocabs)
+
+
 # -- routing ------------------------------------------------------------------
 
 
@@ -416,6 +570,15 @@ async def _handle_sparql(service: ExtractionService, request: HttpRequest) -> Ht
         # Evaluation-time query errors (e.g. projecting an unbound
         # variable) are the client's fault, not a server failure.
         return _error_response(400, "bad_request", f"invalid query: {exc}")
+    if _wants_xml(request):
+        # Checked before CSV: a client asking for both formats gets the
+        # richer (IRI-decoded) one.
+        vocabs = _binding_vocabs(service, graph, query, stream.variables)
+        return HttpResponse(
+            200,
+            headers=[("Content-Type", f"{SPARQL_RESULTS_XML}; charset=utf-8")],
+            stream=_stream_xml(stream, vocabs),
+        )
     if _wants_csv(request):
         return HttpResponse(
             200,

@@ -16,7 +16,9 @@ report the throughput ratio — the numbers guarded by
 ``benchmarks/check_perf_floors.py``: :func:`compare_serving_modes` (the
 in-process coalescing scheduler), :func:`compare_http_serving` (the HTTP
 front end over real sockets) and :func:`compare_pool_serving` (the
-multi-process sharded worker pool).
+multi-process sharded worker pool).  :func:`compare_distributed_scaling`
+is pool-vs-pool instead: one worker vs a wider (optionally remote TCP)
+tier, guarding that adding workers actually adds capacity.
 """
 
 from __future__ import annotations
@@ -423,6 +425,79 @@ def compare_pool_serving(
         )
     speedup = pooled.throughput_rps / max(serial.throughput_rps, 1e-12)
     return serial, pooled, speedup
+
+
+def compare_distributed_scaling(
+    kg: KnowledgeGraph,
+    targets: Sequence[int],
+    k: int = 16,
+    concurrency: int = 64,
+    workers: int = 2,
+    max_batch: int = 64,
+    max_delay: float = 0.002,
+    mmap_dir: Optional[str] = None,
+    remote_workers: Optional[Sequence[str]] = None,
+) -> Tuple[LoadReport, LoadReport, float]:
+    """One-worker pool vs a ``workers``-wide (optionally remote) tier.
+
+    The distributed-tier scaling check: both runs cross the same
+    transport machinery (framing, shipping, stats piggyback), so the
+    ratio isolates what adding workers buys — placement fanning requests
+    over more slots — from what the pool itself buys over in-process
+    serving (that ratio is ``compare_pool_serving``'s job).  Returns
+    ``(single, scaled, speedup)`` after asserting the scaled tier
+    produced bit-identical results; placement must never change an
+    answer, only who computes it.
+
+    ``remote_workers`` (``HOST:PORT`` strings of already-running
+    ``repro serve-worker`` processes) makes the scaled tier a genuinely
+    cross-machine one: the pool runs zero local workers and routes every
+    request over TCP.  Remote registration ships artifact paths, so
+    ``mmap_dir`` is required in that mode.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    remote_workers = list(remote_workers or ())
+    if remote_workers and not mmap_dir:
+        raise ValueError(
+            "remote scaling needs mmap_dir: remote workers register graphs "
+            "by artifact-store path, never a pickled graph"
+        )
+
+    def _timed(pool: WorkerPool) -> LoadReport:
+        # Warm outside the timed run: worker-side artifact opens and
+        # first-touch page faults are startup, not scaling.
+        run_load(
+            kg, targets[: min(len(targets), concurrency)], k=k,
+            concurrency=concurrency, pool=pool, mmap_dir=mmap_dir,
+            max_batch=max_batch, max_delay=max_delay,
+        )
+        return run_load(
+            kg, targets, k=k, concurrency=concurrency, pool=pool,
+            mmap_dir=mmap_dir, max_batch=max_batch, max_delay=max_delay,
+        )
+
+    single_pool = WorkerPool(workers=1)
+    try:
+        single = _timed(single_pool)
+    finally:
+        single_pool.close()
+    scaled_pool = WorkerPool(
+        workers=0 if remote_workers else workers,
+        remote_workers=remote_workers or None,
+    )
+    try:
+        scaled = _timed(scaled_pool)
+        scaled_width = scaled_pool.num_workers
+    finally:
+        scaled_pool.close()
+    if single.results != scaled.results:
+        raise AssertionError(
+            "scaled worker tier diverged from the single-worker baseline"
+        )
+    single.mode = "pooled-1w"
+    scaled.mode = f"pooled-{scaled_width}w" + ("-remote" if remote_workers else "")
+    speedup = scaled.throughput_rps / max(single.throughput_rps, 1e-12)
+    return single, scaled, speedup
 
 
 def _predict_task_types(checkpoints: Sequence[str]) -> Dict[str, str]:

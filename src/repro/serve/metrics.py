@@ -96,6 +96,10 @@ class ServiceMetrics:
         # Exponentially weighted per-request service time estimate; feeds
         # the ``retry_after`` hint of the backpressure contract.
         self._ewma_request_seconds: Optional[float] = None
+        # Smoothed Retry-After hint (seconds) over recent rejections: how
+        # hard admission is currently pushing clients away.  The pool's
+        # elastic controller reads the same signal via note_pressure.
+        self._retry_after_ewma: Optional[float] = None
 
     # -- admission --
 
@@ -105,9 +109,16 @@ class ServiceMetrics:
             self.queue_depth += 1
             self.queue_depth_peak = max(self.queue_depth_peak, self.queue_depth)
 
-    def record_rejected(self) -> None:
+    def record_rejected(self, retry_after: Optional[float] = None) -> None:
         with self._lock:
             self.rejected += 1
+            if retry_after is not None:
+                if self._retry_after_ewma is None:
+                    self._retry_after_ewma = retry_after
+                else:
+                    self._retry_after_ewma += 0.2 * (
+                        retry_after - self._retry_after_ewma
+                    )
 
     def record_departed(self) -> None:
         with self._lock:
@@ -199,6 +210,9 @@ class ServiceMetrics:
                     "rejected": self.rejected,
                     "queue_depth": self.queue_depth,
                     "queue_depth_peak": self.queue_depth_peak,
+                    # Smoothed Retry-After (seconds) over recent rejections;
+                    # 0.0 until the first rejection carries a hint.
+                    "retry_after_ewma_s": self._retry_after_ewma or 0.0,
                 },
                 "requests": kinds,
                 "coalescing": {

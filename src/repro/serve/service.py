@@ -365,6 +365,16 @@ class ExtractionService:
             )
         return entry
 
+    def kg_of(self, name: str) -> KnowledgeGraph:
+        """Current-epoch merged graph of ``name`` (KeyError if unknown).
+
+        Front ends use this for answer *decoration* that needs the vocab
+        tables — e.g. IRI-decoding SPARQL bindings for the XML results
+        format.  Vocabularies are append-only across epochs, so ids from
+        any result decode consistently against the current snapshot.
+        """
+        return self._graph(name).kg
+
     # -- admission gate --
 
     #: Request kinds that route through a coalescing scheduler; only their
@@ -380,8 +390,14 @@ class ExtractionService:
 
     def _admit(self, kind: str) -> None:
         if self._pending >= self.max_pending:
-            self.metrics.record_rejected()
-            raise ServiceOverloaded(retry_after=self._retry_after(kind))
+            retry_after = self._retry_after(kind)
+            self.metrics.record_rejected(retry_after)
+            if self.pool is not None:
+                # Retry-After pressure feeds the pool's elastic controller:
+                # rejected requests never reach a worker queue, so queue
+                # depth alone under-reports saturation.
+                self.pool.note_pressure(retry_after)
+            raise ServiceOverloaded(retry_after=retry_after)
         self._pending += 1
         self.metrics.record_admitted()
 

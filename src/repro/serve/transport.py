@@ -1,0 +1,870 @@
+"""Transport layer: how pool requests reach a worker, wherever it runs.
+
+``serve/pool.py`` used to fuse three concerns; this module is the lowest
+of the three layers it split into (placement lives in
+``serve/placement.py``, lifecycle/elasticity in the pool itself):
+
+* **The worker-side op executor** (:func:`_execute_op`): one serial
+  recv/execute/send loop body shared by every transport.  A worker is a
+  shard — it owns its slice of the per-graph artifact cache and answers
+  the nine pool ops (``ping``/``register``/``triples``/``ppr``/``ego``/
+  ``predict``/``sparql``/``sparql_stream``/``count``) one at a time, so
+  intra-worker parallelism can never reintroduce the GIL contention the
+  pool exists to remove.
+* **:class:`WorkerTransport`** — the parent-side interface the pool's
+  lifecycle layer orchestrates: ``start()`` / ``request()`` (future per
+  op) / ``close()``, plus a disconnect callback so a dead peer surfaces
+  as structured :class:`WorkerCrashed` failures and a respawn/reconnect
+  decision in the pool, identically for both implementations.
+* **:class:`LocalProcessTransport`** — the classic same-machine worker:
+  a ``multiprocessing`` child connected by a pipe, python objects
+  (parameters out, numpy buffers back) crossing via pickle.
+* **:class:`RemoteTcpTransport`** — the distributed tier: the same ops
+  as newline-delimited JSON frames over TCP to a standalone
+  ``repro serve-worker`` process (possibly on another machine), reusing
+  the framing/pipelining core in ``serve/wire.py`` on the server side.
+  The JSON codec (:func:`encode_result` / :func:`decode_result`)
+  round-trips every answer losslessly — JSON floats serialize via
+  ``repr`` (shortest round-trip), so remote answers stay **bit-exact**
+  with local ones; the oracle suites assert it per op.
+
+Remote registration ships *paths*, never graphs: a remote worker maps
+``--mmap-dir`` artifacts (``repro build-artifacts``) from its own
+filesystem, so registration and respawn replay cost O(header) on any
+machine and a pickled multi-GiB graph never crosses the network.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import itertools
+import json
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "LocalProcessTransport",
+    "RemoteTcpTransport",
+    "WorkerCrashed",
+    "WorkerError",
+    "WorkerServer",
+    "WorkerTransport",
+    "serve_worker",
+]
+
+#: Seconds a remote transport waits for the TCP connect + liveness probe.
+CONNECT_TIMEOUT_SECONDS = 10.0
+
+
+def _max_line_bytes() -> int:
+    # Same frame bound as every other wire surface.  Imported lazily:
+    # ``serve/wire.py`` imports the service (which imports the pool, which
+    # imports this module), so a module-level import would be circular.
+    from repro.serve.wire import MAX_LINE_BYTES
+
+    return MAX_LINE_BYTES
+
+#: Seconds ``close()`` gives a local worker to exit cleanly before
+#: terminating it.
+SHUTDOWN_GRACE_SECONDS = 5.0
+
+
+# -- errors -------------------------------------------------------------------
+
+
+class WorkerCrashed(RuntimeError):
+    """A worker died with this request in flight (or is not reachable).
+
+    The pool respawns/reconnects the worker and replays its
+    registrations; the *request* is not retried — retrying is the
+    caller's decision, exactly like
+    :class:`~repro.serve.service.ServiceOverloaded` rejections.
+    """
+
+
+class WorkerError(RuntimeError):
+    """A worker-side failure that is not a client error (server fault)."""
+
+
+#: Worker-side exception types re-raised as the same type in the parent so
+#: the front ends map them to the same status codes as in-process serving
+#: (ValueError/KeyError -> 400/404, SparqlSyntaxError -> 400 invalid SPARQL).
+_CLIENT_ERRORS = {"ValueError": ValueError, "TypeError": TypeError, "KeyError": KeyError}
+
+
+def _reraise(type_name: str, message: str) -> Exception:
+    if type_name == "SparqlSyntaxError":
+        from repro.sparql.parser import SparqlSyntaxError
+
+        return SparqlSyntaxError(message)
+    client_type = _CLIENT_ERRORS.get(type_name)
+    if client_type is not None:
+        return client_type(message)
+    return WorkerError(f"{type_name}: {message}")
+
+
+# -- worker-side op execution (shared by every transport) ----------------------
+
+
+def _worker_graph_stats(entry: dict) -> dict:
+    """The piggybacked per-graph stats: artifact cache + endpoint counters."""
+    from repro.kg.cache import artifacts_for
+
+    artifacts = artifacts_for(entry["kg"])
+    stats = entry["endpoint"].stats
+    return {
+        "artifact_cache": {
+            "hits": artifacts.hits,
+            "builds": artifacts.builds,
+            "nbytes": artifacts.nbytes(),
+            "mapped_nbytes": artifacts.mapped_nbytes(),
+        },
+        "endpoint": {
+            "requests": stats.requests,
+            "rows_returned": stats.rows_returned,
+            "bytes_raw": stats.bytes_raw,
+            "bytes_shipped": stats.bytes_shipped,
+        },
+    }
+
+
+def _execute_op(graphs: Dict[str, dict], op: str, payload: dict) -> Any:
+    """Run one op against this worker's shard of graphs."""
+    from repro.kg.cache import artifacts_for
+
+    if op == "ping":
+        return "pong"
+    if op == "sleep":  # diagnostics/tests: hold the worker busy
+        time.sleep(float(payload["seconds"]))
+        return None
+    if op == "register":
+        name = payload["name"]
+        entry = graphs.get(name)
+        if entry is None:
+            from repro.kg.epoch import LiveGraph
+            from repro.serve.registry import ModelRegistry
+            from repro.sparql.endpoint import SparqlEndpoint
+
+            mmap_dir = payload.get("mmap_dir")
+            if mmap_dir is not None:
+                # Zero-copy startup: map the saved artifact store instead of
+                # unpickling a shipped graph + rebuilding indices.  Every
+                # worker mapping the same file shares its physical pages.
+                from repro.kg.store import open_artifacts
+
+                kg = open_artifacts(mmap_dir).kg
+            else:
+                kg = payload["kg"]
+            graphs[name] = entry = {
+                "kg": kg,
+                "live": LiveGraph(kg),
+                "endpoint": SparqlEndpoint(kg, compression=payload["compression"]),
+                "registry": ModelRegistry(),
+            }
+        # Checkpoints ride the registration payload by *path* (respawn
+        # replays re-read the same files); models load lazily on the
+        # first predict window that reaches this worker.
+        for checkpoint in payload.get("checkpoints", ()):
+            entry["registry"].add(
+                name, checkpoint, expected_graph=entry["kg"].name
+            )
+        if payload.get("warm"):
+            artifacts_for(entry["kg"]).warm(payload.get("warm_kinds", ("csr",)))
+        return sorted(graphs)
+
+    entry = graphs.get(payload["graph"])
+    if entry is None:
+        raise KeyError(f"graph {payload['graph']!r} is not registered on this worker")
+    if op == "triples":
+        # Lockstep ingest: the parent ships the delta (and its compaction
+        # decision) to every owning worker *before* applying it locally, so
+        # any client that saw the new epoch number can be served by every
+        # shard.  The worker loop is serial — no request can interleave
+        # with a half-applied ingest.
+        from repro.sparql.endpoint import SparqlEndpoint
+
+        result = entry["live"].ingest(payload["triples"], compact=payload["compact"])
+        if result["added"]:
+            old = entry["endpoint"]
+            entry["kg"] = entry["live"].kg
+            endpoint = SparqlEndpoint(entry["live"].kg, compression=old.compression)
+            endpoint.stats = old.stats  # counters survive the epoch bump
+            entry["endpoint"] = endpoint
+            entry["registry"].invalidate_graph(
+                payload["graph"], keep_epoch=int(result["epoch"])
+            )
+        return result
+    if op == "ppr":
+        # The live graph's retained cache wraps the same batch kernel the
+        # in-process dispatch path uses, so the two modes cannot drift.
+        table = entry["live"].ppr_top_k(
+            payload["targets"], payload["k"],
+            alpha=payload["alpha"], eps=payload["eps"],
+            epoch=payload.get("epoch"),
+        )
+        return [table[int(target)] for target in payload["targets"]]
+    if op == "ego":
+        return entry["live"].ego_batch(
+            payload["roots"], payload["depth"], payload["fanout"],
+            payload["salt"], epoch=payload.get("epoch"),
+        )
+    if op == "predict":
+        # Same shared kernel as the in-process dispatch path; parameters
+        # in (a few ints + the window's item ids), score payloads back.
+        from repro.serve.kernels import run_predict_batch
+
+        snapshot = entry["live"].resolve(payload.get("epoch"))
+        return run_predict_batch(
+            snapshot.kg, entry["registry"], payload["graph"], payload["task"],
+            payload["model"], payload["items"], payload["k"],
+            payload["candidates"], epoch=snapshot.number,
+        )
+    if op == "sparql":
+        result = entry["endpoint"].query(payload["query"])
+        return {
+            "variables": list(result.variables),
+            "columns": {v: result.columns[v] for v in result.variables},
+        }
+    if op == "sparql_stream":
+        # Streamed /sparql in pool mode: evaluate here (one request in this
+        # endpoint's stats), ship the columns whole; the parent cuts pages
+        # and accounts them with endpoint.account_page.
+        result = entry["endpoint"].evaluate_stream(payload["query"])
+        return {
+            "variables": list(result.variables),
+            "columns": {v: result.columns[v] for v in result.variables},
+        }
+    if op == "count":
+        return entry["endpoint"].count(payload["query"])
+    raise ValueError(f"unknown pool op {op!r}")
+
+
+def _worker_main(conn, worker_index: int) -> None:
+    """Entry point of one local worker process: serial recv/execute/send.
+
+    One request at a time per worker by design — a worker is a shard, and
+    intra-worker parallelism would reintroduce the GIL contention the
+    pool exists to remove.  Parallelism comes from the number of workers.
+    """
+    graphs: Dict[str, dict] = {}
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break  # parent is gone; daemonic exit
+        request_id, op, payload = message
+        if op == "shutdown":
+            try:
+                conn.send((request_id, "ok", None, None))
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+            break
+        try:
+            result = _execute_op(graphs, op, payload)
+            graph_name = payload.get("graph") or payload.get("name")
+            stats = None
+            if graph_name in graphs:
+                stats = {"graph": graph_name, **_worker_graph_stats(graphs[graph_name])}
+            response = (request_id, "ok", result, stats)
+        except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+            response = (request_id, "error", (type(exc).__name__, str(exc)), None)
+        try:
+            conn.send(response)
+        except (BrokenPipeError, OSError):  # pragma: no cover - parent died
+            break
+    conn.close()
+
+
+# -- JSON codec for the remote wire -------------------------------------------
+#
+# The remote protocol is newline-delimited JSON: requests
+# ``{"id", "op", "payload"}`` out, responses ``{"id", "status", "result",
+# "stats"}`` back.  Python's json round-trips floats exactly (repr-based
+# shortest round-trip), so encoding kernel answers as JSON preserves the
+# pool's bit-exactness contract; only the *container* types need explicit
+# reconstruction (tuples, numpy arrays, ego-graph objects).
+
+
+def _json_default(value: Any) -> Any:
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"{type(value).__name__} is not JSON serializable")
+
+
+def encode_frame(message: dict) -> bytes:
+    """One wire frame: compact JSON + newline, bounded by the line limit."""
+    data = (
+        json.dumps(message, separators=(",", ":"), default=_json_default) + "\n"
+    ).encode("utf-8")
+    limit = _max_line_bytes()
+    if len(data) > limit:
+        raise ValueError(f"wire frame of {len(data)} bytes exceeds {limit}")
+    return data
+
+
+def check_remote_payload(op: str, payload: dict) -> None:
+    """Reject payloads that must never cross the remote wire."""
+    if op == "register" and "kg" in payload:
+        raise ValueError(
+            "remote workers register graphs by artifact path, not by pickled "
+            "graph; save the store with `repro build-artifacts` and register "
+            "with mmap_dir (serve --mmap-dir)"
+        )
+    if op in ("sparql", "sparql_stream", "count") and not isinstance(
+        payload.get("query"), str
+    ):
+        raise TypeError(
+            f"op {op!r} over the remote transport requires the query as a "
+            "string (parsed ASTs do not cross the wire)"
+        )
+
+
+def decode_request_payload(op: str, payload: dict) -> dict:
+    """Worker-side: rebuild the kernel-facing types from a JSON payload."""
+    if op == "ppr" and "targets" in payload:
+        payload["targets"] = np.asarray(payload["targets"], dtype=np.int64)
+    elif op == "ego" and "roots" in payload:
+        payload["roots"] = np.asarray(payload["roots"], dtype=np.int64)
+    elif op == "triples" and "triples" in payload:
+        payload["triples"] = np.asarray(
+            payload["triples"], dtype=np.int64
+        ).reshape(-1, 3)
+    elif op == "register" and "warm_kinds" in payload:
+        payload["warm_kinds"] = tuple(payload["warm_kinds"])
+    return payload
+
+
+def encode_result(op: str, result: Any) -> Any:
+    """Worker-side: make one op's result JSON-encodable (lossless)."""
+    if op == "ego":
+        return [
+            {"nodes": e.nodes, "src": e.src, "dst": e.dst, "rel": e.rel}
+            for e in result
+        ]
+    # ppr (lists of (node, score) tuples), sparql columns (numpy arrays) and
+    # predict payloads (plain dicts) all serialize via _json_default.
+    return result
+
+
+def decode_result(op: str, result: Any) -> Any:
+    """Parent-side: rebuild the exact in-process result types from JSON."""
+    if op == "ppr":
+        return [
+            [(int(node), float(score)) for node, score in row] for row in result
+        ]
+    if op == "ego":
+        from repro.models.shadowsaint import _EgoGraph
+
+        return [
+            _EgoGraph(
+                nodes=np.asarray(e["nodes"], dtype=np.int64),
+                src=np.asarray(e["src"], dtype=np.int64),
+                dst=np.asarray(e["dst"], dtype=np.int64),
+                rel=np.asarray(e["rel"], dtype=np.int64),
+            )
+            for e in result
+        ]
+    if op in ("sparql", "sparql_stream"):
+        return {
+            "variables": list(result["variables"]),
+            "columns": {
+                variable: np.asarray(column, dtype=np.int64)
+                for variable, column in result["columns"].items()
+            },
+        }
+    return result
+
+
+# -- parent-side transports ---------------------------------------------------
+
+#: ``on_stats(worker_index, stats)`` records a piggybacked stats snapshot.
+StatsSink = Callable[[int, dict], None]
+#: ``on_disconnect(transport)`` tells the lifecycle layer the peer is gone.
+DisconnectSink = Callable[["WorkerTransport"], None]
+
+
+class WorkerTransport:
+    """Parent-side channel to one worker (one incarnation of one slot).
+
+    A transport is single-incarnation: ``start()`` once, ``request()``
+    until the peer dies or ``close()``; the pool's lifecycle layer builds
+    a *new* transport to respawn/reconnect a slot, so "is this disconnect
+    stale?" is an identity check, never a state machine.  All methods are
+    thread-safe; ``request`` returns a future resolved off-thread by the
+    transport's reader.
+    """
+
+    kind = "?"
+
+    def __init__(self, index: int, on_stats: StatsSink, on_disconnect: DisconnectSink):
+        self.index = index
+        self.closed = False
+        self._on_stats = on_stats
+        self._on_disconnect = on_disconnect
+        self._lock = threading.Lock()
+        self._inflight: Dict[int, Tuple[str, concurrent.futures.Future]] = {}
+        self._request_ids = itertools.count()
+
+    # -- interface --
+
+    def start(self) -> None:
+        """Spawn/connect the worker; blocking until it answers."""
+        raise NotImplementedError
+
+    def request(self, op: str, payload: dict) -> concurrent.futures.Future:
+        """Send one op; the returned future resolves off-thread."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Tear down the channel (and, for local workers, the process)."""
+        raise NotImplementedError
+
+    def alive(self) -> bool:
+        raise NotImplementedError
+
+    def pid(self) -> Optional[int]:
+        """Worker process id when it runs on this machine (else None)."""
+        return None
+
+    def describe(self) -> dict:
+        return {"kind": self.kind}
+
+    # -- shared bookkeeping --
+
+    def inflight_depth(self) -> int:
+        """Requests currently awaiting this worker (the load signal)."""
+        with self._lock:
+            return len(self._inflight)
+
+    def _track(self, op: str) -> Tuple[int, concurrent.futures.Future]:
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        with self._lock:
+            request_id = next(self._request_ids)
+            self._inflight[request_id] = (op, future)
+        return request_id, future
+
+    def _untrack(self, request_id: int) -> Optional[Tuple[str, concurrent.futures.Future]]:
+        with self._lock:
+            return self._inflight.pop(request_id, None)
+
+    def _fail_inflight(self) -> None:
+        with self._lock:
+            stale = list(self._inflight.values())
+            self._inflight = {}
+        for _op, future in stale:
+            if not future.done():
+                future.set_exception(
+                    WorkerCrashed(
+                        f"pool worker {self.index} died with this request in flight"
+                    )
+                )
+
+
+class LocalProcessTransport(WorkerTransport):
+    """The classic same-machine worker: mp child + pipe + reader thread.
+
+    Python objects cross via pickle (parameters out, numpy buffers back);
+    a dedicated reader thread blocks on the pipe and resolves futures, so
+    the pool works from plain threads (``asyncio.to_thread``) and from
+    synchronous code without an event loop.
+    """
+
+    kind = "local"
+
+    def __init__(
+        self,
+        ctx,
+        index: int,
+        on_stats: StatsSink,
+        on_disconnect: DisconnectSink,
+    ):
+        super().__init__(index, on_stats, on_disconnect)
+        self._ctx = ctx
+        self.process = None
+        self.conn = None
+        self.reader: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self.index),
+            name=f"tosg-pool-worker-{self.index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        self.process = process
+        self.conn = parent_conn
+        reader = threading.Thread(
+            target=self._read_loop,
+            args=(parent_conn,),
+            name=f"tosg-pool-reader-{self.index}",
+            daemon=True,
+        )
+        self.reader = reader
+        reader.start()
+
+    def _read_loop(self, conn) -> None:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError, ValueError, TypeError):
+                # EOF/OSError: the worker died or the pipe closed.
+                # ValueError/TypeError: close() invalidated the connection
+                # object while this thread was blocked inside recv().
+                break
+            request_id, status, result, stats = message
+            if stats is not None:
+                self._on_stats(self.index, stats)
+            entry = self._untrack(request_id)
+            if entry is None:
+                continue  # request already failed (e.g. during close)
+            _op, future = entry
+            if status == "ok":
+                future.set_result(result)
+            else:
+                future.set_exception(_reraise(*result))
+        self._fail_inflight()
+        self._on_disconnect(self)
+
+    def request(self, op: str, payload: dict) -> concurrent.futures.Future:
+        with self._lock:
+            if self.closed:
+                raise WorkerCrashed(f"pool worker {self.index} is shut down")
+            conn = self.conn
+            request_id = next(self._request_ids)
+            future: concurrent.futures.Future = concurrent.futures.Future()
+            self._inflight[request_id] = (op, future)
+            try:
+                conn.send((request_id, op, payload))
+            except (BrokenPipeError, OSError, ValueError):
+                self._inflight.pop(request_id, None)
+                raise WorkerCrashed(
+                    f"pool worker {self.index} pipe is closed"
+                ) from None
+        return future
+
+    def alive(self) -> bool:
+        return (
+            not self.closed
+            and self.process is not None
+            and self.process.is_alive()
+        )
+
+    def pid(self) -> Optional[int]:
+        return self.process.pid if self.process is not None else None
+
+    def close(self) -> None:
+        with self._lock:
+            self.closed = True
+            conn, process = self.conn, self.process
+        if conn is not None:
+            try:
+                conn.send((next(self._request_ids), "shutdown", {}))
+            except (BrokenPipeError, OSError, ValueError):
+                pass
+        if process is not None:
+            process.join(timeout=SHUTDOWN_GRACE_SECONDS)
+            if process.is_alive():  # pragma: no cover - unresponsive worker
+                process.terminate()
+                process.join(timeout=SHUTDOWN_GRACE_SECONDS)
+        if conn is not None:
+            conn.close()
+
+
+class RemoteTcpTransport(WorkerTransport):
+    """A standalone ``repro serve-worker`` over newline-delimited JSON/TCP.
+
+    Requests ship as ``{"id", "op", "payload"}`` lines; the worker answers
+    ``{"id", "status", "result", "stats"}`` in any order (the id pairs
+    them), and a reader thread resolves futures exactly like the local
+    pipe transport — the pool cannot tell the two apart above this layer.
+
+    ``close()`` drops only the connection: a remote worker is its own
+    process with its own lifecycle (it may serve other parents), so the
+    pool never stops it — reconnecting is the respawn path.
+    """
+
+    kind = "remote"
+
+    def __init__(
+        self,
+        address: str,
+        index: int,
+        on_stats: StatsSink,
+        on_disconnect: DisconnectSink,
+    ):
+        super().__init__(index, on_stats, on_disconnect)
+        host, _, port_text = address.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            port = -1
+        if not host or not (0 < port < 65536):
+            raise ValueError(
+                f"remote worker address must be HOST:PORT, got {address!r}"
+            )
+        self.address = address
+        self._host = host
+        self._port = port
+        self._sock: Optional[socket.socket] = None
+        self._rfile = None
+        self._send_lock = threading.Lock()
+        self.reader: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        sock = socket.create_connection(
+            (self._host, self._port), timeout=CONNECT_TIMEOUT_SECONDS
+        )
+        sock.settimeout(None)
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+        reader = threading.Thread(
+            target=self._read_loop,
+            args=(self._rfile,),
+            name=f"tosg-remote-reader-{self.index}",
+            daemon=True,
+        )
+        self.reader = reader
+        reader.start()
+        # Liveness probe: a refused/ dead endpoint fails here, inside the
+        # caller's spawn path, instead of on the first routed request.
+        self.request("ping", {}).result(timeout=CONNECT_TIMEOUT_SECONDS)
+
+    def request(self, op: str, payload: dict) -> concurrent.futures.Future:
+        if self.closed:
+            raise WorkerCrashed(f"pool worker {self.index} is shut down")
+        check_remote_payload(op, payload)
+        request_id, future = self._track(op)
+        try:
+            data = encode_frame({"id": request_id, "op": op, "payload": payload})
+        except (TypeError, ValueError):
+            self._untrack(request_id)
+            raise
+        try:
+            with self._send_lock:
+                self._sock.sendall(data)
+        except (OSError, AttributeError):
+            self._untrack(request_id)
+            raise WorkerCrashed(
+                f"pool worker {self.index} connection to "
+                f"{self.address} is closed"
+            ) from None
+        return future
+
+    def _read_loop(self, rfile) -> None:
+        while True:
+            try:
+                line = rfile.readline(_max_line_bytes() + 1)
+            except (OSError, ValueError):
+                break
+            if not line or not line.endswith(b"\n"):
+                break  # EOF, peer reset, or an over-long/truncated frame
+            try:
+                message = json.loads(line)
+            except ValueError:
+                break  # protocol corruption: treat the peer as gone
+            if not isinstance(message, dict):
+                break
+            stats = message.get("stats")
+            if stats is not None:
+                self._on_stats(self.index, stats)
+            entry = self._untrack(message.get("id"))
+            if entry is None:
+                continue
+            op, future = entry
+            if message.get("status") == "ok":
+                try:
+                    future.set_result(decode_result(op, message.get("result")))
+                except Exception as exc:  # malformed result payload
+                    future.set_exception(
+                        WorkerError(f"undecodable {op!r} result: {exc}")
+                    )
+            else:
+                error = message.get("result") or ["WorkerError", "unspecified"]
+                future.set_exception(_reraise(str(error[0]), str(error[1])))
+        self._fail_inflight()
+        self._on_disconnect(self)
+
+    def alive(self) -> bool:
+        return (
+            not self.closed and self.reader is not None and self.reader.is_alive()
+        )
+
+    def close(self) -> None:
+        # Drop the link only — the standalone worker keeps running.
+        with self._lock:
+            self.closed = True
+        sock = self._sock
+        if sock is not None:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def describe(self) -> dict:
+        return {"kind": "remote", "address": self.address}
+
+
+# -- the standalone worker server (`repro serve-worker`) ----------------------
+
+
+@dataclass
+class _WireFrame:
+    """One parsed request line (or a framing error that closes the link)."""
+
+    request_id: Any = None
+    op: Optional[str] = None
+    payload: dict = field(default_factory=dict)
+    error: Optional[str] = None
+    last: bool = False
+
+
+async def _read_wire_frame(reader: asyncio.StreamReader) -> Optional[_WireFrame]:
+    """Read one ndjson frame; None at EOF; error frames answer + close.
+
+    Wire hardening, mirroring the front ends: an over-long line and
+    unparseable bytes each produce one structured error response and then
+    close the connection (resynchronizing inside a corrupt byte stream is
+    guesswork); a partial frame at EOF is dropped without dispatching —
+    half a request must never execute.
+    """
+    try:
+        line = await reader.readline()
+    except ValueError:
+        return _WireFrame(
+            error=f"frame exceeds {_max_line_bytes()} bytes", last=True
+        )
+    if not line:
+        return None
+    if not line.endswith(b"\n"):
+        return None  # partial frame at EOF: drop, never dispatch
+    try:
+        message = json.loads(line)
+    except ValueError:
+        return _WireFrame(error="invalid JSON frame", last=True)
+    if not isinstance(message, dict) or not isinstance(message.get("op"), str):
+        return _WireFrame(
+            error="frame must be a JSON object with a string 'op'", last=True
+        )
+    payload = message.get("payload", {})
+    if not isinstance(payload, dict):
+        return _WireFrame(error="'payload' must be a JSON object", last=True)
+    return _WireFrame(
+        request_id=message.get("id"), op=message["op"], payload=payload
+    )
+
+
+async def _write_wire_response(writer: asyncio.StreamWriter, response: dict) -> None:
+    writer.write(encode_frame(response))
+    await writer.drain()
+
+
+class WorkerServer:
+    """The state of one standalone worker: its shard of graphs.
+
+    Execution is serialized by a lock — a standalone worker is the same
+    shard abstraction as a pooled process child, and the lockstep-ingest
+    contract (no request interleaves with a half-applied delta) depends
+    on one-at-a-time execution.  Connections only add pipelining.
+    """
+
+    def __init__(self) -> None:
+        self._graphs: Dict[str, dict] = {}
+        self._execute_lock = threading.Lock()
+
+    def register_local(self, payload: dict) -> List[str]:
+        """Pre-register a graph from the CLI (same payload as the wire op).
+
+        A later ``register`` op from a parent with the same name is then
+        the usual idempotent no-op, so pre-registration turns the
+        parent's registration round-trip into O(1).
+        """
+        return self.execute("register", dict(payload))[0]
+
+    def graphs(self) -> List[str]:
+        with self._execute_lock:
+            return sorted(self._graphs)
+
+    def execute(self, op: str, payload: dict) -> Tuple[Any, Optional[dict]]:
+        """One op → (result, piggybacked stats); serial, like a pool child."""
+        with self._execute_lock:
+            result = _execute_op(self._graphs, op, payload)
+            graph_name = payload.get("graph") or payload.get("name")
+            stats = None
+            if graph_name in self._graphs:
+                stats = {
+                    "graph": graph_name,
+                    **_worker_graph_stats(self._graphs[graph_name]),
+                }
+            return result, stats
+
+
+async def serve_worker(
+    server: WorkerServer,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> asyncio.AbstractServer:
+    """Serve ``server`` over ndjson TCP; ``port=0`` picks a free port.
+
+    Reuses :func:`~repro.serve.wire.serve_pipelined`: pipelined frames on
+    one connection are parsed concurrently and answered strictly in
+    order, while execution itself stays serial in :class:`WorkerServer`.
+    """
+
+    async def respond(frame: _WireFrame) -> dict:
+        if frame.error is not None:
+            return {
+                "id": frame.request_id,
+                "status": "error",
+                "result": ["BadRequest", frame.error],
+            }
+        try:
+            payload = decode_request_payload(frame.op, dict(frame.payload))
+            result, stats = await asyncio.to_thread(
+                server.execute, frame.op, payload
+            )
+            response = {
+                "id": frame.request_id,
+                "status": "ok",
+                "result": encode_result(frame.op, result),
+            }
+            if stats is not None:
+                response["stats"] = stats
+            return response
+        except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+            return {
+                "id": frame.request_id,
+                "status": "error",
+                "result": [type(exc).__name__, str(exc)],
+            }
+
+    async def handler(reader, writer):
+        from repro.serve.wire import serve_pipelined
+
+        await serve_pipelined(
+            reader,
+            writer,
+            read_frame=_read_wire_frame,
+            respond=respond,
+            write_response=_write_wire_response,
+        )
+
+    return await asyncio.start_server(
+        handler, host, port, limit=_max_line_bytes()
+    )

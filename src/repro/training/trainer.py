@@ -136,9 +136,36 @@ def _sample_eval_pairs(
     """Draw per-edge negative tails; returns flat (heads, tails, counts).
 
     The negatives for edge ``i`` occupy one contiguous segment of the flat
-    arrays, with the true tail first.  Draw order is one ``rng.choice`` per
-    edge — the same sequence of generator calls the original scalar
-    evaluator made, so a fixed eval seed yields identical candidate sets.
+    arrays, with the true tail first.  One ``rng.integers`` call draws the
+    whole ``(edges, negatives)`` index block; PCG64 fills it in C order, so
+    row ``i`` holds exactly the words the scalar evaluator's ``i``-th
+    ``rng.choice(pool, size=m)`` call would have drawn — same candidate
+    sets, same generator state afterwards (asserted against
+    :func:`_sample_eval_pairs_scalar` in the regression suite).
+    """
+    num_draws = min(config.num_eval_negatives, len(pool))
+    true_tails = np.asarray(edges[:, 1], dtype=np.int64)
+    draws = pool[rng.integers(0, len(pool), size=(len(edges), num_draws))]
+    keep = draws != true_tails[:, None]
+    counts = keep.sum(axis=1) + 1  # +1 for the true tail leading each segment
+    starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    heads = np.repeat(np.asarray(edges[:, 0], dtype=np.int64), counts)
+    tails = np.empty(int(counts.sum()), dtype=np.int64)
+    tails[starts] = true_tails
+    # A kept draw lands right after the draws kept before it in its row:
+    # its running keep-count doubles as the 1-based offset past the true
+    # tail, preserving draw order inside every segment.
+    tails[(starts[:, None] + np.cumsum(keep, axis=1))[keep]] = draws[keep]
+    return heads, tails, counts
+
+
+def _sample_eval_pairs_scalar(
+    edges: np.ndarray, pool: np.ndarray, config: TrainConfig, rng: np.random.Generator
+):
+    """Reference per-edge sampler (oracle for :func:`_sample_eval_pairs`).
+
+    Kept verbatim so the regression suite can assert the one-shot block
+    draw reproduces it bit-for-bit from the same generator state.
     """
     heads_parts = []
     tails_parts = []

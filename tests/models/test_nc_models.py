@@ -94,6 +94,31 @@ def test_shadow_ego_graphs_bounded(toy_kg, toy_task):
         assert ego.nodes[0] in toy_task.target_nodes
 
 
+def test_shadow_flat_gather_assembly_matches_scalar_oracle(toy_kg, toy_task):
+    """Minibatch assembly via flat-array gathers is bit-identical to the
+    per-ego concatenation + per-relation mask oracle, including duplicate
+    and permuted ego selections."""
+    model = ShaDowSAINTClassifier(toy_kg, toy_task, CONFIG, depth=2, fanout=3)
+    num = len(model._egos)
+    batches = [
+        np.arange(num),
+        np.arange(num)[::-1],
+        np.array([0]),
+        np.array([num - 1, 0, num - 1]),  # duplicates allowed
+        np.random.default_rng(7).integers(0, num, size=2 * num),
+    ]
+    for batch in batches:
+        nodes, matrices, roots = model._assemble(batch)
+        s_nodes, s_matrices, s_roots = model._assemble_scalar(batch)
+        np.testing.assert_array_equal(nodes, s_nodes)
+        np.testing.assert_array_equal(roots, s_roots)
+        assert len(matrices) == len(s_matrices)
+        for matrix, oracle in zip(matrices, s_matrices):
+            np.testing.assert_array_equal(matrix.indptr, oracle.indptr)
+            np.testing.assert_array_equal(matrix.indices, oracle.indices)
+            np.testing.assert_array_equal(matrix.data, oracle.data)
+
+
 def test_sehgnn_metapath_features_precomputed(toy_kg, toy_task):
     model = SeHGNNClassifier(toy_kg, toy_task, CONFIG, feature_dim=8, num_two_hop=2)
     assert model.metapath_features.shape[0] == toy_task.num_targets

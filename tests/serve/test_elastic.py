@@ -1,0 +1,234 @@
+"""Placement policies and pool elasticity: resize, handoff, pressure.
+
+The placement/lifecycle layers of the worker-pool split
+(``serve/placement.py`` + ``serve/pool.py``) in test form:
+
+* :class:`LoadAwarePlacement` degrades to the deterministic hash walk
+  when there is no load signal, and routes graphs away from loaded
+  slots when there is one;
+* ``pool.resize()`` grows and shrinks the local tier with graceful
+  shard handoff — new owners receive the registration **and** the full
+  ingest delta chain before routing flips, so answers stay
+  bit-identical across every resize;
+* the elastic controller reacts to sustained Retry-After pressure by
+  growing within ``workers_min..workers_max``, and shrinks back when
+  the pool is idle;
+* admission rejections feed the pressure signal end to end
+  (``ServiceMetrics.record_rejected`` → ``pool.note_pressure``).
+"""
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import ExtractionService, ServiceOverloaded, WorkerPool
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.placement import (
+    HashPlacement,
+    LoadAwarePlacement,
+    WorkerLoad,
+)
+from repro.serve.pool import ELASTIC_COOLDOWN_SECONDS
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+# -- placement policies --------------------------------------------------------
+
+
+def test_load_aware_placement_degrades_to_hash_when_idle():
+    """No load signal → the deterministic hash walk, bit for bit."""
+    active = [0, 1, 2, 3]
+    for name in ("mag", "dblp", "yago4", "load"):
+        for replicas in (1, 2, None):
+            hash_choice = HashPlacement(replicas).place(name, active, {})
+            idle_loads = {index: WorkerLoad() for index in active}
+            assert LoadAwarePlacement(replicas).place(
+                name, active, idle_loads
+            ) == hash_choice
+
+
+def test_load_aware_placement_avoids_loaded_slots():
+    active = [0, 1, 2, 3]
+    home = HashPlacement(1).place("mag", active, {})[0]
+    loads = {index: WorkerLoad() for index in active}
+    loads[home] = WorkerLoad(queue_depth_ewma=10.0)
+    chosen = LoadAwarePlacement(1).place("mag", active, loads)
+    assert chosen[0] != home
+    # Memory counts too: a slot holding gigabytes of artifacts ranks
+    # behind an empty one even at equal queue depth.
+    heavy = WorkerLoad(heap_nbytes=4 << 30, mapped_nbytes=1 << 30)
+    assert heavy.score() > WorkerLoad(queue_depth_ewma=2.0).score()
+
+
+def test_load_aware_placement_is_observable():
+    policy = LoadAwarePlacement(2)
+    policy.place("mag", [0, 1, 2], {0: WorkerLoad(queue_depth_ewma=1.0)})
+    assert policy.describe() == {"policy": "load", "replicas": 2}
+    assert set(policy.loads_seen) <= {0, 1, 2}
+
+
+def test_placement_rejects_empty_active_set():
+    with pytest.raises(ValueError, match="empty worker set"):
+        HashPlacement(1).place("mag", [], {})
+    with pytest.raises(ValueError, match="empty worker set"):
+        LoadAwarePlacement(1).place("mag", [], {})
+
+
+def test_pool_accepts_a_custom_placement_policy(toy_kg):
+    policy = LoadAwarePlacement()
+    with WorkerPool(workers=2, placement=policy) as pool:
+        pool.register("toy", toy_kg, warm=False)
+        assert pool.describe()["placement"]["policy"] == "load"
+        assert sorted(pool.shards_of("toy")) == [0, 1]
+
+
+# -- resize: graceful handoff, bit-identical across scale events ---------------
+
+
+def _ids(kg, s, p, o):
+    return [kg.node_vocab.id(s), kg.relation_vocab.id(p), kg.node_vocab.id(o)]
+
+
+def test_resize_grows_and_shrinks_with_bit_identical_answers(toy_kg):
+    query = "select ?o where { <p5> <cites> ?o }"
+    with WorkerPool(workers=1) as pool:
+        service = ExtractionService(pool=pool)
+        service.register("toy", toy_kg)
+        # Ingest before growing: the new owners must replay this delta
+        # during handoff or post-resize queries serve a stale epoch.
+        run(service.ingest_triples("toy", [_ids(toy_kg, "p5", "cites", "p0")]))
+        before_ppr = run(service.ppr_top_k("toy", 0, k=4))
+        before_rows = run(service.sparql("toy", query))
+
+        grown = pool.resize(3)
+        assert grown["workers"] == 3
+        assert sorted(pool.shards_of("toy")) == [0, 1, 2]
+        # Round-robin now hits every slot; all must agree bitwise.
+        for _ in range(6):
+            assert run(service.ppr_top_k("toy", 0, k=4)) == before_ppr
+            rows = run(service.sparql("toy", query))
+            for variable in before_rows.variables:
+                np.testing.assert_array_equal(
+                    rows.columns[variable], before_rows.columns[variable]
+                )
+
+        shrunk = pool.resize(1)
+        assert shrunk["workers"] == 1
+        assert shrunk["retired"].count(True) == 2
+        assert len(pool.shards_of("toy")) == 1
+        assert run(service.ppr_top_k("toy", 0, k=4)) == before_ppr
+        # Re-growing re-activates retired slots in place (stable indices).
+        regrown = pool.resize(2)
+        assert regrown["workers"] == 2
+        assert regrown["retired"].count(True) == 1
+        assert run(service.ppr_top_k("toy", 0, k=4)) == before_ppr
+
+
+def test_resize_reports_via_describe(toy_kg):
+    with WorkerPool(workers=1) as pool:
+        pool.register("toy", toy_kg, warm=False)
+        description = pool.resize(2)
+        assert description["elastic"]["resizes"] == 1
+        assert description["elastic"]["active_local"] == 2
+        assert description["transports"] == ["local", "local"]
+
+
+# -- the elastic controller ----------------------------------------------------
+
+
+def _wait_for(predicate, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.05)
+    return predicate()
+
+
+def test_elastic_pool_grows_under_pressure_and_shrinks_idle(toy_kg):
+    with WorkerPool(workers=1, workers_min=1, workers_max=2) as pool:
+        service = ExtractionService(pool=pool)
+        service.register("toy", toy_kg)
+        run(service.ppr_top_k("toy", 0, k=4))
+        assert pool.describe()["elastic"] == {
+            "enabled": True, "min": 1, "max": 2, "active_local": 1,
+            "resizes": 0, "pressure_ewma": 0.0, "error": None,
+        }
+
+        # Sustained Retry-After pressure → scale up (the resize runs on a
+        # background thread; wait for it to land).
+        pool._last_elastic -= 2 * ELASTIC_COOLDOWN_SECONDS
+        for _ in range(4):
+            pool.note_pressure(retry_after=5.0)
+        assert _wait_for(
+            lambda: sorted(pool.shards_of("toy")) == [0, 1]
+        ), pool.describe()
+        assert pool.describe()["elastic"]["active_local"] == 2
+        before = run(service.ppr_top_k("toy", 0, k=4))
+
+        # Idle (zero depth, decayed pressure) → scale back down.
+        pool._pressure_ewma = 0.0
+        for slot in pool._workers:
+            slot.depth_ewma = 0.0
+        pool._last_elastic -= 2 * ELASTIC_COOLDOWN_SECONDS
+        run(service.ppr_top_k("toy", 0, k=4))  # the tick rides a call
+        assert _wait_for(
+            lambda: pool.describe()["elastic"]["active_local"] == 1
+        ), pool.describe()
+        assert run(service.ppr_top_k("toy", 0, k=4)) == before
+
+
+def test_elastic_bounds_are_validated():
+    with pytest.raises(ValueError, match="workers_min"):
+        WorkerPool(workers=1, workers_min=3, workers_max=2)
+    with pytest.raises(ValueError, match="within"):
+        WorkerPool(workers=5, workers_min=1, workers_max=2)
+    with pytest.raises(ValueError, match="workers must be"):
+        WorkerPool(workers=0)
+
+
+def test_manual_resize_is_clamped_to_the_elastic_range(toy_kg):
+    with WorkerPool(workers=1, workers_min=1, workers_max=2) as pool:
+        assert pool.resize(10)["elastic"]["active_local"] == 2
+        assert pool.resize(0)["elastic"]["active_local"] == 1
+
+
+# -- pressure wiring: rejections → note_pressure → metrics ---------------------
+
+
+def test_retry_after_ewma_smooths_rejection_hints():
+    metrics = ServiceMetrics()
+    assert metrics.snapshot()["admission"]["retry_after_ewma_s"] == 0.0
+    metrics.record_rejected(1.0)
+    assert metrics.snapshot()["admission"]["retry_after_ewma_s"] == 1.0
+    metrics.record_rejected(2.0)
+    assert metrics.snapshot()["admission"]["retry_after_ewma_s"] == pytest.approx(1.2)
+    # A hint-less rejection still counts but does not move the EWMA.
+    metrics.record_rejected()
+    snapshot = metrics.snapshot()["admission"]
+    assert snapshot["rejected"] == 3
+    assert snapshot["retry_after_ewma_s"] == pytest.approx(1.2)
+
+
+def test_admission_rejections_feed_pool_pressure(toy_kg):
+    with WorkerPool(workers=1) as pool:
+        service = ExtractionService(pool=pool, max_pending=1)
+        service.register("toy", toy_kg)
+
+        async def flood():
+            results = await asyncio.gather(
+                *(service.ppr_top_k("toy", 0, k=4) for _ in range(32)),
+                return_exceptions=True,
+            )
+            return sum(isinstance(r, ServiceOverloaded) for r in results)
+
+        rejected = run(flood())
+        assert rejected > 0
+        assert service.metrics_snapshot()["admission"]["rejected"] == rejected
+        assert service.metrics_snapshot()["admission"]["retry_after_ewma_s"] > 0.0
+        assert pool.describe()["elastic"]["pressure_ewma"] > 0.0

@@ -5,8 +5,10 @@ ingesting triples into a *running* service — in-process, on a 2-worker
 pool, or over a real HTTP socket — bumps the graph's epoch without
 restart, and every subsequent ``/sparql`` / ``/ppr`` / ``/ego`` answer
 is bit-identical to a cold rebuild of the merged graph.  Also covered
-here: CSV content negotiation on ``/sparql`` (bit-exact vs the JSON
-bindings), pool-aware page accounting in ``/metrics``, delta replay on
+here: CSV and SPARQL-results-XML content negotiation on ``/sparql``
+(bit-exact vs the JSON bindings; the XML form additionally decodes ids
+back to IRIs through the graph's vocabularies), pool-aware page
+accounting in ``/metrics``, delta replay on
 worker respawn, and compaction mid-traffic leaving in-flight streams on
 their original epoch.
 """
@@ -321,3 +323,148 @@ def test_sparql_csv_negotiation_is_bit_exact_with_json_bindings(toy_kg):
     assert lines[0].split(",") == variables
     csv_rows = [line.split(",") for line in lines[1:-1]]
     assert csv_rows == json_rows
+
+
+# -- SPARQL results XML: IRI-decoded bindings ---------------------------------
+
+SPARQL_XML_NS = "http://www.w3.org/2005/sparql-results#"
+
+
+def _parse_sparql_xml(body):
+    """Parse a SPARQL 1.1 XML results document into (variables, rows).
+
+    Each row maps variable → ("uri", term) or ("literal", text) so the
+    tests can check both the decoded IRIs and the integer fallback.
+    """
+    import xml.etree.ElementTree as ET
+
+    ns = {"sr": SPARQL_XML_NS}
+    root = ET.fromstring(body.decode("utf-8"))
+    assert root.tag == f"{{{SPARQL_XML_NS}}}sparql"
+    variables = [
+        element.attrib["name"]
+        for element in root.findall("sr:head/sr:variable", ns)
+    ]
+    rows = []
+    for result in root.findall("sr:results/sr:result", ns):
+        row = {}
+        for binding in result.findall("sr:binding", ns):
+            uri = binding.find("sr:uri", ns)
+            if uri is not None:
+                row[binding.attrib["name"]] = ("uri", uri.text)
+            else:
+                literal = binding.find("sr:literal", ns)
+                assert literal.attrib["datatype"].endswith("#integer")
+                row[binding.attrib["name"]] = ("literal", literal.text)
+        rows.append(row)
+    return variables, rows
+
+
+def test_sparql_xml_negotiation_decodes_iris_bit_exact_with_json(toy_kg):
+    target = f"/sparql?query={quote(ALL_TRIPLES)}"
+
+    async def calls(reader, writer):
+        as_json = await _request(reader, writer, "GET", target)
+        as_xml = await _request(
+            reader, writer, "GET", target,
+            headers=[("Accept", "application/sparql-results+xml")],
+        )
+        return as_json, as_xml
+
+    (as_json, as_xml), _service = serve_and_call(toy_kg, calls)
+
+    status, _headers, body, _chunks = as_json
+    assert status == 200
+    parsed = json.loads(body)
+    variables = parsed["head"]["vars"]
+    json_rows = [
+        [binding[variable]["value"] for variable in variables]
+        for binding in parsed["results"]["bindings"]
+    ]
+
+    status, headers, body, chunks = as_xml
+    assert status == 200 and chunks
+    assert headers["content-type"] == "application/sparql-results+xml; charset=utf-8"
+    xml_variables, xml_rows = _parse_sparql_xml(body)
+    assert xml_variables == variables
+
+    # Every binding came back as an IRI; mapping each term back through
+    # the vocabulary it was decoded from reproduces the JSON ids exactly.
+    vocabs = {
+        "s": toy_kg.node_vocab,
+        "p": toy_kg.relation_vocab,
+        "o": toy_kg.node_vocab,
+    }
+    decoded = []
+    for row in xml_rows:
+        assert all(kind == "uri" for kind, _term in row.values())
+        decoded.append(
+            [str(vocabs[variable].id(row[variable][1])) for variable in variables]
+        )
+    assert decoded == json_rows
+
+
+def test_sparql_xml_decodes_class_bindings(toy_kg):
+    query = "select ?v ?c where { ?v a ?c . }"
+
+    async def calls(reader, writer):
+        return await _request(
+            reader, writer, "GET", f"/sparql?query={quote(query)}",
+            headers=[("Accept", "application/sparql-results+xml")],
+        )
+
+    response, _service = serve_and_call(toy_kg, calls)
+    status, _headers, body, _chunks = response
+    assert status == 200
+    _variables, rows = _parse_sparql_xml(body)
+    assert rows
+    for row in rows:
+        kind, term = row["v"]
+        assert kind == "uri" and toy_kg.node_vocab.id(term) >= 0
+        kind, term = row["c"]
+        assert kind == "uri" and toy_kg.class_vocab.id(term) >= 0
+
+
+def test_sparql_xml_ambiguous_variable_falls_back_to_integer_literal(toy_kg):
+    # ?x is a relation in one UNION arm and a node in the other — the
+    # domains disagree, so the XML serializer must not decode it and
+    # instead ships the raw id as an integer literal (exactly the JSON
+    # value, so the formats stay bit-exact).
+    query = (
+        "select ?x { select ?p as ?x where { ?s ?p ?o. }"
+        " union select ?s as ?x where { ?s ?p ?o. } }"
+    )
+    target = f"/sparql?query={quote(query)}"
+
+    async def calls(reader, writer):
+        as_json = await _request(reader, writer, "GET", target)
+        as_xml = await _request(
+            reader, writer, "GET", target,
+            headers=[("Accept", "application/sparql-results+xml")],
+        )
+        return as_json, as_xml
+
+    (as_json, as_xml), _service = serve_and_call(toy_kg, calls)
+    json_values = [
+        binding["x"]["value"]
+        for binding in json.loads(as_json[2])["results"]["bindings"]
+    ]
+    status, _headers, body, _chunks = as_xml
+    assert status == 200
+    _variables, rows = _parse_sparql_xml(body)
+    assert [row["x"] for row in rows] == [
+        ("literal", value) for value in json_values
+    ]
+
+
+def test_sparql_xml_wins_content_negotiation_over_csv(toy_kg):
+    async def calls(reader, writer):
+        return await _request(
+            reader, writer, "GET", f"/sparql?query={quote(ALL_TRIPLES)}",
+            headers=[("Accept", "text/csv, application/sparql-results+xml")],
+        )
+
+    response, _service = serve_and_call(toy_kg, calls)
+    status, headers, _body, _chunks = response
+    assert status == 200
+    assert headers["content-type"].startswith("application/sparql-results+xml")

@@ -1,0 +1,514 @@
+"""Remote TCP transport: bit-identity, crash/reconnect, wire hardening.
+
+The distributed tier's contract (``repro/serve/transport.py``) in test
+form:
+
+* pooled serving over :class:`RemoteTcpTransport` is **bit-identical**
+  to in-process serving for every pool op — JSON floats round-trip via
+  repr (shortest round-trip), and the codec reconstructs the exact
+  container types (ppr tuples, ego int64 arrays, sparql columns);
+* a remote worker killed mid-request fails only its in-flight requests,
+  each with a structured :class:`WorkerCrashed`; when the worker comes
+  back, the slot reconnects on demand and replays registrations **and**
+  the recorded ingest deltas, so answers stay bit-identical across the
+  outage;
+* payloads that must never cross the wire (pickled graphs, parsed query
+  ASTs) are rejected parent-side with actionable errors;
+* the standalone worker server survives garbage bytes, oversized lines
+  and partial frames: one structured error response (or a silent drop
+  for a half-frame), never a dispatched half-request.
+"""
+
+import asyncio
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.kg.store import open_artifacts, save_artifacts
+from repro.serve import ExtractionService, WorkerCrashed, WorkerPool, bound_port
+from repro.serve.transport import (
+    WorkerServer,
+    check_remote_payload,
+    decode_result,
+    encode_frame,
+    encode_result,
+    serve_worker,
+)
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+@pytest.fixture
+def toy_store(toy_kg, tmp_path):
+    save_artifacts(toy_kg, str(tmp_path))
+    return str(tmp_path)
+
+
+def _ids(kg, s, p, o):
+    """One ingest row (integer ids) from toy-graph labels."""
+    return [kg.node_vocab.id(s), kg.relation_vocab.id(p), kg.node_vocab.id(o)]
+
+
+# -- an in-thread standalone worker (the `repro serve-worker` core) ------------
+
+
+class _WorkerThread:
+    """One ndjson worker server on a background event loop."""
+
+    def __init__(self):
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(target=self.loop.run_forever, daemon=True)
+        self.thread.start()
+        self.server = WorkerServer()
+        self.tcp = asyncio.run_coroutine_threadsafe(
+            serve_worker(self.server), self.loop
+        ).result(timeout=30)
+        self.port = bound_port(self.tcp)
+
+    @property
+    def address(self) -> str:
+        return f"127.0.0.1:{self.port}"
+
+    def stop(self):
+        async def _close():
+            self.tcp.close()
+            await self.tcp.wait_closed()
+
+        asyncio.run_coroutine_threadsafe(_close(), self.loop).result(timeout=30)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=30)
+        self.loop.close()
+
+
+@pytest.fixture
+def worker_thread():
+    worker = _WorkerThread()
+    yield worker
+    worker.stop()
+
+
+# -- bit-identity across the TCP wire for every pool op ------------------------
+
+
+def test_remote_pool_bit_identical_for_every_op(toy_kg, toy_store, worker_thread):
+    """All ops answered over TCP match in-process serving bitwise.
+
+    Covers ping, register (via registration), triples (live ingest),
+    ppr, ego, sparql, sparql_stream and count; /predict crosses the same
+    wire in ``test_remote_predict_bit_identical`` (it needs a trained
+    checkpoint).
+    """
+    query = "select ?s ?p ?o where { ?s ?p ?o } limit 64"
+    new_triples = [
+        _ids(toy_kg, "p5", "cites", "p0"),
+        _ids(toy_kg, "p4", "publishedIn", "v1"),
+    ]
+    targets = list(range(8))
+
+    async def drive(service):
+        pprs = await asyncio.gather(
+            *(service.ppr_top_k("toy", t, k=6) for t in targets)
+        )
+        egos = await asyncio.gather(
+            *(service.extract_ego("toy", t, depth=2, fanout=3, salt=5)
+              for t in targets)
+        )
+        rows = await service.sparql("toy", query)
+        count = await service.count("toy", query)
+        stream = await service.sparql_stream("toy", query, page_rows=5)
+        pages = list(stream.pages)
+        ingest = await service.ingest_triples("toy", new_triples)
+        after = await service.sparql(
+            "toy", "select ?o where { <p4> <publishedIn> ?o }"
+        )
+        return pprs, egos, rows, count, pages, ingest, after
+
+    with WorkerPool(workers=0, remote_workers=[worker_thread.address]) as pool:
+        assert pool.ping(0) == "pong"
+        remote = ExtractionService(max_batch=8, pool=pool)
+        remote.register("toy", open_artifacts(toy_store).kg, mmap_dir=toy_store)
+        r_pprs, r_egos, r_rows, r_count, r_pages, r_ingest, r_after = run(
+            drive(remote)
+        )
+        description = pool.describe()
+
+    local = ExtractionService(max_batch=8)
+    local.register("toy", toy_kg)
+    l_pprs, l_egos, l_rows, l_count, l_pages, l_ingest, l_after = run(drive(local))
+
+    # ppr: identical lists of (node, score) tuples — types included, so
+    # == is a bitwise comparison of the float scores.
+    assert r_pprs == l_pprs
+    for r_ego, l_ego in zip(r_egos, l_egos):
+        np.testing.assert_array_equal(r_ego.nodes, l_ego.nodes)
+        np.testing.assert_array_equal(r_ego.src, l_ego.src)
+        np.testing.assert_array_equal(r_ego.dst, l_ego.dst)
+        np.testing.assert_array_equal(r_ego.rel, l_ego.rel)
+    assert r_rows.variables == l_rows.variables
+    for variable in l_rows.variables:
+        assert r_rows.columns[variable].dtype == np.int64
+        np.testing.assert_array_equal(
+            r_rows.columns[variable], l_rows.columns[variable]
+        )
+    assert r_count == l_count
+    assert [page.num_rows for page in r_pages] == [
+        page.num_rows for page in l_pages
+    ]
+    assert r_ingest["added"] == l_ingest["added"]
+    assert r_ingest["epoch"] == l_ingest["epoch"]
+    for variable in l_after.variables:
+        np.testing.assert_array_equal(
+            r_after.columns[variable], l_after.columns[variable]
+        )
+    # The transport reported itself, and stats piggybacked over the wire.
+    assert description["transports"] == ["remote"]
+    assert pool.graph_stats("toy")["artifact_cache"]["mapped_nbytes"] > 0
+
+
+def test_remote_predict_bit_identical(toy_kg, toy_task, toy_store, worker_thread):
+    from repro.models import ModelConfig, RGCNNodeClassifier
+    from repro.nn.checkpoint import save_checkpoint
+
+    config = ModelConfig(
+        hidden_dim=16, num_layers=2, dropout=0.0, lr=0.05, batch_size=16, seed=3
+    )
+    model = RGCNNodeClassifier(toy_kg, toy_task, config)
+    rng = np.random.default_rng(0)
+    for _ in range(2):
+        model.train_epoch(rng)
+    checkpoint = os.path.join(toy_store, "nc-rgcn.ckpt")
+    save_checkpoint(model, checkpoint, metrics={"test_metric": 0.9})
+    targets = [int(t) for t in toy_task.target_nodes]
+
+    async def drive(service):
+        return await asyncio.gather(
+            *(service.predict("toy", "PV", node=t) for t in targets)
+        )
+
+    with WorkerPool(workers=0, remote_workers=[worker_thread.address]) as pool:
+        remote = ExtractionService(pool=pool)
+        remote.register("toy", open_artifacts(toy_store).kg, mmap_dir=toy_store)
+        remote.register_checkpoint("toy", checkpoint)
+        remote_payloads = run(drive(remote))
+
+    local = ExtractionService(coalesce=False)
+    local.register("toy", toy_kg)
+    local.register_checkpoint("toy", checkpoint)
+    assert remote_payloads == run(drive(local))
+
+
+# -- payloads that must never cross the wire -----------------------------------
+
+
+def test_remote_pool_rejects_pickled_graph_registration(toy_kg, worker_thread):
+    with WorkerPool(workers=0, remote_workers=[worker_thread.address]) as pool:
+        with pytest.raises(ValueError, match="artifact path"):
+            pool.register("toy", toy_kg, warm=False)
+
+
+def test_check_remote_payload_rejects_ast_queries():
+    check_remote_payload("sparql", {"query": "select ?s where { ?s ?p ?o }"})
+    with pytest.raises(TypeError, match="query as a string"):
+        check_remote_payload("sparql", {"query": object()})
+    with pytest.raises(TypeError, match="query as a string"):
+        check_remote_payload("count", {"query": None})
+
+
+def test_codec_round_trips_exact_container_types():
+    # ppr rows survive JSON as lists; the decoder restores tuples so the
+    # parent-side result compares == with the in-process one.
+    ppr = [[(3, 0.125), (1, 0.0625)], []]
+    assert decode_result("ppr", json.loads(encode_frame(
+        {"result": encode_result("ppr", ppr)}
+    ))["result"]) == ppr
+    # sparql columns come back as int64 arrays keyed by variable.
+    columns = {"s": np.asarray([1, 2, 3], dtype=np.int64)}
+    decoded = decode_result("sparql", json.loads(encode_frame(
+        {"result": encode_result("sparql", {"variables": ["s"], "columns": columns})}
+    ))["result"])
+    assert decoded["variables"] == ["s"]
+    assert decoded["columns"]["s"].dtype == np.int64
+    np.testing.assert_array_equal(decoded["columns"]["s"], columns["s"])
+
+
+# -- crash containment, reconnect-on-demand, replay ----------------------------
+
+
+_WORKER_SCRIPT = """
+import asyncio, sys
+from repro.serve.transport import WorkerServer, serve_worker
+
+async def main():
+    server = await serve_worker(WorkerServer(), port=int(sys.argv[1]))
+    async with server:
+        print("ready", flush=True)
+        await asyncio.Event().wait()
+
+asyncio.run(main())
+"""
+
+
+def _spawn_worker_process(port: int) -> subprocess.Popen:
+    env = dict(os.environ)
+    src = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+        "src",
+    )
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-c", _WORKER_SCRIPT, str(port)],
+        env=env,
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    assert process.stdout.readline().strip() == "ready"
+    return process
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def test_remote_worker_killed_and_restarted_replays_state(toy_kg, toy_store):
+    """SIGKILL mid-request → WorkerCrashed; restart → replayed bitwise.
+
+    The restarted worker process starts empty: the slot's reconnect must
+    replay the registration **and** the ingest delta recorded before the
+    kill, or the post-outage answers would be served off a stale epoch.
+    """
+    port = _free_port()
+    process = _spawn_worker_process(port)
+    try:
+        with WorkerPool(workers=0, remote_workers=[f"127.0.0.1:{port}"]) as pool:
+            service = ExtractionService(pool=pool)
+            service.register("toy", open_artifacts(toy_store).kg, mmap_dir=toy_store)
+            run(
+                service.ingest_triples("toy", [_ids(toy_kg, "p5", "cites", "p0")])
+            )
+            before_ppr = run(service.ppr_top_k("toy", 0, k=4))
+            before_rows = run(
+                service.sparql("toy", "select ?o where { <p5> <cites> ?o }")
+            )
+
+            inflight = pool._workers[0].request("sleep", {"seconds": 60})
+            process.kill()
+            process.wait(timeout=30)
+            with pytest.raises(WorkerCrashed, match="died with this request"):
+                inflight.result(timeout=30)
+
+            process = _spawn_worker_process(port)
+            # Reconnect-on-demand: the next routed request retries the
+            # spawn, replays registrations + deltas, then answers.
+            after_ppr = run(service.ppr_top_k("toy", 0, k=4))
+            after_rows = run(
+                service.sparql("toy", "select ?o where { <p5> <cites> ?o }")
+            )
+            assert after_ppr == before_ppr
+            assert after_rows.variables == before_rows.variables
+            for variable in before_rows.variables:
+                np.testing.assert_array_equal(
+                    after_rows.columns[variable], before_rows.columns[variable]
+                )
+            assert pool.describe()["respawns"] >= 1
+    finally:
+        process.kill()
+        process.wait(timeout=30)
+
+
+def test_dead_replica_does_not_stall_routing(toy_kg, toy_store):
+    """Requests route around a crashed owner while its reconnect pends.
+
+    With two remote owners, killing one must not make round-robin park
+    every other request on the dead slot for the respawn window
+    (``RESPAWN_WAIT_SECONDS``): the live replica answers bit-identically,
+    so routing prefers ready owners and only waits when none is left.
+    """
+    ports = [_free_port(), _free_port()]
+    processes = [_spawn_worker_process(port) for port in ports]
+    try:
+        remotes = [f"127.0.0.1:{port}" for port in ports]
+        with WorkerPool(workers=0, remote_workers=remotes, replicas=2) as pool:
+            service = ExtractionService(pool=pool)
+            service.register("toy", open_artifacts(toy_store).kg, mmap_dir=toy_store)
+            before = run(service.ppr_top_k("toy", 0, k=4))
+            assert sorted(pool.shards_of("toy")) == [0, 1]
+
+            processes[0].kill()
+            processes[0].wait(timeout=30)
+
+            start = time.monotonic()
+            answers = [run(service.ppr_top_k("toy", 0, k=4)) for _ in range(6)]
+            elapsed = time.monotonic() - start
+            assert answers == [before] * 6
+            # Well under the 60 s respawn window the dead slot would cost.
+            assert elapsed < 15.0
+            described = pool.describe()
+            assert described["alive"] == [False, True]
+
+            # The worker coming back must rejoin: routing kicks its
+            # reconnect in the background while replicas keep answering.
+            processes[0] = _spawn_worker_process(ports[0])
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                assert run(service.ppr_top_k("toy", 0, k=4)) == before
+                if pool.describe()["alive"] == [True, True]:
+                    break
+                time.sleep(0.1)
+            assert pool.describe()["alive"] == [True, True]
+            assert run(service.ppr_top_k("toy", 0, k=4)) == before
+    finally:
+        for process in processes:
+            process.kill()
+            process.wait(timeout=30)
+
+
+def test_unreachable_remote_worker_fails_pool_construction():
+    port = _free_port()  # nothing listens here
+    with pytest.raises(OSError):
+        WorkerPool(workers=0, remote_workers=[f"127.0.0.1:{port}"])
+
+
+def test_remote_address_must_be_host_port():
+    with pytest.raises(ValueError, match="HOST:PORT"):
+        WorkerPool(workers=0, remote_workers=["localhost"])
+    with pytest.raises(ValueError, match="HOST:PORT"):
+        WorkerPool(workers=0, remote_workers=["localhost:not-a-port"])
+
+
+# -- wire hardening on the standalone worker server ----------------------------
+
+
+def _raw_exchange(port: int, data: bytes, expect_reply: bool = True, lines: int = 1):
+    """Send raw bytes, return ``lines`` response lines (b"" on close)."""
+    with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+        sock.sendall(data)
+        sock.shutdown(socket.SHUT_WR)
+        reader = sock.makefile("rb")
+        received = [reader.readline() for _ in range(lines)]
+        rest = reader.read()
+    if lines > 1:
+        return received, rest
+    if expect_reply:
+        return json.loads(received[0]), rest
+    return received[0], rest
+
+
+def test_worker_server_answers_garbage_bytes_with_one_error(worker_thread):
+    response, rest = _raw_exchange(
+        worker_thread.port, b"\x00\xff this is not json\n"
+    )
+    assert response["status"] == "error"
+    assert response["result"][0] == "BadRequest"
+    assert "invalid JSON" in response["result"][1]
+    assert rest == b""  # the connection closed after the error frame
+
+
+def test_worker_server_rejects_non_object_and_bad_payload_frames(worker_thread):
+    response, _ = _raw_exchange(worker_thread.port, b"[1,2,3]\n")
+    assert response["status"] == "error"
+    assert "JSON object with a string 'op'" in response["result"][1]
+    response, _ = _raw_exchange(
+        worker_thread.port, b'{"id":1,"op":"ping","payload":[]}\n'
+    )
+    assert response["status"] == "error"
+    assert "'payload' must be a JSON object" in response["result"][1]
+
+
+def test_worker_server_rejects_oversized_frames(worker_thread):
+    from repro.serve.wire import MAX_LINE_BYTES
+
+    blob = b'{"id":1,"op":"ping","payload":{"x":"' + b"a" * MAX_LINE_BYTES + b'"}}\n'
+    response, rest = _raw_exchange(worker_thread.port, blob)
+    assert response["status"] == "error"
+    assert "exceeds" in response["result"][1]
+    assert rest == b""
+
+
+def test_worker_server_drops_partial_frames_without_dispatch(worker_thread):
+    # Half a request (no trailing newline) at EOF must never execute —
+    # the server closes without a response.
+    line, rest = _raw_exchange(
+        worker_thread.port, b'{"id":1,"op":"ping"', expect_reply=False
+    )
+    assert line == b"" and rest == b""
+    # And the server is still healthy for well-formed traffic afterwards.
+    response, _ = _raw_exchange(
+        worker_thread.port, b'{"id":2,"op":"ping","payload":{}}\n'
+    )
+    assert response == {"id": 2, "status": "ok", "result": "pong"}
+
+
+def test_worker_server_maps_op_errors_to_structured_responses(
+    worker_thread, toy_store
+):
+    register = json.dumps({
+        "id": 1, "op": "register",
+        "payload": {"name": "toy", "mmap_dir": toy_store, "compression": True},
+    }).encode() + b"\n"
+    unknown = b'{"id":3,"op":"nope","payload":{"graph":"toy"}}\n'
+    (registered, response), _ = _raw_exchange(
+        worker_thread.port, register + unknown, expect_reply=False, lines=2
+    )
+    assert json.loads(registered)["status"] == "ok"
+    response = json.loads(response)
+    assert response["status"] == "error"
+    assert response["result"][0] == "ValueError"
+    assert "unknown pool op" in response["result"][1]
+    response, _ = _raw_exchange(
+        worker_thread.port,
+        b'{"id":4,"op":"ppr","payload":{"graph":"missing","targets":[0],'
+        b'"k":4,"alpha":0.25,"eps":0.0002}}\n'
+    )
+    assert response["status"] == "error"
+    assert response["result"][0] == "KeyError"
+
+
+# -- pipelining on one connection ----------------------------------------------
+
+
+def test_worker_server_answers_pipelined_frames_in_order(worker_thread):
+    frames = b"".join(
+        json.dumps({"id": i, "op": "ping", "payload": {}}).encode() + b"\n"
+        for i in range(8)
+    )
+    with socket.create_connection(("127.0.0.1", worker_thread.port), timeout=10) as sock:
+        sock.sendall(frames)
+        reader = sock.makefile("rb")
+        responses = [json.loads(reader.readline()) for _ in range(8)]
+    assert [r["id"] for r in responses] == list(range(8))
+    assert all(r["status"] == "ok" for r in responses)
+
+
+# -- mixed local + remote tiers ------------------------------------------------
+
+
+def test_mixed_local_and_remote_slots_share_one_graph(toy_store, worker_thread):
+    """A pool spanning both transports serves one graph bit-identically."""
+    kg = open_artifacts(toy_store).kg
+    with WorkerPool(workers=1, remote_workers=[worker_thread.address]) as pool:
+        assert pool.num_workers == 2
+        service = ExtractionService(pool=pool)
+        service.register("toy", kg, mmap_dir=toy_store)
+        assert sorted(pool.shards_of("toy")) == [0, 1]
+        for index in range(2):
+            assert pool.ping(index) == "pong"
+        # Round-robin really lands on both transports: issue a few calls
+        # and compare against the in-process answer each time.
+        local = ExtractionService()
+        local.register("toy", kg)
+        expected = run(local.ppr_top_k("toy", 0, k=4))
+        for _ in range(4):
+            assert run(service.ppr_top_k("toy", 0, k=4)) == expected
+        assert pool.describe()["transports"] == ["local", "remote"]

@@ -188,8 +188,9 @@ def test_bench_serve_with_worker_pool(tmp_path, capsys):
 @pytest.mark.parametrize("doc", ["serving.md", "live-graphs.md"])
 def test_help_text_covers_every_flag_documented_in_serving_docs(doc, capsys):
     """Every --flag mentioned in the serving/live-graph docs must appear
-    verbatim in `repro serve --help`, `repro bench-serve --help` or
-    `repro train --help` (the docs and the CLI must never drift apart)."""
+    verbatim in `repro serve --help`, `repro serve-worker --help`,
+    `repro bench-serve --help` or `repro train --help` (the docs and the
+    CLI must never drift apart)."""
     import re
 
     docs_path = os.path.join(
@@ -207,7 +208,7 @@ def test_help_text_covers_every_flag_documented_in_serving_docs(doc, capsys):
     assert documented, f"docs/{doc} no longer documents any flags?"
 
     help_text = ""
-    for command in ("serve", "bench-serve", "train"):
+    for command in ("serve", "serve-worker", "bench-serve", "train"):
         with pytest.raises(SystemExit):
             main([command, "--help"])
         help_text += capsys.readouterr().out

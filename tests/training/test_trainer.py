@@ -179,3 +179,29 @@ def test_lp_vectorized_eval_subsample_draws_match_scalar():
         model, task, task.split.train, config, np.random.default_rng(9)
     )
     assert batched == scalar
+
+
+def test_sample_eval_pairs_block_draw_matches_scalar():
+    """One (edges × negatives) block draw ≡ one rng.choice call per edge.
+
+    Bitwise on all three outputs AND on the generator state afterwards —
+    the block draw must consume exactly the same PCG64 words, or any
+    later consumer of the shared generator diverges.
+    """
+    from repro.training.trainer import _sample_eval_pairs, _sample_eval_pairs_scalar
+
+    task = _lp_task()
+    pool = np.unique(task.edges[:, 1])
+    for negatives in (1, 5, 25, 60):  # 60 > pool clamps to the whole pool
+        config = TrainConfig(num_eval_negatives=negatives)
+        block_rng = np.random.default_rng(321)
+        scalar_rng = np.random.default_rng(321)
+        heads, tails, counts = _sample_eval_pairs(task.edges, pool, config, block_rng)
+        s_heads, s_tails, s_counts = _sample_eval_pairs_scalar(
+            task.edges, pool, config, scalar_rng
+        )
+        np.testing.assert_array_equal(heads, s_heads)
+        np.testing.assert_array_equal(tails, s_tails)
+        np.testing.assert_array_equal(counts, s_counts)
+        assert heads.dtype == s_heads.dtype and tails.dtype == s_tails.dtype
+        assert block_rng.bit_generator.state == scalar_rng.bit_generator.state
