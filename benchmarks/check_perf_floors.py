@@ -9,14 +9,16 @@ high) or a ``value``/``ceiling`` pair (gauges that must stay low, e.g.
 resident bytes).  Guarded reports:
 
 * ``BENCH_sampling.json`` (``test_perf_sampling.py``): the batch kernels
-  vs their scalar reference loops.
+  vs their scalar reference loops (PPR dense + sparse, ego BFS, the
+  multi-bound SPARQL join, and k-hop path enumeration vs its DFS oracle).
 * ``BENCH_serving.json`` (``test_perf_serving.py``): the coalescing
   scheduler vs the serial one-request-at-a-time serving baseline, the
   HTTP/SPARQL front end vs the same serial baseline (the coalescing win
   must survive the wire), the multi-process sharded worker pool vs
   the same serial baseline (the win must survive the process boundary),
   batched ``/predict`` model inference vs its scalar one-request
-  oracle, and the distributed tier's scaling efficiency (the same
+  oracle, coalesced ``/paths`` enumeration vs its serial scalar-DFS
+  baseline, and the distributed tier's scaling efficiency (the same
   coalesced load on a width-2 pool vs a width-1 pool, bit-identical
   answers enforced).
 * ``BENCH_artifacts.json`` (``test_perf_artifacts.py``): worker warm time
@@ -53,12 +55,14 @@ REPORTS = {
         "ppr_sparse_frontier",
         "shadow_ego_bfs",
         "sparql_multi_bound_join",
+        "path_enum_batch",
     ),
     "BENCH_serving.json": (
         "serving_coalesced_throughput",
         "serving_http_throughput",
         "serving_pool_throughput",
         "serving_predict_throughput",
+        "serving_paths_throughput",
         "serving_distributed_scaling",
     ),
     "BENCH_artifacts.json": (

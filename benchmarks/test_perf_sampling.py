@@ -14,6 +14,9 @@ the vectorized batch kernel that replaced it:
 * *sparql_multi_bound_join* — a triangle BGP whose third pattern has two
   bound variables: per-key index-lookup loop vs the composite-key batched
   ``searchsorted`` join.
+* *path_enum_batch* — KagNet-style k-hop simple-path enumeration (the
+  ``/paths`` unit) for many ``(src, dst)`` pairs: per-pair
+  iterative-deepening DFS vs the frontier-lock-step batch kernel.
 
 Every benchmark asserts the batch result is *identical* to the scalar
 reference before timing is trusted, and appends its measurement to
@@ -36,6 +39,7 @@ from repro.kg.graph import KnowledgeGraph
 from repro.kg.triples import TripleStore
 from repro.kg.vocabulary import Vocabulary
 from repro.models.shadowsaint import extract_ego, extract_ego_batch
+from repro.sampling.paths import enumerate_paths_batch, enumerate_paths_scalar
 from repro.sampling.ppr import batch_ppr_top_k, ppr_top_k
 from repro.sparql.executor import QueryExecutor
 from repro.sparql.parser import parse_query
@@ -54,6 +58,7 @@ FLOORS = {
     "ppr_sparse_frontier": 1.1,
     "shadow_ego_bfs": 2.0,
     "sparql_multi_bound_join": 1.2,
+    "path_enum_batch": 3.0,
 }
 # Per-measurement no-regress guard (noise margin for single-round timings).
 NOISE_MARGIN = 1.5
@@ -285,7 +290,77 @@ def test_perf_shadow_ego_bfs(benchmark, report, report_dir):
     )
 
 
-# -- 4. composite-key multi-bound SPARQL join --
+# -- 4. k-hop path enumeration (the KagNet /paths unit) --
+
+PATH_MAX_HOPS = 3
+PATH_MAX_PATHS = 64
+
+
+def _measure_paths(scale="small", seed=7, num_pairs=250):
+    measurements = []
+    for label, dataset, task_name in _WORKLOADS[:2]:
+        bundle = getattr(catalog, dataset)(scale, seed)
+        kg = bundle.kg
+        targets = np.asarray(bundle.task(task_name).target_nodes, dtype=np.int64)
+        rng = np.random.default_rng(seed)
+        pairs = np.stack(
+            [rng.choice(targets, size=num_pairs),
+             rng.choice(targets, size=num_pairs)],
+            axis=1,
+        )
+        # Warm the shared hexastore and both code paths outside timing.
+        enumerate_paths_scalar(
+            kg, int(pairs[0, 0]), int(pairs[0, 1]), PATH_MAX_HOPS, PATH_MAX_PATHS
+        )
+        enumerate_paths_batch(kg, pairs[:2], PATH_MAX_HOPS, PATH_MAX_PATHS)
+
+        start = time.perf_counter()
+        scalar = [
+            enumerate_paths_scalar(
+                kg, int(src), int(dst), PATH_MAX_HOPS, PATH_MAX_PATHS
+            )
+            for src, dst in pairs
+        ]
+        scalar_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        batch = enumerate_paths_batch(kg, pairs, PATH_MAX_HOPS, PATH_MAX_PATHS)
+        batch_seconds = time.perf_counter() - start
+
+        assert batch == scalar, f"path batch kernel diverged from the DFS oracle on {label}"
+        measurements.append(
+            _measurement(label, kg, len(pairs), scalar_seconds, batch_seconds)
+        )
+    return measurements
+
+
+def test_perf_path_enumeration(benchmark, report, report_dir):
+    measurements = benchmark.pedantic(_measure_paths, rounds=1, iterations=1)
+    report(
+        "perf_path_enum",
+        render_table(
+            ["graph", "|V|", "|T|", "pairs", "scalar(s)", "batch(s)", "speedup"],
+            _speedup_rows(measurements),
+            title=(
+                f"k-hop path enumeration: per-pair DFS vs batch kernel "
+                f"(max_hops={PATH_MAX_HOPS}, max_paths={PATH_MAX_PATHS})"
+            ),
+        ),
+    )
+    largest = _assert_floors(measurements, FLOORS["path_enum_batch"])
+    _record(
+        report_dir,
+        "path_enum_batch",
+        {
+            "max_hops": PATH_MAX_HOPS,
+            "max_paths": PATH_MAX_PATHS,
+            "speedup": largest["speedup"],
+            "measurements": measurements,
+        },
+    )
+
+
+# -- 5. composite-key multi-bound SPARQL join --
 
 _TRIANGLE = "select ?a ?b ?c where { ?a <r0> ?b . ?b <r1> ?c . ?a <r2> ?c . }"
 

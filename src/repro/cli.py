@@ -382,6 +382,10 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         raise SystemExit("--mmap-dir benchmarks pool startup; add --workers N")
     if args.checkpoint and args.mmap_dir:
         raise SystemExit("--checkpoint benchmarks the /predict path; drop --mmap-dir")
+    if args.paths and args.checkpoint:
+        raise SystemExit("--paths benchmarks the /paths op; drop --checkpoint")
+    if args.paths and args.mmap_dir:
+        raise SystemExit("--paths registers the catalog graph directly; drop --mmap-dir")
     kg = bundle.kg
     if args.mmap_dir:
         # Serve the mapped copy of the same graph: targets come from the
@@ -428,6 +432,36 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         else:
             label = "/predict coalescing speedup"
         task_label = "+".join(task_names)
+    elif args.paths:
+        # /paths load: random (src, dst) pairs drawn from the task's
+        # targets — the serial baseline answers each with the scalar DFS
+        # oracle, the fast mode micro-batches path enumerations (on the
+        # worker pool when --workers is given).
+        from repro.serve import WorkerPool, compare_paths_serving
+
+        targets = bundle.task(args.task).target_nodes
+        pairs = [
+            (int(src), int(dst))
+            for src, dst in zip(
+                rng.choice(targets, size=args.requests, replace=True),
+                rng.choice(targets, size=args.requests, replace=True),
+            )
+        ]
+        pool = WorkerPool(workers=args.workers) if args.workers else None
+        try:
+            serial, fast, speedup = compare_paths_serving(
+                kg, pairs, max_hops=args.max_hops, max_paths=args.max_paths,
+                concurrency=args.concurrency, max_batch=args.max_batch,
+                max_delay=args.max_delay_ms / 1e3, pool=pool,
+            )
+        finally:
+            if pool is not None:
+                pool.close()
+        if args.workers:
+            label = f"/paths pool ({args.workers} workers) speedup"
+        else:
+            label = "/paths coalescing speedup"
+        task_label = f"{args.task} pairs"
     elif args.workers:
         targets = rng.choice(bundle.task(args.task).target_nodes,
                              size=args.requests, replace=True)
@@ -640,6 +674,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench_serve.add_argument("--candidates", type=int, default=0,
                              help="/predict link-prediction candidate-pool cap "
                                   "(0: score the full tail-type pool)")
+    bench_serve.add_argument("--paths", action="store_true",
+                             help="benchmark the /paths op instead of extraction: "
+                                  "closed-loop path enumeration over random "
+                                  "(src, dst) target pairs vs the scalar-DFS "
+                                  "serial baseline")
+    bench_serve.add_argument("--max-hops", type=int, default=3,
+                             help="/paths bound: maximum path length in hops")
+    bench_serve.add_argument("--max-paths", type=int, default=64,
+                             help="/paths bound: global cap on enumerated "
+                                  "paths per pair")
     bench_serve.add_argument("--out", default=None,
                              help="write the comparison + metrics dump as JSON")
     bench_serve.set_defaults(func=_cmd_bench_serve)

@@ -302,8 +302,9 @@ class LiveGraph:
 
     One ``LiveGraph`` wraps one registered graph: :meth:`ingest` appends
     triples (bumping the epoch), :meth:`compact` folds the delta log, and
-    :meth:`ppr_top_k` / :meth:`ego_batch` answer kernel requests through
-    per-target caches that survive ingests untouched by them.  Epoch
+    :meth:`ppr_top_k` / :meth:`ego_batch` / :meth:`paths_batch` answer
+    kernel requests through per-target caches that survive ingests
+    untouched by them.  Epoch
     resolution by number keeps in-flight requests on the snapshot they
     were admitted under (a bounded ring; see :data:`EPOCH_HISTORY`).
     """
@@ -325,6 +326,8 @@ class LiveGraph:
         self._ppr_cache: Dict[Tuple, Tuple[list, np.ndarray]] = {}
         # (root, depth, fanout, salt) -> ego extraction
         self._ego_cache: Dict[Tuple, object] = {}
+        # (src, dst, max_hops, max_paths) -> (path lists, support node array)
+        self._paths_cache: Dict[Tuple, Tuple[list, np.ndarray]] = {}
         self.ingested_triples = 0
         self.compactions = 0
         self.ppr_hits = 0
@@ -333,6 +336,9 @@ class LiveGraph:
         self.ego_hits = 0
         self.ego_misses = 0
         self.ego_invalidated = 0
+        self.paths_hits = 0
+        self.paths_misses = 0
+        self.paths_invalidated = 0
 
     # -- epoch access --
 
@@ -476,6 +482,14 @@ class LiveGraph:
         for key in stale:
             del self._ego_cache[key]
         self.ego_invalidated += len(stale)
+        stale = [
+            key
+            for key, (_, support) in self._paths_cache.items()
+            if support.size and dirty[support].any()
+        ]
+        for key in stale:
+            del self._paths_cache[key]
+        self.paths_invalidated += len(stale)
 
     def _evict(self, cache: Dict) -> None:
         while self._cache_capacity and len(cache) > self._cache_capacity:
@@ -589,6 +603,70 @@ class LiveGraph:
                     self._evict(self._ego_cache)
         return [cached[root] for root in roots]
 
+    def paths_batch(
+        self,
+        pairs,
+        max_hops: int = 3,
+        max_paths: int = 64,
+        epoch: Optional[int] = None,
+    ) -> List[list]:
+        """`enumerate_paths_batch` through the retained per-pair cache.
+
+        Requests for the current epoch serve cached ``(src, dst)`` pairs
+        and batch the rest through
+        :func:`repro.sampling.paths.enumerate_paths_batch_with_support`,
+        retaining each fresh path list with its support set (every node
+        the enumeration expanded — see the kernel's docstring for why an
+        ingest outside the support cannot change the answer).  Requests
+        pinned to an older epoch bypass the cache and run on that
+        snapshot.  Returns one path list per input pair, in order.
+        """
+        from repro.sampling.paths import (
+            enumerate_paths_batch,
+            enumerate_paths_batch_with_support,
+        )
+
+        pair_keys = [(int(src), int(dst)) for src, dst in pairs]
+        with self._lock:
+            snapshot = self._current
+            if epoch is not None and int(epoch) != snapshot.number:
+                snapshot = self._ring.get(int(epoch), snapshot)
+                use_cache = snapshot is self._current
+            else:
+                use_cache = True
+            cached: Dict[Tuple[int, int], list] = {}
+            missing: List[Tuple[int, int]] = []
+            if use_cache:
+                for pair in pair_keys:
+                    hit = self._paths_cache.get((pair, int(max_hops), int(max_paths)))
+                    if hit is None:
+                        missing.append(pair)
+                    else:
+                        cached[pair] = hit[0]
+                self.paths_hits += len(cached)
+                self.paths_misses += len(set(missing))
+        if not use_cache:
+            return enumerate_paths_batch(
+                snapshot.kg, pair_keys, max_hops=max_hops, max_paths=max_paths
+            )
+        if missing:
+            distinct = sorted(set(missing))
+            fresh = enumerate_paths_batch_with_support(
+                snapshot.kg, distinct, max_hops=max_hops, max_paths=max_paths
+            )
+            with self._lock:
+                retain = self._current is snapshot
+                for pair, (paths, support) in zip(distinct, fresh):
+                    cached[pair] = paths
+                    if retain:
+                        self._paths_cache[(pair, int(max_hops), int(max_paths))] = (
+                            paths,
+                            support,
+                        )
+                if retain:
+                    self._evict(self._paths_cache)
+        return [cached[pair] for pair in pair_keys]
+
     # -- observability --
 
     def stats(self) -> Dict[str, object]:
@@ -612,5 +690,11 @@ class LiveGraph:
                     "hits": self.ego_hits,
                     "misses": self.ego_misses,
                     "invalidated": self.ego_invalidated,
+                },
+                "paths_cache": {
+                    "entries": len(self._paths_cache),
+                    "hits": self.paths_hits,
+                    "misses": self.paths_misses,
+                    "invalidated": self.paths_invalidated,
                 },
             }

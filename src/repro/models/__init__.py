@@ -15,6 +15,10 @@ Re-implementations of the six state-of-the-art methods' *mechanisms* on the
   initialisation with TransE scoring;
 * :class:`~repro.models.lhgnn.LHGNNPredictor` — latent-channel
   heterogeneous GNN with DistMult scoring.
+
+Beyond the paper's six, :class:`~repro.models.pathscore.PathScorePredictor`
+is the KagNet-style path-reasoning LP scorer built on the ``/paths``
+extraction kernel (relation-sequence embedding + pooling).
 """
 
 from repro.models.base import ModelConfig, RGCNLayer, RGCNStack
@@ -25,6 +29,7 @@ from repro.models.shadowsaint import ShaDowSAINTClassifier
 from repro.models.sehgnn import SeHGNNClassifier
 from repro.models.morse import MorsEPredictor
 from repro.models.lhgnn import LHGNNPredictor
+from repro.models.pathscore import PathScorePredictor
 
 __all__ = [
     "ModelConfig",
@@ -38,4 +43,5 @@ __all__ = [
     "SeHGNNClassifier",
     "MorsEPredictor",
     "LHGNNPredictor",
+    "PathScorePredictor",
 ]

@@ -63,6 +63,7 @@ _PREAMBLE = len(_MAGIC) + 4 + 4 + 4  # magic + version + header length + CRC
 _SAVED_KWARGS = {
     "ShaDowSAINT": ("depth", "fanout"),
     "SeHGNN": ("feature_dim",),
+    "PathScore": ("max_hops", "max_paths"),
 }
 
 
@@ -207,6 +208,7 @@ def _architecture_class(task_type: str, architecture: str):
         GraphSAINTClassifier,
         LHGNNPredictor,
         MorsEPredictor,
+        PathScorePredictor,
         RGCNLinkPredictor,
         RGCNNodeClassifier,
         SeHGNNClassifier,
@@ -221,6 +223,7 @@ def _architecture_class(task_type: str, architecture: str):
         ("LP", "RGCN"): RGCNLinkPredictor,
         ("LP", "MorsE"): MorsEPredictor,
         ("LP", "LHGNN"): LHGNNPredictor,
+        ("LP", "PathScore"): PathScorePredictor,
     }
     model_cls = classes.get((task_type, architecture))
     if model_cls is None:

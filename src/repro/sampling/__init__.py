@@ -11,6 +11,11 @@ from repro.sampling.walks import RandomWalkEngine
 from repro.sampling.urw import UniformRandomWalkSampler, SampledSubgraph
 from repro.sampling.node_edge import NodeSampler, EdgeSampler
 from repro.sampling.ppr import approximate_ppr, ppr_top_k
+from repro.sampling.paths import (
+    enumerate_paths_batch,
+    enumerate_paths_batch_with_support,
+    enumerate_paths_scalar,
+)
 
 __all__ = [
     "RandomWalkEngine",
@@ -20,4 +25,7 @@ __all__ = [
     "EdgeSampler",
     "approximate_ppr",
     "ppr_top_k",
+    "enumerate_paths_scalar",
+    "enumerate_paths_batch",
+    "enumerate_paths_batch_with_support",
 ]

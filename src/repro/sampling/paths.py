@@ -1,0 +1,250 @@
+"""Bounded k-hop path enumeration between entity pairs (the KagNet regime).
+
+Path-based reasoning (KagNet, Lin et al. 2019) connects a question/answer
+entity pair by the relational paths between them and scores each path as a
+relation sequence.  The enumeration side reuses exactly the task-oriented
+machinery the paper builds for PPR and ego extraction: the cached per-graph
+artifacts from :func:`repro.kg.cache.artifacts_for` — here the hexastore's
+``spo`` ordering, whose subject runs play the role of a relation-carrying
+CSR row — answer every frontier expansion with one batched lookup.
+
+Two implementations coexist, mirroring ``repro/sampling/ppr.py``:
+
+* :func:`enumerate_paths_scalar` — the reference oracle: per-pair
+  iterative-deepening DFS in pure Python.  Paths come out *hop-major*
+  (all 1-hop paths, then all 2-hop paths, ...) and lexicographically by
+  ``(relation, node)`` edge sequence within a hop, truncated globally at
+  ``max_paths``.
+* :func:`enumerate_paths_batch` — the vectorized kernel: every pair
+  advances one hop per numpy super-step.  Partial paths live in a dense
+  ``(frontier, 2*hop + 1)`` interleaved matrix, neighbour gathering is one
+  :meth:`~repro.kg.hexastore.Hexastore.batch_ranges` call over all tails,
+  and simple-path / destination / budget filtering are whole-frontier mask
+  operations.  Because the frontier is kept in (pair, lexicographic)
+  order and subject runs are ``(relation, object)``-sorted, completions
+  fall out in exactly the oracle's order — the kernel is **bit-identical**
+  to the scalar DFS per pair, truncation included.
+
+Paths are *simple* (no repeated node; the destination terminates a path)
+and directed (subject → object).  A self-loop on the source is reachable
+only when ``src == dst`` — destination matching is checked before the
+on-path filter, so ``(v, r, v)`` yields the 1-hop path ``[v, r, v]`` for
+the pair ``(v, v)`` and is otherwise skipped.  Each path is the plain
+Python list ``[src, rel_1, node_1, ..., rel_k, dst]`` — interleaved node
+and relation ids, JSON-stable end to end, which is what lets the serving
+tier promise bit-identical answers across every transport.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.kg.cache import artifacts_for
+from repro.kg.graph import KnowledgeGraph
+from repro.nputil import expand_ranges, rank_within_sorted_groups
+
+#: One enumerated path: ``[src, rel, node, rel, node, ..., rel, dst]``.
+Path = List[int]
+
+
+def _validate(max_hops: int, max_paths: int) -> None:
+    if max_hops < 1:
+        raise ValueError(f"max_hops must be >= 1, got {max_hops}")
+    if max_paths < 1:
+        raise ValueError(f"max_paths must be >= 1, got {max_paths}")
+
+
+def enumerate_paths_scalar(
+    kg: KnowledgeGraph,
+    src: int,
+    dst: int,
+    max_hops: int = 3,
+    max_paths: int = 64,
+) -> List[Path]:
+    """All simple directed paths ``src -> dst`` of up to ``max_hops`` hops.
+
+    The scalar reference oracle: iterative-deepening DFS over the
+    hexastore's ``spo`` runs, one target length at a time, so paths are
+    produced hop-major and lexicographically by ``(relation, node)``
+    sequence within each length.  Enumeration stops globally once
+    ``max_paths`` paths are collected.  :func:`enumerate_paths_batch`
+    must reproduce this list bit-for-bit per pair.
+    """
+    _validate(max_hops, max_paths)
+    hexastore = artifacts_for(kg).hexastore
+    store = kg.triples
+    src, dst = int(src), int(dst)
+    results: List[Path] = []
+
+    def descend(node: int, remaining: int, path: Path, on_path: set) -> bool:
+        """Extend ``path`` by exactly ``remaining`` hops; True when full."""
+        for position in hexastore.match(subject=node):
+            relation = int(store.p[position])
+            neighbor = int(store.o[position])
+            if remaining == 1:
+                if neighbor == dst:
+                    results.append(path + [relation, neighbor])
+                    if len(results) >= max_paths:
+                        return True
+            elif neighbor != dst and neighbor not in on_path:
+                on_path.add(neighbor)
+                full = descend(
+                    neighbor, remaining - 1, path + [relation, neighbor], on_path
+                )
+                on_path.remove(neighbor)
+                if full:
+                    return True
+        return False
+
+    for length in range(1, max_hops + 1):
+        if descend(src, length, [src], {src}):
+            break
+    return results
+
+
+def enumerate_paths_batch(
+    kg: KnowledgeGraph,
+    pairs: np.ndarray,
+    max_hops: int = 3,
+    max_paths: int = 64,
+) -> List[List[Path]]:
+    """Vectorized :func:`enumerate_paths_scalar` for many pairs at once.
+
+    ``pairs`` is ``(batch, 2)`` int ``(src, dst)`` rows; returns one path
+    list per row, bit-identical to the scalar oracle run per pair (order
+    and ``max_paths`` truncation included).  All pairs advance one hop per
+    numpy super-step: one batched hexastore lookup expands every frontier
+    tail, and destination matches / on-path filtering / per-pair budget
+    accounting are whole-frontier array operations.
+    """
+    paths, _ = _enumerate_batch(kg, pairs, max_hops, max_paths, want_support=False)
+    return paths
+
+
+def enumerate_paths_batch_with_support(
+    kg: KnowledgeGraph,
+    pairs: np.ndarray,
+    max_hops: int = 3,
+    max_paths: int = 64,
+) -> List[Tuple[List[Path], np.ndarray]]:
+    """:func:`enumerate_paths_batch` plus, per pair, the enumeration's *support*.
+
+    The support set is every node the enumeration expanded or walked
+    through: the source, the destination, and every node appended to a
+    partial path.  Any new edge that could introduce, remove or reorder a
+    path of up to ``max_hops`` hops must start at one of these nodes (its
+    source is reachable from ``src`` by an enumerated prefix), so a triple
+    ingest whose endpoints all fall outside the support cannot change the
+    retained answer — the invalidation rule
+    :class:`repro.kg.epoch.LiveGraph` applies, mirroring
+    :func:`repro.sampling.ppr.batch_ppr_top_k_with_support`.  Path lists
+    are byte-identical to :func:`enumerate_paths_batch`.
+    """
+    paths, supports = _enumerate_batch(kg, pairs, max_hops, max_paths, want_support=True)
+    return list(zip(paths, supports))
+
+
+def _enumerate_batch(
+    kg: KnowledgeGraph,
+    pairs: np.ndarray,
+    max_hops: int,
+    max_paths: int,
+    want_support: bool,
+) -> Tuple[List[List[Path]], List[np.ndarray]]:
+    _validate(max_hops, max_paths)
+    pairs = np.asarray(pairs, dtype=np.int64)
+    if pairs.size == 0:
+        pairs = pairs.reshape(0, 2)
+    if pairs.ndim != 2 or (pairs.size and pairs.shape[1] != 2):
+        raise ValueError(f"pairs must be (batch, 2) (src, dst) rows, got {pairs.shape}")
+    batch = len(pairs)
+    sources = pairs[:, 0] if batch else np.empty(0, dtype=np.int64)
+    dests = pairs[:, 1] if batch else np.empty(0, dtype=np.int64)
+    hexastore = artifacts_for(kg).hexastore
+    store = kg.triples
+
+    collected: List[List[Path]] = [[] for _ in range(batch)]
+    completed_count = np.zeros(batch, dtype=np.int64)
+    # Support accumulators: (pair, node) of every node placed on a path.
+    support_pairs: List[np.ndarray] = [np.arange(batch, dtype=np.int64)] * 2
+    support_nodes: List[np.ndarray] = [sources, dests]
+
+    # Frontier invariant: `frontier` is (P, 2*hop + 1) interleaved partial
+    # paths, grouped by `pair_of` (non-decreasing) and lexicographic by
+    # (relation, node) sequence within a pair — exactly the oracle's DFS
+    # visit order for the current target length.
+    pair_of = np.arange(batch, dtype=np.int64)
+    frontier = sources[:, None].copy()
+    for hop in range(max_hops):
+        if len(pair_of) == 0:
+            break
+        tails = frontier[:, -1]
+        los, his, perm = hexastore.batch_ranges({}, "s", tails)
+        counts = his - los
+        positions = perm[expand_ranges(los, counts)]
+        rows = np.repeat(np.arange(len(pair_of), dtype=np.int64), counts)
+        relations = store.p[positions].astype(np.int64)
+        objects = store.o[positions].astype(np.int64)
+        edge_pairs = pair_of[rows]
+        completed = objects == dests[edge_pairs]
+
+        # Record this hop's completions, truncating each pair to its
+        # remaining budget: rows are grouped by pair, so the within-group
+        # rank is exactly the oracle's arrival order.
+        comp_rows = rows[completed]
+        if comp_rows.size:
+            comp_pairs = edge_pairs[completed]
+            rank = rank_within_sorted_groups(comp_pairs)
+            keep = rank < (max_paths - completed_count[comp_pairs])
+            comp_matrix = np.concatenate(
+                [
+                    frontier[comp_rows[keep]],
+                    relations[completed][keep][:, None],
+                    objects[completed][keep][:, None],
+                ],
+                axis=1,
+            )
+            kept_pairs = comp_pairs[keep]
+            completed_count += np.bincount(kept_pairs, minlength=batch)
+            for pair, row in zip(kept_pairs, comp_matrix.tolist()):
+                collected[pair].append(row)
+
+        if hop + 1 == max_hops:
+            break
+        # Extend through fresh, non-destination nodes of still-hungry
+        # pairs (a full pair's frontier is dropped, like the oracle's
+        # global stop).
+        on_path = (frontier[rows][:, 0::2] == objects[:, None]).any(axis=1)
+        extend = ~completed & ~on_path
+        extend &= completed_count[edge_pairs] < max_paths
+        ext_rows = rows[extend]
+        frontier = np.concatenate(
+            [
+                frontier[ext_rows],
+                relations[extend][:, None],
+                objects[extend][:, None],
+            ],
+            axis=1,
+        )
+        pair_of = pair_of[ext_rows]
+        if want_support and len(pair_of):
+            support_pairs.append(pair_of.copy())
+            support_nodes.append(frontier[:, -1].copy())
+
+    supports: List[np.ndarray] = []
+    if want_support:
+        all_pairs = np.concatenate(support_pairs) if batch else np.empty(0, np.int64)
+        all_nodes = np.concatenate(support_nodes) if batch else np.empty(0, np.int64)
+        order = np.lexsort((all_nodes, all_pairs))
+        all_pairs, all_nodes = all_pairs[order], all_nodes[order]
+        fresh = np.ones(len(all_pairs), dtype=bool)
+        fresh[1:] = (all_pairs[1:] != all_pairs[:-1]) | (all_nodes[1:] != all_nodes[:-1])
+        all_pairs, all_nodes = all_pairs[fresh], all_nodes[fresh]
+        node_counts = np.bincount(all_pairs, minlength=batch)
+        starts = np.concatenate([[0], np.cumsum(node_counts)])
+        supports = [
+            all_nodes[starts[row] : starts[row + 1]].copy() for row in range(batch)
+        ]
+    return collected, supports

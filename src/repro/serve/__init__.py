@@ -23,11 +23,13 @@ from repro.serve.loadgen import (
     LoadReport,
     compare_distributed_scaling,
     compare_http_serving,
+    compare_paths_serving,
     compare_pool_serving,
     compare_predict_serving,
     compare_serving_modes,
     run_http_load,
     run_load,
+    run_paths_load,
     run_predict_load,
 )
 from repro.serve.metrics import ServiceMetrics
@@ -57,11 +59,13 @@ __all__ = [
     "bound_port",
     "compare_distributed_scaling",
     "compare_http_serving",
+    "compare_paths_serving",
     "compare_pool_serving",
     "compare_predict_serving",
     "compare_serving_modes",
     "run_http_load",
     "run_load",
+    "run_paths_load",
     "run_predict_load",
     "serve_http",
     "serve_tcp",

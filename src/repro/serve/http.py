@@ -33,11 +33,15 @@ on ``asyncio`` streams, dependency-free:
     domain is ambiguous (or queries the inference cannot type) fall back
     to the same typed integer literals as the JSON bindings.
 
-``GET|POST /ppr``, ``GET|POST /ego``
+``GET|POST /ppr``, ``GET|POST /ego``, ``GET|POST /paths``
     The extraction ops, mirroring the ndjson protocol's fields
-    (``graph``, ``target``/``root``, ``k``/``depth``/``fanout``/...) as
-    URL parameters or a JSON body; responses are the same payloads the
-    TCP front end ships, as ``application/json``.
+    (``graph``, ``target``/``root``/``src``+``dst``,
+    ``k``/``depth``/``fanout``/``max_hops``/``max_paths``/...) as URL
+    parameters or a JSON body; responses are the same payloads the TCP
+    front end ships, as ``application/json``.  ``/paths`` answers the
+    hop-major list of simple relation paths from ``src`` to ``dst``
+    (each ``[src, rel, node, ..., rel, dst]``), bit-identical to the
+    scalar oracle and across every serving mode.
 
 ``GET|POST /predict``
     Task-oriented model inference over registered checkpoints: ``node``
@@ -634,6 +638,7 @@ async def _handle_op(
 _OP_ROUTES = {
     "/ppr": (("GET", "POST"), "ppr"),
     "/ego": (("GET", "POST"), "ego"),
+    "/paths": (("GET", "POST"), "paths"),
     "/predict": (("GET", "POST"), "predict"),
     "/triples": (("POST",), "triples"),
     "/metrics": (("GET",), "metrics"),

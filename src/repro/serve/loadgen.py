@@ -500,6 +500,141 @@ def compare_distributed_scaling(
     return single, scaled, speedup
 
 
+async def _paths_closed_loop(
+    service: ExtractionService,
+    pairs: Sequence[Tuple[int, int]],
+    max_hops: int,
+    max_paths: int,
+    concurrency: int,
+) -> Tuple[Dict[int, list], List[float], int]:
+    """The closed loop over ``/paths``: results keyed by request *index*.
+
+    Pair sequences legitimately repeat (hot endpoint pairs), so answers
+    are recorded per position — a coalescing window may answer repeats
+    from one kernel call, and the bit-exactness comparison must still see
+    every position.
+    """
+    next_index = 0
+    latencies: List[float] = []
+    rejected = 0
+    results: Dict[int, list] = {}
+
+    async def worker() -> None:
+        nonlocal next_index, rejected
+        while True:
+            index = next_index
+            if index >= len(pairs):
+                return
+            next_index = index + 1
+            src, dst = pairs[index]
+            start = time.perf_counter()
+            while True:
+                try:
+                    result = await service.paths(
+                        GRAPH_NAME, int(src), int(dst),
+                        max_hops=max_hops, max_paths=max_paths,
+                    )
+                    break
+                except ServiceOverloaded as exc:
+                    rejected += 1
+                    await asyncio.sleep(exc.retry_after)
+            latencies.append(time.perf_counter() - start)
+            results[index] = result
+
+    await asyncio.gather(*(worker() for _ in range(concurrency)))
+    await service.drain()
+    return results, latencies, rejected
+
+
+def run_paths_load(
+    kg: KnowledgeGraph,
+    pairs: Sequence[Tuple[int, int]],
+    max_hops: int = 3,
+    max_paths: int = 64,
+    concurrency: int = 64,
+    coalesce: bool = True,
+    max_batch: int = 64,
+    max_delay: float = 0.002,
+    max_pending: Optional[int] = None,
+    pool: Optional[WorkerPool] = None,
+) -> LoadReport:
+    """Drive ``/paths`` with the closed-loop generator.
+
+    ``pairs`` is a sequence of ``(src, dst)`` node pairs.  The serial
+    mode (``coalesce=False``) answers through the scalar
+    iterative-deepening DFS oracle one request at a time; the coalesced
+    mode batches compatible ``(max_hops, max_paths)`` windows into single
+    ``enumerate_paths_batch`` calls (pooled when ``pool`` is given).
+    """
+    service = ExtractionService(
+        max_pending=max_pending if max_pending is not None else 2 * concurrency,
+        max_batch=max_batch,
+        max_delay=max_delay,
+        coalesce=coalesce,
+        pool=pool,
+    )
+    service.register(GRAPH_NAME, kg)
+
+    async def run():
+        start = time.perf_counter()
+        results, latencies, rejected = await _paths_closed_loop(
+            service, pairs, max_hops, max_paths, concurrency
+        )
+        return results, latencies, rejected, time.perf_counter() - start
+
+    results, latencies, rejected, wall = asyncio.run(run())
+    mode = "pooled" if pool is not None else ("coalesced" if coalesce else "serial")
+    return LoadReport(
+        mode=f"paths-{mode}",
+        requests=len(pairs),
+        concurrency=concurrency,
+        wall_seconds=wall,
+        throughput_rps=len(pairs) / max(wall, 1e-12),
+        p50_ms=percentile(latencies, 0.50) * 1e3,
+        p95_ms=percentile(latencies, 0.95) * 1e3,
+        rejected=rejected,
+        batch_occupancy=service.metrics.batch_occupancy(),
+        results=results,
+        metrics=service.metrics_snapshot(),
+    )
+
+
+def compare_paths_serving(
+    kg: KnowledgeGraph,
+    pairs: Sequence[Tuple[int, int]],
+    max_hops: int = 3,
+    max_paths: int = 64,
+    concurrency: int = 64,
+    max_batch: int = 64,
+    max_delay: float = 0.002,
+    pool: Optional[WorkerPool] = None,
+) -> Tuple[LoadReport, LoadReport, float]:
+    """Scalar-oracle ``/paths`` baseline vs the coalesced batch kernel.
+
+    Returns ``(serial, fast, speedup)`` after asserting both modes
+    produced bit-identical path lists at every request position —
+    micro-batching, the epoch-keyed path cache and (with ``pool``)
+    process boundaries must never change an answer.  This is the ratio
+    the ``serving_paths_throughput`` perf floor guards.
+    """
+    serial = run_paths_load(
+        kg, pairs, max_hops=max_hops, max_paths=max_paths,
+        concurrency=concurrency, coalesce=False,
+        max_batch=max_batch, max_delay=max_delay,
+    )
+    fast = run_paths_load(
+        kg, pairs, max_hops=max_hops, max_paths=max_paths,
+        concurrency=concurrency, coalesce=True, pool=pool,
+        max_batch=max_batch, max_delay=max_delay,
+    )
+    if serial.results != fast.results:
+        raise AssertionError(
+            "coalesced /paths serving diverged from the scalar oracle baseline"
+        )
+    speedup = fast.throughput_rps / max(serial.throughput_rps, 1e-12)
+    return serial, fast, speedup
+
+
 def _predict_task_types(checkpoints: Sequence[str]) -> Dict[str, str]:
     """``task name -> task type`` read from checkpoint headers (O(header))."""
     from repro.nn.checkpoint import read_checkpoint_meta

@@ -14,8 +14,8 @@ Three contracts, in order of the request path:
   bound: a loaded service must shed, not buffer, the paper's
   millions-of-users regime.
 * **Coalescing** — requests whose kernel parameters match (same graph,
-  same ``(k, alpha, eps)`` or ``(depth, fanout, salt)``) share one batch
-  kernel call per window.  Results are bit-identical to per-request scalar
+  same ``(k, alpha, eps)``, ``(depth, fanout, salt)`` or
+  ``(max_hops, max_paths)``) share one batch kernel call per window.  Results are bit-identical to per-request scalar
   extraction because the kernels are bit-exact against their oracles.
 * **Isolation** — kernel work runs off the event loop
   (``asyncio.to_thread``); the loop only routes, so slow extraction never
@@ -42,6 +42,7 @@ from repro.kg.cache import artifacts_for
 from repro.kg.epoch import LiveGraph
 from repro.kg.graph import KnowledgeGraph
 from repro.models.shadowsaint import _EgoGraph, extract_ego
+from repro.sampling.paths import enumerate_paths_scalar
 from repro.sampling.ppr import ppr_top_k
 from repro.serve.coalesce import MAX_BATCH, MAX_DELAY_SECONDS, Coalescer
 from repro.serve.kernels import (
@@ -246,6 +247,12 @@ class ExtractionService:
             max_delay=max_delay,
             metrics=self.metrics,
         )
+        self._paths = Coalescer(
+            self._dispatch_paths,
+            max_batch=max_batch,
+            max_delay=max_delay,
+            metrics=self.metrics,
+        )
         # Checkpointed models (lazy, identity-cached).  In pool mode the
         # parent registry holds *metadata only* (for routing); the models
         # themselves live in the owning workers' registries.
@@ -382,7 +389,7 @@ class ExtractionService:
     #: kinds are per-model (``predict:<architecture>``) so each model gets
     #: its own EWMA — the basis of latency-budget routing — and are
     #: coalesced too (see :meth:`_coalesced_kind`).
-    COALESCED_KINDS = ("ppr", "ego")
+    COALESCED_KINDS = ("ppr", "ego", "paths")
 
     @classmethod
     def _coalesced_kind(cls, kind: str) -> bool:
@@ -459,6 +466,15 @@ class ExtractionService:
     ) -> List[Tuple[int, float]]:
         """Top-``k`` influence list of ``target`` (IBS's per-target unit)."""
         entry = self._graph(graph)  # fail fast before entering the queue
+        # Validate here, not in the kernel: a bad parameter must reject
+        # *this* request (ValueError → 400 on both front ends) instead of
+        # failing the whole coalescing window on the dispatch thread.
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if eps <= 0.0:
+            raise ValueError(f"eps must be positive, got {eps}")
 
         def start():
             if self.coalesce:
@@ -482,6 +498,12 @@ class ExtractionService:
     ) -> _EgoGraph:
         """One ShaDowSAINT ego scope around ``root``."""
         entry = self._graph(graph)
+        # Same fail-fast rule as ppr_top_k: reject out-of-range parameters
+        # before they can poison a shared coalescing window.
+        if depth < 0:
+            raise ValueError(f"depth must be >= 0, got {depth}")
+        if fanout < 1:
+            raise ValueError(f"fanout must be >= 1, got {fanout}")
 
         def start():
             if self.coalesce:
@@ -491,6 +513,41 @@ class ExtractionService:
             return self._serial_ego(graph, int(root), depth, fanout, salt)
 
         return await self._serve("ego", start)
+
+    async def paths(
+        self,
+        graph: str,
+        src: int,
+        dst: int,
+        max_hops: int = 3,
+        max_paths: int = 64,
+    ) -> List[list]:
+        """All simple relational paths ``src -> dst`` (the KagNet unit).
+
+        Returns a list of interleaved ``[src, rel, node, ..., rel, dst]``
+        int lists, hop-major and lexicographic within a hop, truncated at
+        ``max_paths`` — exactly
+        :func:`repro.sampling.paths.enumerate_paths_scalar` on the
+        admission-epoch snapshot.  Coalesced requests with matching
+        ``(max_hops, max_paths)`` share one batched enumeration (and the
+        live graph's retained per-pair cache); the serial baseline runs
+        the scalar DFS oracle per request.
+        """
+        entry = self._graph(graph)
+        if max_hops < 1:
+            raise ValueError(f"max_hops must be >= 1, got {max_hops}")
+        if max_paths < 1:
+            raise ValueError(f"max_paths must be >= 1, got {max_paths}")
+
+        def start():
+            if self.coalesce:
+                return self._paths.submit(
+                    (graph, entry.epoch, int(max_hops), int(max_paths)),
+                    (int(src), int(dst)),
+                )
+            return self._serial_paths(graph, int(src), int(dst), max_hops, max_paths)
+
+        return await self._serve("paths", start)
 
     async def predict(
         self,
@@ -694,6 +751,25 @@ class ExtractionService:
             roots, depth, fanout, salt, epoch=epoch
         )
 
+    def _dispatch_paths(
+        self, key: Hashable, pairs: List[Tuple[int, int]]
+    ) -> List[list]:
+        graph, epoch, max_hops, max_paths = key
+        if self.pool is not None:
+            return self.pool.call(
+                "paths",
+                {
+                    "graph": graph,
+                    "epoch": epoch,
+                    "pairs": [[int(src), int(dst)] for src, dst in pairs],
+                    "max_hops": max_hops,
+                    "max_paths": max_paths,
+                },
+            )
+        return self._graphs[graph].live.paths_batch(
+            pairs, max_hops=max_hops, max_paths=max_paths, epoch=epoch
+        )
+
     def _dispatch_predict(self, key: Hashable, items: List[int]) -> List[dict]:
         graph, epoch, task, architecture, k, candidates = key
         if self.pool is not None:
@@ -771,6 +847,15 @@ class ExtractionService:
                 extract_ego, kg, root, depth, fanout, salt
             )
 
+    async def _serial_paths(
+        self, graph: str, src: int, dst: int, max_hops: int, max_paths: int
+    ) -> List[list]:
+        kg = self._graphs[graph].kg
+        async with self._serial_lock:
+            return await asyncio.to_thread(
+                enumerate_paths_scalar, kg, src, dst, max_hops, max_paths
+            )
+
     async def _serial_predict(
         self, graph: str, task: str, architecture: str,
         item: int, k: int, candidates: int,
@@ -790,6 +875,7 @@ class ExtractionService:
         await self._ppr.flush()
         await self._ego.flush()
         await self._predict.flush()
+        await self._paths.flush()
 
     def metrics_snapshot(self) -> dict:
         """Service + per-graph metrics as one JSON-serializable dict.

@@ -9,6 +9,7 @@ Request::
 
     {"op": "ppr",    "graph": "mag", "target": 17, "k": 16}
     {"op": "ego",    "graph": "mag", "root": 17, "depth": 2, "fanout": 8}
+    {"op": "paths",  "graph": "mag", "src": 17, "dst": 42, "max_hops": 3, "max_paths": 64}
     {"op": "sparql", "graph": "mag", "query": "select ?s ?p ?o where ..."}
     {"op": "count",  "graph": "mag", "query": "..."}
     {"op": "triples", "graph": "mag", "triples": [[0, 1, 2], [3, 1, 4]]}

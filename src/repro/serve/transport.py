@@ -7,10 +7,10 @@ of the three layers it split into (placement lives in
 * **The worker-side op executor** (:func:`_execute_op`): one serial
   recv/execute/send loop body shared by every transport.  A worker is a
   shard — it owns its slice of the per-graph artifact cache and answers
-  the nine pool ops (``ping``/``register``/``triples``/``ppr``/``ego``/
-  ``predict``/``sparql``/``sparql_stream``/``count``) one at a time, so
-  intra-worker parallelism can never reintroduce the GIL contention the
-  pool exists to remove.
+  the ten pool ops (``ping``/``register``/``triples``/``ppr``/``ego``/
+  ``paths``/``predict``/``sparql``/``sparql_stream``/``count``) one at a
+  time, so intra-worker parallelism can never reintroduce the GIL
+  contention the pool exists to remove.
 * **:class:`WorkerTransport`** — the parent-side interface the pool's
   lifecycle layer orchestrates: ``start()`` / ``request()`` (future per
   op) / ``close()``, plus a disconnect callback so a dead peer surfaces
@@ -213,6 +213,14 @@ def _execute_op(graphs: Dict[str, dict], op: str, payload: dict) -> Any:
         return entry["live"].ego_batch(
             payload["roots"], payload["depth"], payload["fanout"],
             payload["salt"], epoch=payload.get("epoch"),
+        )
+    if op == "paths":
+        # Path lists are interleaved plain-int rows, so they cross every
+        # wire (pickle pipe, JSON frames) without a codec branch.
+        return entry["live"].paths_batch(
+            payload["pairs"],
+            max_hops=payload["max_hops"], max_paths=payload["max_paths"],
+            epoch=payload.get("epoch"),
         )
     if op == "predict":
         # Same shared kernel as the in-process dispatch path; parameters

@@ -44,7 +44,18 @@ PIPELINE_DEPTH = 256
 #: (``tools/check_docs.py --serving-ops``) cross-checks the op tables in
 #: ``docs/serving.md`` and ``docs/live-graphs.md`` against — adding an op
 #: here without documenting it (or vice versa) fails the docs CI tier.
-OPS = ("ping", "metrics", "graphs", "ppr", "ego", "predict", "sparql", "count", "triples")
+OPS = (
+    "ping",
+    "metrics",
+    "graphs",
+    "ppr",
+    "ego",
+    "paths",
+    "predict",
+    "sparql",
+    "count",
+    "triples",
+)
 
 
 class BadRequest(ValueError):
@@ -135,6 +146,15 @@ async def perform_op(service: ExtractionService, request: Any) -> Any:
             depth=_field(request, "depth", op, int, default=2),
             fanout=_field(request, "fanout", op, int, default=8),
             salt=_field(request, "salt", op, int, default=0),
+        )
+    if op == "paths":
+        graph = _graph_field(service, request, op)
+        return await service.paths(
+            graph,
+            _field(request, "src", op, int),
+            _field(request, "dst", op, int),
+            max_hops=_field(request, "max_hops", op, int, default=3),
+            max_paths=_field(request, "max_paths", op, int, default=64),
         )
     if op == "predict":
         graph = _graph_field(service, request, op)

@@ -1,0 +1,204 @@
+"""Path enumeration: batched frontier kernel vs the scalar DFS oracle.
+
+`enumerate_paths_batch` advances every (src, dst) pair in lock-step over
+the hexastore's subject runs; the scalar iterative-deepening DFS
+(`enumerate_paths_scalar`) is the retained reference.  Equivalence is
+*bit-for-bit*: same paths, same hop-major lexicographic order, same
+`max_paths` truncation — across random graphs, parameter grids, and the
+self-loop / parallel-edge / disconnected / empty-result edge cases.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kg.graph import KnowledgeGraph
+from repro.sampling.paths import (
+    enumerate_paths_batch,
+    enumerate_paths_batch_with_support,
+    enumerate_paths_scalar,
+)
+
+
+def _random_kg(num_nodes, num_relations, num_triples, seed):
+    rng = np.random.default_rng(seed)
+    nodes = [(f"n{i}", "T") for i in range(num_nodes)]
+    triples = list(
+        {
+            (
+                f"n{int(rng.integers(num_nodes))}",
+                f"r{int(rng.integers(num_relations))}",
+                f"n{int(rng.integers(num_nodes))}",
+            )
+            for _ in range(num_triples)
+        }
+    )
+    return KnowledgeGraph.build(nodes, triples, name="rand")
+
+
+def _assert_batch_matches_oracle(kg, pairs, max_hops, max_paths):
+    batch = enumerate_paths_batch(kg, pairs, max_hops=max_hops, max_paths=max_paths)
+    assert len(batch) == len(pairs)
+    for (src, dst), paths in zip(pairs, batch):
+        oracle = enumerate_paths_scalar(
+            kg, int(src), int(dst), max_hops=max_hops, max_paths=max_paths
+        )
+        assert paths == oracle
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=20),
+    st.integers(min_value=0, max_value=1000),
+    st.integers(min_value=1, max_value=4),
+    st.sampled_from([1, 3, 16, 64]),
+)
+def test_batch_matches_scalar_oracle_property(num_nodes, seed, max_hops, max_paths):
+    kg = _random_kg(num_nodes, 3, num_nodes * 3, seed)
+    rng = np.random.default_rng(seed + 1)
+    pairs = rng.integers(0, num_nodes, size=(8, 2))
+    _assert_batch_matches_oracle(kg, pairs, max_hops, max_paths)
+
+
+@pytest.mark.slow
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=32),
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=1, max_value=128),
+    st.integers(min_value=1, max_value=5),
+)
+def test_batch_matches_scalar_oracle_heavy_grid(
+    num_nodes, seed, max_hops, max_paths, num_relations
+):
+    kg = _random_kg(num_nodes, num_relations, num_nodes * 4, seed)
+    rng = np.random.default_rng(seed + 1)
+    pairs = rng.integers(0, num_nodes, size=(12, 2))
+    _assert_batch_matches_oracle(kg, pairs, max_hops, max_paths)
+
+
+def test_path_structure_and_order():
+    # a -r0-> b -r1-> d, a -r1-> c -r0-> d, a -r2-> d.
+    kg = KnowledgeGraph.build(
+        [("a", "T"), ("b", "T"), ("c", "T"), ("d", "T")],
+        [
+            ("a", "r0", "b"),
+            ("b", "r1", "d"),
+            ("a", "r1", "c"),
+            ("c", "r0", "d"),
+            ("a", "r2", "d"),
+        ],
+    )
+    node = kg.node_vocab.id
+    rel = kg.relation_vocab.id
+    a, b, c, d = node("a"), node("b"), node("c"), node("d")
+    paths = enumerate_paths_scalar(kg, a, d, max_hops=2, max_paths=10)
+    # Hop-major: the direct edge first, then both 2-hop paths in
+    # (relation, node) lexicographic order.
+    assert paths == [
+        [a, rel("r2"), d],
+        [a, rel("r0"), b, rel("r1"), d],
+        [a, rel("r1"), c, rel("r0"), d],
+    ]
+    assert enumerate_paths_batch(kg, [(a, d)], max_hops=2, max_paths=10) == [paths]
+    # Truncation keeps the hop-major prefix.
+    assert enumerate_paths_scalar(kg, a, d, max_hops=2, max_paths=2) == paths[:2]
+    assert enumerate_paths_batch(kg, [(a, d)], max_hops=2, max_paths=2) == [paths[:2]]
+
+
+def test_disconnected_pair_is_empty():
+    kg = KnowledgeGraph.build(
+        [("a", "T"), ("b", "T"), ("x", "T"), ("y", "T")],
+        [("a", "r", "b"), ("x", "r", "y")],
+    )
+    a, y = kg.node_vocab.id("a"), kg.node_vocab.id("y")
+    assert enumerate_paths_scalar(kg, a, y, max_hops=4) == []
+    assert enumerate_paths_batch(kg, [(a, y), (y, a)], max_hops=4) == [[], []]
+
+
+def test_self_loop_only_reachable_when_src_equals_dst():
+    kg = KnowledgeGraph.build(
+        [("a", "T"), ("b", "T")],
+        [("a", "loop", "a"), ("a", "r", "b")],
+    )
+    a, b = kg.node_vocab.id("a"), kg.node_vocab.id("b")
+    loop, r = kg.relation_vocab.id("loop"), kg.relation_vocab.id("r")
+    # The loop closes src == dst in one hop; it never appears inside a
+    # simple a -> b path.
+    assert enumerate_paths_scalar(kg, a, a, max_hops=3) == [[a, loop, a]]
+    assert enumerate_paths_scalar(kg, a, b, max_hops=3) == [[a, r, b]]
+    assert enumerate_paths_batch(kg, [(a, a), (a, b)], max_hops=3) == [
+        [[a, loop, a]],
+        [[a, r, b]],
+    ]
+
+
+def test_multi_relation_parallel_edges_enumerate_separately():
+    kg = KnowledgeGraph.build(
+        [("a", "T"), ("b", "T")],
+        [("a", "r1", "b"), ("a", "r0", "b")],
+    )
+    a, b = kg.node_vocab.id("a"), kg.node_vocab.id("b")
+    r0, r1 = kg.relation_vocab.id("r0"), kg.relation_vocab.id("r1")
+    paths = enumerate_paths_scalar(kg, a, b, max_hops=1)
+    assert sorted(paths) == sorted([[a, r0, b], [a, r1, b]])
+    # Relation order within the hop follows the hexastore's (p, o) run.
+    assert paths == sorted(paths, key=lambda p: (p[1], p[2]))
+    assert enumerate_paths_batch(kg, [(a, b)], max_hops=1) == [paths]
+
+
+def test_destination_terminates_a_path():
+    # a -> d -> b -> d: no path may pass *through* d, so only the 1-hop
+    # path exists even with a generous hop budget.
+    kg = KnowledgeGraph.build(
+        [("a", "T"), ("b", "T"), ("d", "T")],
+        [("a", "r", "d"), ("d", "r", "b"), ("b", "r", "d")],
+    )
+    node = kg.node_vocab.id
+    a, d = node("a"), node("d")
+    r = kg.relation_vocab.id("r")
+    assert enumerate_paths_scalar(kg, a, d, max_hops=4) == [[a, r, d]]
+    assert enumerate_paths_batch(kg, [(a, d)], max_hops=4) == [[[a, r, d]]]
+
+
+def test_duplicate_and_empty_pair_batches():
+    kg = _random_kg(10, 2, 30, seed=5)
+    pairs = [(1, 4), (1, 4), (3, 3)]
+    batch = enumerate_paths_batch(kg, pairs, max_hops=3, max_paths=8)
+    assert batch[0] == batch[1]
+    assert enumerate_paths_batch(kg, np.empty((0, 2), dtype=np.int64)) == []
+    assert enumerate_paths_batch(kg, []) == []
+
+
+def test_parameter_validation():
+    kg = _random_kg(5, 2, 10, seed=1)
+    for bad in (0, -1):
+        with pytest.raises(ValueError):
+            enumerate_paths_scalar(kg, 0, 1, max_hops=bad)
+        with pytest.raises(ValueError):
+            enumerate_paths_scalar(kg, 0, 1, max_paths=bad)
+        with pytest.raises(ValueError):
+            enumerate_paths_batch(kg, [(0, 1)], max_hops=bad)
+        with pytest.raises(ValueError):
+            enumerate_paths_batch(kg, [(0, 1)], max_paths=bad)
+    with pytest.raises(ValueError):
+        enumerate_paths_batch(kg, [(0, 1, 2)])
+
+
+def test_with_support_paths_identical_and_support_covers_path_nodes():
+    kg = _random_kg(14, 3, 50, seed=9)
+    rng = np.random.default_rng(3)
+    pairs = rng.integers(0, 14, size=(10, 2))
+    plain = enumerate_paths_batch(kg, pairs, max_hops=3, max_paths=16)
+    with_support = enumerate_paths_batch_with_support(
+        kg, pairs, max_hops=3, max_paths=16
+    )
+    assert [paths for paths, _ in with_support] == plain
+    for (src, dst), (paths, support) in zip(pairs, with_support):
+        support_set = set(support.tolist())
+        assert {int(src), int(dst)} <= support_set
+        for path in paths:
+            assert set(path[0::2]) <= support_set
+        # Support is sorted and unique per pair.
+        assert support.tolist() == sorted(support_set)

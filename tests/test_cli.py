@@ -185,10 +185,35 @@ def test_bench_serve_with_worker_pool(tmp_path, capsys):
     assert payload["metrics"]["config"]["pool"]["workers"] == 2
 
 
-@pytest.mark.parametrize("doc", ["serving.md", "live-graphs.md"])
+def test_bench_serve_paths_mode(tmp_path, capsys):
+    out_path = str(tmp_path / "BENCH_paths.json")
+    assert main([
+        "bench-serve", "--dataset", "mag", "--scale", "tiny", "--task", "PV",
+        "--paths", "--max-hops", "2", "--max-paths", "16",
+        "--requests", "32", "--concurrency", "8", "--out", out_path,
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "/paths coalescing speedup" in out and "bit-identical" in out
+    import json
+
+    with open(out_path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert payload["serial"]["mode"] == "paths-serial"
+    assert payload["paths-coalesced"]["mode"] == "paths-coalesced"
+    assert payload["task"] == "PV pairs"
+
+
+def test_bench_serve_paths_rejects_conflicting_modes(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["bench-serve", "--dataset", "mag", "--scale", "tiny",
+              "--paths", "--checkpoint", str(tmp_path / "x.ckpt"),
+              "--requests", "4"])
+
+
+@pytest.mark.parametrize("doc", ["serving.md", "live-graphs.md", "paths.md"])
 def test_help_text_covers_every_flag_documented_in_serving_docs(doc, capsys):
-    """Every --flag mentioned in the serving/live-graph docs must appear
-    verbatim in `repro serve --help`, `repro serve-worker --help`,
+    """Every --flag mentioned in the serving/live-graph/paths docs must
+    appear verbatim in `repro serve --help`, `repro serve-worker --help`,
     `repro bench-serve --help` or `repro train --help` (the docs and the
     CLI must never drift apart)."""
     import re

@@ -10,10 +10,11 @@ so the tier-1 suite catches breakage locally):
    directory, resolved against the linking file's location.  Absolute
    URLs are deliberately not fetched: CI must not depend on the network,
    and the repo's own cross-references are what silently rot.
-2. **Doctests** — fenced ``>>>`` examples in ``docs/architecture.md``
-   and ``docs/live-graphs.md`` are executed with ``doctest`` (the CI job
-   runs the equivalent ``python -m doctest <doc>``), so the
-   walkthroughs can never drift from the real API.
+2. **Doctests** — fenced ``>>>`` examples in ``docs/architecture.md``,
+   ``docs/live-graphs.md`` and ``docs/paths.md`` are executed with
+   ``doctest`` (the CI job runs the equivalent
+   ``python -m doctest <doc>``), so the walkthroughs can never drift
+   from the real API.
 3. **Perf floors** — every benchmark name the perf-guard checks
    (``REPORTS`` in ``benchmarks/check_perf_floors.py``) must appear in
    ``docs/ci.md``'s guarded-measurements table, so a new guarded
@@ -50,6 +51,7 @@ LINKED_DOCS = ("README.md", "docs")
 DOCTEST_DOCS = (
     os.path.join("docs", "architecture.md"),
     os.path.join("docs", "live-graphs.md"),
+    os.path.join("docs", "paths.md"),
 )
 
 #: Files whose op tables are audited against ``repro.serve.wire.OPS``.
